@@ -1,0 +1,506 @@
+package spocus
+
+// One benchmark per experiment of DESIGN.md's per-experiment index
+// (E1–E17) plus the substrate benchmarks (S1–S2). The qualitative outcomes
+// are asserted inside the benchmarks so a regression in correctness fails
+// the run rather than silently timing the wrong thing; the companion
+// report generator is cmd/spocus-experiments.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/models"
+	"repro/internal/relation"
+	"repro/internal/sat"
+	"repro/internal/tsdi"
+	"repro/internal/turing"
+	"repro/internal/verify"
+)
+
+// BenchmarkE1ShortRun regenerates the Figure 1 run of SHORT.
+func BenchmarkE1ShortRun(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	inputs := models.Fig1Inputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := m.Execute(db, inputs)
+		if err != nil || !run.Outputs[1].Has("deliver", relation.Tuple{"time"}) {
+			b.Fatal("wrong run")
+		}
+	}
+}
+
+// BenchmarkE2FriendlyRun regenerates the Figure 2 run of FRIENDLY.
+func BenchmarkE2FriendlyRun(b *testing.B) {
+	m := models.Friendly()
+	db := models.MagazineDB()
+	inputs := models.Fig2Inputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := m.Execute(db, inputs)
+		if err != nil || !run.Outputs[3].Has("rebill", relation.Tuple{"newsweek", "845"}) {
+			b.Fatal("wrong run")
+		}
+	}
+}
+
+// BenchmarkE3LogValidity times Theorem 3.1 on genuine logs of SHORT, one
+// sub-benchmark per run length (the fixed-schema polynomial shape).
+func BenchmarkE3LogValidity(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	for _, n := range []int{1, 2, 4} {
+		var inputs relation.Sequence
+		mags := []string{"time", "newsweek", "le-monde"}
+		prices := map[string]string{"time": "855", "newsweek": "845", "le-monde": "8350"}
+		for i := 0; i < n; i++ {
+			mag := mags[i%3]
+			step := relation.NewInstance()
+			if i%2 == 0 {
+				step.Add("order", relation.Tuple{relation.Const(mag)})
+			} else {
+				prev := mags[(i-1)%3]
+				step.Add("pay", relation.Tuple{relation.Const(prev), relation.Const(prices[prev])})
+			}
+			inputs = append(inputs, step)
+		}
+		run, err := m.Execute(db, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("steps=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.LogValidity(m, db, run.Logs, &verify.Options{SkipReplay: true})
+				if err != nil || !res.Valid {
+					b.Fatal("genuine log rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ArityShape times a one-step log validity question as the
+// schema arity grows (the NEXPTIME shape).
+func BenchmarkE4ArityShape(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		vars := ""
+		for i := 1; i <= k; i++ {
+			if i > 1 {
+				vars += ","
+			}
+			vars += fmt.Sprintf("X%d", i)
+		}
+		src := fmt.Sprintf(`
+transducer echo%d
+schema
+  input: in/%d;
+  output: out/%d;
+  log: out;
+state rules
+  past-in(%s) +:- in(%s);
+output rules
+  out(%s) :- in(%s);
+`, k, k, k, vars, vars, vars, vars)
+		m := core.MustParseProgram(src)
+		tup := make(relation.Tuple, k)
+		for i := range tup {
+			tup[i] = relation.Const(fmt.Sprintf("c%d", i))
+		}
+		logStep := relation.NewInstance()
+		logStep.Add("out", tup)
+		logSeq := relation.Sequence{logStep}
+		b.Run(fmt.Sprintf("arity=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.LogValidity(m, nil, logSeq, &verify.Options{SkipReplay: true})
+				if err != nil || !res.Valid {
+					b.Fatal("echo log rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5ProjectionReduction runs the Proposition 3.1 transducer on the
+// paper's F ⊭ G witness.
+func BenchmarkE5ProjectionReduction(b *testing.B) {
+	f := deps.Set{Arity: 2, FDs: []deps.FD{{Lhs: []int{1}, Rhs: 2}}}
+	g := deps.Set{Arity: 2, IncDs: []deps.IncD{{Lhs: []int{1}, Rhs: []int{2}}}}
+	m, err := deps.Prop31Transducer(f, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, witness := deps.Implies(f, g, 1000)
+	step1 := relation.NewInstance()
+	step1.Ensure("r", 2).UnionWith(witness)
+	seq := relation.Sequence{step1, relation.NewInstance()}
+	empty := relation.NewInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := m.Execute(empty, seq)
+		if err != nil || run.Outputs[1].Rel(deps.ViolG).Len() == 0 {
+			b.Fatal("violg not derived")
+		}
+	}
+}
+
+// BenchmarkE6GoalReach times Theorem 3.2 on reachable and unreachable
+// goals.
+func BenchmarkE6GoalReach(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	for _, tc := range []struct {
+		name string
+		goal string
+		want bool
+	}{
+		{"reachable", "deliver(le-monde)", true},
+		{"unreachable", "deliver(atlantis)", false},
+	} {
+		g, err := verify.ParseGoal(tc.goal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.ReachGoal(m, db, g, &verify.Options{SkipReplay: true})
+				if err != nil || res.Reachable != tc.want {
+					b.Fatal("wrong verdict")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Temporal times Theorem 3.3 on the payment property.
+func BenchmarkE7Temporal(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	c, err := verify.ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.CheckTemporal(m, db, []*verify.Condition{c}, &verify.Options{SkipReplay: true})
+		if err != nil || !res.Holds {
+			b.Fatal("property should hold")
+		}
+	}
+}
+
+// BenchmarkE8Containment times Theorem 3.5 on the short/friendly pair.
+func BenchmarkE8Containment(b *testing.B) {
+	logSet := []string{"order", "pay", "sendbill", "deliver"}
+	short := models.WithLog(models.Short(), logSet...)
+	friendly := models.WithLog(models.Friendly(), logSet...)
+	db := models.MagazineDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Contains(short, friendly, db, &verify.Options{SkipReplay: true})
+		if err != nil || !res.Contained {
+			b.Fatal("containment should hold")
+		}
+	}
+}
+
+// BenchmarkE9Propositional times the Gen(T) automaton construction and the
+// flatness characterization for the ab*c transducer.
+func BenchmarkE9Propositional(b *testing.B) {
+	m := models.ABC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nfa, err := automata.ToAutomaton(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := nfa.Determinize().Minimize()
+		if !d.Flat() || !d.PrefixClosed() {
+			b.Fatal("characterization violated")
+		}
+	}
+}
+
+// BenchmarkE10Tsdi times Theorem 4.1 compilation plus enforcement of a
+// 4-step session.
+func BenchmarkE10Tsdi(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	s := tsdi.MustParse("pay(X,Y) => price(X,Y)", "pay(X,Y) => past-order(X)")
+	session := relation.Sequence{
+		models.Step(models.F("order", "time")),
+		models.Step(models.F("pay", "time", "855")),
+		models.Step(models.F("order", "newsweek")),
+		models.Step(models.F("pay", "newsweek", "845")),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enf, err := tsdi.Enforce(m, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := enf.Execute(db, session)
+		if err != nil || !run.Valid(core.ErrorFree) {
+			b.Fatal("legal session rejected")
+		}
+	}
+}
+
+// BenchmarkE11TuringSim times a full three-stage Theorem 4.2 simulation.
+func BenchmarkE11TuringSim(b *testing.B) {
+	m := &turing.Machine{
+		Symbols: []string{"blank", "a", "b"}, Blank: "blank", Start: "q0", Halt: "h",
+		Rules: []turing.Rule{
+			{State: "q0", Read: "blank", Write: "a", Move: turing.Right, Next: "q1"},
+			{State: "q1", Read: "blank", Write: "b", Move: turing.Right, Next: "q2"},
+			{State: "q2", Read: "blank", Write: "blank", Move: turing.Left, Next: "q3"},
+			{State: "q3", Read: "b", Write: "b", Move: turing.Left, Next: "h"},
+		},
+	}
+	tm, err := turing.Compile(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comp turing.Computation
+	if err := m.Enumerate(4, 10, func(c turing.Computation) bool {
+		comp = c
+		return false
+	}); err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := turing.DriveInputs(m, comp, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	empty := relation.NewInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := tm.Execute(empty, inputs)
+		if err != nil || !run.Valid(core.ErrorFree) {
+			b.Fatal("simulation errored")
+		}
+	}
+}
+
+// BenchmarkE12ErrorFreeVerify times Theorem 4.4 on STRICT.
+func BenchmarkE12ErrorFreeVerify(b *testing.B) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	s := tsdi.MustParse("pay(X,Y) => price(X,Y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.CheckErrorFree(m, db, s, &verify.Options{SkipReplay: true})
+		if err != nil || !res.Holds {
+			b.Fatal("enforced sentence rejected")
+		}
+	}
+}
+
+// BenchmarkE13ErrorFreeContain times Theorem 4.6 on strict vs stricter.
+func BenchmarkE13ErrorFreeContain(b *testing.B) {
+	t1, t2 := models.Stricter(), models.Strict()
+	db := models.MagazineDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.ErrorFreeContained(t1, t2, db, &verify.Options{SkipReplay: true})
+		if err != nil || !res.Contained {
+			b.Fatal("containment should hold")
+		}
+	}
+}
+
+// BenchmarkE14Acceptors times validity checking under the three acceptance
+// modes on a guarded session.
+func BenchmarkE14Acceptors(b *testing.B) {
+	m := models.Guarded()
+	db := models.MagazineDB()
+	session := relation.Sequence{
+		models.Step(models.F("order", "time")),
+		models.Step(models.F("pay", "time", "855")),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := m.Execute(db, session)
+		if err != nil || !run.Valid(core.ErrorFree) || run.Valid(core.OKEveryStep) {
+			b.Fatal("acceptance verdicts wrong")
+		}
+	}
+}
+
+// BenchmarkE15LogMinimize times the bounded determinacy check behind log
+// minimization.
+func BenchmarkE15LogMinimize(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.RemovableFromLog(m, db, "deliver", 2, &verify.Options{SkipReplay: true})
+		if err != nil || !res.Removable {
+			b.Fatal("deliver should be removable")
+		}
+	}
+}
+
+// BenchmarkE16ContainmentReduction times the Theorem 3.4 reduction end to
+// end on the paper's example.
+func BenchmarkE16ContainmentReduction(b *testing.B) {
+	f := deps.Set{Arity: 2, FDs: []deps.FD{{Lhs: []int{1}, Rhs: 2}}}
+	g := deps.Set{Arity: 2, IncDs: []deps.IncD{{Lhs: []int{1}, Rhs: []int{2}}}}
+	_, witness := deps.Implies(f, g, 1000)
+	empty := relation.NewInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red, err := deps.NewThm34Reduction(f, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := append(red.WellFormedInputs(witness), relation.NewInstance())
+		run, err := red.TFG.Execute(empty, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := red.SimInputsForLog(run.Logs); err == nil {
+			b.Fatal("Sim imitated a non-implication witness")
+		}
+	}
+}
+
+// BenchmarkE17Compose times the bounded compatibility search on the
+// customer/supplier market.
+func BenchmarkE17Compose(b *testing.B) {
+	goal, err := verify.ParseGoal("deliver(widget)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	supplier := core.MustParseProgram(benchSupplierSrc)
+	customer := core.MustParseProgram(benchCustomerSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := compose.New()
+		db := relation.NewInstance()
+		db.Add("price", relation.Tuple{"widget", "5"})
+		if err := n.AddNode("supplier", supplier, db); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.AddNode("customer", customer, nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range [][4]string{
+			{"customer", "order", "supplier", "order"},
+			{"customer", "pay", "supplier", "pay"},
+			{"supplier", "invoice", "customer", "invoice"},
+			{"supplier", "deliver", "customer", "arrived"},
+		} {
+			if err := n.Connect(w[0], w[1], w[2], w[3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := n.Compatible([]compose.Goal{{Node: "supplier", G: goal}}, []relation.Const{"widget"}, 5)
+		if err != nil || !res.Compatible {
+			b.Fatal("market should be compatible")
+		}
+	}
+}
+
+const benchSupplierSrc = `
+transducer supplier
+schema
+  database: price/2;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: invoice/2, deliver/1, error/0;
+  log: invoice, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  invoice(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  error :- pay(X,Y), NOT past-order(X);
+`
+
+const benchCustomerSrc = `
+transducer prompt
+schema
+  input: want/1, invoice/2, arrived/1;
+  state: past-want/1, past-invoice/2, past-arrived/1;
+  output: order/1, pay/2, error/0;
+  log: order, pay;
+state rules
+  past-want(X) +:- want(X);
+  past-invoice(X,Y) +:- invoice(X,Y);
+  past-arrived(X) +:- arrived(X);
+output rules
+  order(X) :- want(X), NOT past-want(X);
+  pay(X,Y) :- invoice(X,Y), NOT past-invoice(X,Y);
+`
+
+// BenchmarkS1SAT times the CDCL solver on pigeonhole instances.
+func BenchmarkS1SAT(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		b.Run(fmt.Sprintf("php%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := buildPigeonhole(n)
+				if s.Solve() != sat.Unsat {
+					b.Fatal("PHP should be unsat")
+				}
+			}
+		})
+	}
+}
+
+func buildPigeonhole(n int) *sat.Solver {
+	s := sat.New()
+	p := make([][]int, n+1)
+	for i := 0; i <= n; i++ {
+		p[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+	return s
+}
+
+// BenchmarkS2Datalog times FRIENDLY steps over growing catalogs.
+func BenchmarkS2Datalog(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		m := models.Friendly()
+		db := relation.NewInstance()
+		var seq relation.Sequence
+		rnd := rand.New(rand.NewSource(3))
+		for i := 0; i < n; i++ {
+			p := relation.Const(fmt.Sprintf("p%d", i))
+			price := relation.Const(fmt.Sprintf("%d", 100+rnd.Intn(900)))
+			db.Add("price", relation.Tuple{p, price})
+			db.Add("available", relation.Tuple{p})
+			s1 := relation.NewInstance()
+			s1.Add("order", relation.Tuple{p})
+			s2 := relation.NewInstance()
+			s2.Add("pay", relation.Tuple{p, price})
+			seq = append(seq, s1, s2)
+		}
+		b.Run(fmt.Sprintf("products=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Execute(db, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,257 @@
+// Command spocus-verify runs the paper's decision procedures from the
+// command line.
+//
+// Subcommands:
+//
+//	spocus-verify log        -program P -db DB.json -log LOG.json [-unknown-db]
+//	spocus-verify goal       -program P -db DB.json -goal "deliver(X)"
+//	spocus-verify temporal   -program P -db DB.json -cond "deliver(X), price(X,Y) => past-pay(X,Y)"
+//	spocus-verify contain    -reference P1 -candidate P2 -db DB.json
+//	spocus-verify errorfree  -program P -db DB.json -clause "pay(X,Y) => price(X,Y)"
+//	spocus-verify errorfree-contain -t1 P1 -t2 P2 -db DB.json
+//	spocus-verify minimize   -program P -db DB.json [-maxlen 2]
+//
+// Database and log files are JSON maps from relation name to tuple lists.
+// Exit status 0 means the property holds / the artifact is valid; 1 means
+// it does not (a witness or counterexample is printed); 2 is a usage or
+// input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tsdi"
+	"repro/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "log":
+		cmdLog(os.Args[2:])
+	case "goal":
+		cmdGoal(os.Args[2:])
+	case "temporal":
+		cmdTemporal(os.Args[2:])
+	case "contain":
+		cmdContain(os.Args[2:])
+	case "errorfree":
+		cmdErrorFree(os.Args[2:])
+	case "errorfree-contain":
+		cmdErrorFreeContain(os.Args[2:])
+	case "minimize":
+		cmdMinimize(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spocus-verify <log|goal|temporal|contain|errorfree|errorfree-contain|minimize> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spocus-verify:", err)
+		os.Exit(2)
+	}
+}
+
+func loadMachine(path string) *core.Machine {
+	src, err := os.ReadFile(path)
+	fatal(err)
+	m, err := core.ParseProgram(string(src))
+	fatal(err)
+	return m
+}
+
+func loadInstance(path string) relation.Instance {
+	if path == "" {
+		return relation.NewInstance()
+	}
+	raw, err := os.ReadFile(path)
+	fatal(err)
+	var in relation.Instance
+	fatal(json.Unmarshal(raw, &in))
+	return in
+}
+
+func loadSequence(path string) relation.Sequence {
+	raw, err := os.ReadFile(path)
+	fatal(err)
+	var steps []relation.Instance
+	fatal(json.Unmarshal(raw, &steps))
+	seq := make(relation.Sequence, len(steps))
+	for i, s := range steps {
+		if s == nil {
+			s = relation.NewInstance()
+		}
+		seq[i] = s
+	}
+	return seq
+}
+
+func printSeq(label string, seq relation.Sequence) {
+	fmt.Printf("%s:\n", label)
+	for i, step := range seq {
+		fmt.Printf("  step %d: %s\n", i+1, step)
+	}
+}
+
+func verdict(ok bool, yes, no string) {
+	if ok {
+		fmt.Println(yes)
+		return
+	}
+	fmt.Println(no)
+	os.Exit(1)
+}
+
+func cmdLog(args []string) {
+	fs := flag.NewFlagSet("log", flag.ExitOnError)
+	program := fs.String("program", "", "transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	logPath := fs.String("log", "", "log sequence JSON")
+	unknownDB := fs.Bool("unknown-db", false, "search for a database too")
+	fatal(fs.Parse(args))
+	m := loadMachine(*program)
+	res, err := verify.LogValidity(m, loadInstance(*dbPath), loadSequence(*logPath), &verify.Options{UnknownDB: *unknownDB})
+	fatal(err)
+	if res.Valid {
+		printSeq("witness inputs", res.Witness)
+		if res.WitnessDB != nil {
+			fmt.Printf("witness database: %s\n", res.WitnessDB)
+		}
+	}
+	verdict(res.Valid, "log VALID (Theorem 3.1)", "log INVALID: no input sequence generates it")
+}
+
+func cmdGoal(args []string) {
+	fs := flag.NewFlagSet("goal", flag.ExitOnError)
+	program := fs.String("program", "", "transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	goalSrc := fs.String("goal", "", "goal, e.g. \"deliver(X)\"")
+	prefixPath := fs.String("prefix", "", "optional partial-run inputs JSON")
+	unknownDB := fs.Bool("unknown-db", false, "search for a database too")
+	fatal(fs.Parse(args))
+	m := loadMachine(*program)
+	g, err := verify.ParseGoal(*goalSrc)
+	fatal(err)
+	var prefix relation.Sequence
+	if *prefixPath != "" {
+		prefix = loadSequence(*prefixPath)
+	}
+	res, err := verify.ReachGoalFrom(m, loadInstance(*dbPath), prefix, g, &verify.Options{UnknownDB: *unknownDB})
+	fatal(err)
+	if res.Reachable {
+		printSeq("witness inputs", res.Witness)
+		if res.WitnessDB != nil {
+			fmt.Printf("witness database: %s\n", res.WitnessDB)
+		}
+	}
+	verdict(res.Reachable, "goal REACHABLE (Theorem 3.2)", "goal UNREACHABLE")
+}
+
+func cmdTemporal(args []string) {
+	fs := flag.NewFlagSet("temporal", flag.ExitOnError)
+	program := fs.String("program", "", "transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	var conds multiFlag
+	fs.Var(&conds, "cond", "condition \"lits => lits\" (repeatable)")
+	unknownDB := fs.Bool("unknown-db", false, "quantify over all databases")
+	fatal(fs.Parse(args))
+	m := loadMachine(*program)
+	var cs []*verify.Condition
+	for _, src := range conds {
+		c, err := verify.ParseCondition(src)
+		fatal(err)
+		cs = append(cs, c)
+	}
+	res, err := verify.CheckTemporal(m, loadInstance(*dbPath), cs, &verify.Options{UnknownDB: *unknownDB})
+	fatal(err)
+	if !res.Holds {
+		fmt.Printf("violated condition: %s\n", res.Violated)
+		printSeq("counterexample inputs", res.Counterexample)
+		if res.CounterexampleDB != nil {
+			fmt.Printf("counterexample database: %s\n", res.CounterexampleDB)
+		}
+	}
+	verdict(res.Holds, "property HOLDS on every run (Theorem 3.3)", "property VIOLATED")
+}
+
+func cmdContain(args []string) {
+	fs := flag.NewFlagSet("contain", flag.ExitOnError)
+	ref := fs.String("reference", "", "reference transducer program")
+	cand := fs.String("candidate", "", "candidate (customized) transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	fatal(fs.Parse(args))
+	res, err := verify.Contains(loadMachine(*ref), loadMachine(*cand), loadInstance(*dbPath), nil)
+	fatal(err)
+	if !res.Contained {
+		fmt.Printf("logs diverge on relation %q\n", res.DiffersAt)
+		printSeq("counterexample inputs", res.Counterexample)
+	}
+	verdict(res.Contained, "CONTAINED: every candidate log is a reference log (Theorem 3.5)", "NOT CONTAINED")
+}
+
+func cmdErrorFree(args []string) {
+	fs := flag.NewFlagSet("errorfree", flag.ExitOnError)
+	program := fs.String("program", "", "transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	var clauses multiFlag
+	fs.Var(&clauses, "clause", "T_sdi clause \"lits => atoms\" (repeatable)")
+	fatal(fs.Parse(args))
+	m := loadMachine(*program)
+	s, err := tsdi.Parse(clauses...)
+	fatal(err)
+	res, err := verify.CheckErrorFree(m, loadInstance(*dbPath), s, nil)
+	fatal(err)
+	if !res.Holds {
+		fmt.Printf("violated clause: %s\n", res.Violated)
+		printSeq("counterexample (error-free) inputs", res.Counterexample)
+	}
+	verdict(res.Holds, "sentence HOLDS on every error-free run (Theorem 4.4)", "sentence VIOLATED")
+}
+
+func cmdErrorFreeContain(args []string) {
+	fs := flag.NewFlagSet("errorfree-contain", flag.ExitOnError)
+	t1 := fs.String("t1", "", "first transducer program")
+	t2 := fs.String("t2", "", "second transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	fatal(fs.Parse(args))
+	res, err := verify.ErrorFreeContained(loadMachine(*t1), loadMachine(*t2), loadInstance(*dbPath), nil)
+	fatal(err)
+	if !res.Contained {
+		printSeq("run error-free for t1 but not t2", res.Counterexample)
+	}
+	verdict(res.Contained, "CONTAINED: every error-free run of t1 is error-free for t2 (Theorem 4.6)", "NOT CONTAINED")
+}
+
+func cmdMinimize(args []string) {
+	fs := flag.NewFlagSet("minimize", flag.ExitOnError)
+	program := fs.String("program", "", "transducer program")
+	dbPath := fs.String("db", "", "database JSON")
+	maxLen := fs.Int("maxlen", 2, "run-length bound")
+	fatal(fs.Parse(args))
+	m := loadMachine(*program)
+	keep, err := verify.MinimalLog(m, loadInstance(*dbPath), *maxLen, nil)
+	fatal(err)
+	fmt.Printf("declared log: %v\n", m.Schema().Log)
+	fmt.Printf("minimal sufficient log (runs ≤ %d): %v\n", *maxLen, keep)
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}

@@ -1,0 +1,328 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+)
+
+// abStarC builds the NFA for the prefix closure of ab*c over {a,b,c}:
+// states 0 -a-> 1 -b-> 1 -c-> 2, all accepting.
+func abStarC() *NFA {
+	a := NewNFA(3, []string{"a", "b", "c"}, 0)
+	a.SetAccept(0)
+	a.SetAccept(1)
+	a.SetAccept(2)
+	a.AddTransition(0, "a", 1)
+	a.AddTransition(1, "b", 1)
+	a.AddTransition(1, "c", 2)
+	return a
+}
+
+// abLoop builds the minimal DFA-ish NFA for the prefix closure of (ab)*:
+// a 2-cycle, the paper's non-example.
+func abLoop() *NFA {
+	a := NewNFA(2, []string{"a", "b"}, 0)
+	a.SetAccept(0)
+	a.SetAccept(1)
+	a.AddTransition(0, "a", 1)
+	a.AddTransition(1, "b", 0)
+	return a
+}
+
+func w(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "")
+}
+
+func TestNFAAccepts(t *testing.T) {
+	a := abStarC()
+	for _, word := range []string{"", "a", "ab", "abb", "abbc", "ac"} {
+		if !a.Accepts(w(word)) {
+			t.Errorf("abStarC rejects %q", word)
+		}
+	}
+	for _, word := range []string{"b", "c", "abca", "abcb", "aa", "ba"} {
+		if a.Accepts(w(word)) {
+			t.Errorf("abStarC accepts %q", word)
+		}
+	}
+}
+
+func TestEpsilonTransitions(t *testing.T) {
+	// 0 --ε--> 1 --a--> 2, only 2 accepting: language {a}.
+	n := NewNFA(3, []string{"a"}, 0)
+	n.SetAccept(2)
+	n.AddEpsilon(0, 1)
+	n.AddTransition(1, "a", 2)
+	if !n.Accepts(w("a")) {
+		t.Error("ε-closure missed the transition")
+	}
+	if n.Accepts(w("")) || n.Accepts(w("aa")) {
+		t.Error("language wrong")
+	}
+	d := n.Determinize()
+	if !d.Accepts(w("a")) || d.Accepts(w("")) {
+		t.Error("determinization of ε-NFA wrong")
+	}
+	// ε-cycles must not loop the closure computation.
+	c := NewNFA(2, []string{"a"}, 0)
+	c.SetAccept(1)
+	c.AddEpsilon(0, 1)
+	c.AddEpsilon(1, 0)
+	if !c.Accepts(nil) {
+		t.Error("ε-cycle closure wrong")
+	}
+}
+
+func TestDeterminizeAgreesWithNFA(t *testing.T) {
+	a := abStarC()
+	d := a.Determinize()
+	words := []string{"", "a", "b", "c", "ab", "ac", "abc", "abbc", "abca", "cba", "aab"}
+	for _, word := range words {
+		if a.Accepts(w(word)) != d.Accepts(w(word)) {
+			t.Errorf("NFA and DFA disagree on %q", word)
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	d := abStarC().Determinize()
+	m := d.Minimize()
+	// Language of ab*c prefixes needs 4 states: start, after-a, after-c,
+	// dead.
+	if m.NumStates() != 4 {
+		t.Errorf("minimal DFA has %d states, want 4", m.NumStates())
+	}
+	eq, err := Equivalent(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("minimization changed the language")
+	}
+}
+
+func TestEquivalentAndComplement(t *testing.T) {
+	d1 := abStarC().Determinize().Minimize()
+	d2 := abLoop().Determinize().Minimize()
+	// abLoop is over {a,b}; rebuild over shared alphabet for comparison.
+	a3 := NewNFA(2, []string{"a", "b", "c"}, 0)
+	a3.SetAccept(0)
+	a3.SetAccept(1)
+	a3.AddTransition(0, "a", 1)
+	a3.AddTransition(1, "b", 0)
+	d2 = a3.Determinize().Minimize()
+	eq, err := Equivalent(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("distinct languages reported equivalent")
+	}
+	comp := d1.Complement()
+	inter, err := Product(d1, comp, func(x, y bool) bool { return x && y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inter.Empty() {
+		t.Error("L ∩ complement(L) non-empty")
+	}
+	union, err := Product(d1, comp, func(x, y bool) bool { return x || y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.Empty() || !union.Accepts(w("cccc")) {
+		t.Error("L ∪ complement(L) is not total")
+	}
+}
+
+func TestPrefixClosed(t *testing.T) {
+	if !abStarC().Determinize().PrefixClosed() {
+		t.Error("prefix closure of ab*c reported not prefix-closed")
+	}
+	// Language {ab}: not prefix-closed (a not accepted).
+	a := NewNFA(3, []string{"a", "b"}, 0)
+	a.SetAccept(2)
+	a.AddTransition(0, "a", 1)
+	a.AddTransition(1, "b", 2)
+	if a.Determinize().PrefixClosed() {
+		t.Error("{ab} reported prefix-closed")
+	}
+}
+
+func TestFlatness(t *testing.T) {
+	if !abStarC().Determinize().Flat() {
+		t.Error("ab*c prefixes: automaton should be flat")
+	}
+	if abLoop().Determinize().Flat() {
+		t.Error("(ab)* prefixes: 2-cycle reported flat (the paper's non-example)")
+	}
+}
+
+// TestABCTransducerGeneratesAbStarC is the Section 3.1 example end-to-end:
+// the ab*c transducer's generated language equals the prefix closure of
+// ab*c (experiment E9).
+func TestABCTransducerGeneratesAbStarC(t *testing.T) {
+	nfa, err := ToAutomaton(models.ABC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nfa.Determinize().Minimize()
+	want := abStarC().Determinize().Minimize()
+	eq, err := Equivalent(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("Gen(abc) ≠ prefixes of ab*c; Gen sample: %v", got.Words(4, 20))
+	}
+	if !got.Flat() {
+		t.Error("Gen(abc) automaton not flat")
+	}
+	if !got.PrefixClosed() {
+		t.Error("Gen(abc) not prefix-closed")
+	}
+}
+
+// TestFromAutomatonRoundTrip is the constructive converse: build a
+// transducer from a flat automaton, then recover its language.
+func TestFromAutomatonRoundTrip(t *testing.T) {
+	want := abStarC().Determinize().Minimize()
+	m, err := FromAutomaton(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := ToAutomaton(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nfa.Determinize().Minimize()
+	eq, err := Equivalent(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("round trip changed the language; got words %v, want words %v",
+			got.Words(4, 20), want.Words(4, 20))
+	}
+}
+
+func TestFromAutomatonRejectsNonFlat(t *testing.T) {
+	if _, err := FromAutomaton(abLoop().Determinize()); err == nil {
+		t.Error("(ab)* prefixes accepted by FromAutomaton")
+	}
+}
+
+func TestFromAutomatonRejectsNonPrefixClosed(t *testing.T) {
+	a := NewNFA(2, []string{"a"}, 0)
+	a.SetAccept(1)
+	a.AddTransition(0, "a", 1)
+	if _, err := FromAutomaton(a.Determinize()); err == nil {
+		t.Error("non-prefix-closed language accepted")
+	}
+}
+
+// randomFlatDFA generates a random flat prefix-closed automaton: a random
+// DAG over k states with random self-loops, all states accepting.
+func randomFlatDFA(r *rand.Rand) *DFA {
+	k := 2 + r.Intn(3)
+	alphabet := []string{"a", "b"}
+	a := NewNFA(k, alphabet, 0)
+	for s := 0; s < k; s++ {
+		a.SetAccept(s)
+	}
+	for s := 0; s < k; s++ {
+		for _, sym := range alphabet {
+			switch r.Intn(3) {
+			case 0:
+				// DAG edge to a strictly later state.
+				if s+1 < k {
+					a.AddTransition(s, sym, s+1+r.Intn(k-s-1))
+				}
+			case 1:
+				a.AddTransition(s, sym, s) // self loop
+			}
+		}
+	}
+	return a.Determinize().Minimize()
+}
+
+// TestPropRoundTripOnRandomFlatAutomata: FromAutomaton∘ToAutomaton is the
+// identity on languages, for random flat prefix-closed automata.
+func TestPropRoundTripOnRandomFlatAutomata(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		want := randomFlatDFA(r)
+		if !want.Flat() || !want.PrefixClosed() {
+			return true // construction guarantees this; skip degenerate
+		}
+		m, err := FromAutomaton(want)
+		if err != nil {
+			t.Logf("FromAutomaton: %v", err)
+			return false
+		}
+		nfa, err := ToAutomaton(m)
+		if err != nil {
+			// The edge-per-input construction can exceed the propositional
+			// input limit for dense automata; that is a size limit, not a
+			// correctness failure.
+			return true
+		}
+		got := nfa.Determinize().Minimize()
+		eq, err := Equivalent(got, want)
+		if err != nil {
+			t.Logf("Equivalent: %v", err)
+			return false
+		}
+		if !eq {
+			t.Logf("language changed; got %v want %v", got.Words(4, 10), want.Words(4, 10))
+		}
+		return eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropMinimizationIdempotent: minimizing twice gives the same automaton
+// size and language.
+func TestPropMinimizationIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomFlatDFA(r)
+		m := d.Minimize()
+		m2 := m.Minimize()
+		if m.NumStates() != m2.NumStates() {
+			return false
+		}
+		eq, err := Equivalent(m, m2)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsEnumeration(t *testing.T) {
+	d := abStarC().Determinize().Minimize()
+	words := d.Words(3, 0)
+	joined := make([]string, len(words))
+	for i, word := range words {
+		joined[i] = strings.Join(word, "")
+	}
+	want := map[string]bool{"": true, "a": true, "ab": true, "ac": true, "abb": true, "abc": true}
+	if len(joined) != len(want) {
+		t.Fatalf("Words = %v", joined)
+	}
+	for _, word := range joined {
+		if !want[word] {
+			t.Errorf("unexpected word %q", word)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dlog"
+	"repro/internal/relation"
+)
+
+// maxPropositionalInputs bounds the 2^|inputs| state construction of
+// ToAutomaton; the paper's propositional examples have a handful of inputs.
+const maxPropositionalInputs = 12
+
+// ToAutomaton builds the NFA accepting Gen(T) for a propositional Spocus
+// transducer T: all relations have arity 0, and no reachable (state, input)
+// pair outputs more than one proposition. Automaton states are the
+// reachable "past" sets; a step outputting proposition o becomes an
+// o-transition, and every state accepts (Gen(T) is prefix-closed by the
+// inflationary-state argument of Section 3.1).
+//
+// Generation is read STRICTLY: a word w ∈ Gen(T) iff some run of length |w|
+// outputs exactly {w_i} at every step i — silent (empty-output) steps
+// disqualify a run. The paper's phrase "output at most one proposition at a
+// time … viewed as words" is ambiguous between this reading and one where
+// empty outputs contribute ε; the reproduction found that under the
+// ε-reading the characterization's hard direction is FALSE for any
+// construction: the transducer state is exactly the set of past inputs, so
+// delivering the inputs of a legitimate run one at a time in reverse order
+// silently assembles the same state with no output, after which any
+// enabled continuation would emit a word missing its prefix. Under the
+// strict reading such poisoned runs simply generate nothing, and the
+// characterization (prefix-closed regular languages with flat automata)
+// holds constructively in both directions — see FromAutomaton and the E9
+// experiment.
+func ToAutomaton(m *core.Machine) (*NFA, error) {
+	s := m.Schema()
+	for _, part := range []relation.Schema{s.In, s.Out, s.DB} {
+		for _, d := range part {
+			if d.Arity != 0 {
+				return nil, fmt.Errorf("automata: relation %s/%d is not propositional", d.Name, d.Arity)
+			}
+		}
+	}
+	if len(s.DB) > 0 {
+		return nil, fmt.Errorf("automata: propositional transducers with database relations are not supported (fix a database and inline it instead)")
+	}
+	if m.Kind() != core.KindSpocus {
+		return nil, fmt.Errorf("automata: %s machine is not Spocus", m.Kind())
+	}
+	inputs := s.In.Names()
+	if len(inputs) > maxPropositionalInputs {
+		return nil, fmt.Errorf("automata: %d input propositions exceed the construction limit %d", len(inputs), maxPropositionalInputs)
+	}
+	outputs := s.Out.Names()
+	sort.Strings(outputs)
+
+	// Past sets are encoded as bitmasks over the inputs.
+	subsetInstance := func(mask int) relation.Instance {
+		in := relation.NewInstance()
+		for i, name := range inputs {
+			if mask&(1<<i) != 0 {
+				in.Add(name, relation.Tuple{})
+			}
+		}
+		return in
+	}
+	stateInstance := func(mask int) relation.Instance {
+		st := relation.NewInstance()
+		for i, name := range inputs {
+			st.Ensure(core.Past(name), 0)
+			if mask&(1<<i) != 0 {
+				st.Add(core.Past(name), relation.Tuple{})
+			}
+		}
+		return st
+	}
+
+	a := NewNFA(0, outputs, 0)
+	index := map[int]int{} // past mask -> automaton state
+	var order []int
+	push := func(mask int) int {
+		if i, ok := index[mask]; ok {
+			return i
+		}
+		i := a.AddState()
+		index[mask] = i
+		a.SetAccept(i)
+		order = append(order, mask)
+		return i
+	}
+	push(0)
+	db := relation.NewInstance()
+	for i := 0; i < len(order); i++ {
+		mask := order[i]
+		from := index[mask]
+		st := stateInstance(mask)
+		for amask := 0; amask < 1<<len(inputs); amask++ {
+			in := subsetInstance(amask)
+			_, out, err := m.Step(in, st, db)
+			if err != nil {
+				return nil, err
+			}
+			var emitted []string
+			for _, o := range outputs {
+				if out.Rel(o).Len() > 0 {
+					emitted = append(emitted, o)
+				}
+			}
+			if len(emitted) > 1 {
+				return nil, fmt.Errorf("automata: not a propositional-output transducer: past %v with input %v outputs %v", maskNames(mask, inputs), maskNames(amask, inputs), emitted)
+			}
+			if len(emitted) == 0 {
+				// Silent step: disqualifies the run under the strict
+				// generation semantics, so it contributes no transition and
+				// its successor state is not explored through it.
+				continue
+			}
+			a.AddTransition(from, emitted[0], push(mask|amask))
+		}
+	}
+	return a, nil
+}
+
+func maskNames(mask int, names []string) []string {
+	var out []string
+	for i, n := range names {
+		if mask&(1<<i) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FromAutomaton builds a propositional Spocus transducer T with
+// Gen(T) = L(d), for a flat, prefix-closed DFA d — the constructive
+// converse of the Section 3.1 characterization. The transducer has one
+// input proposition per non-self-loop edge of the (trimmed, minimized)
+// automaton and one per self-loop; its state tracks the traversed path, and
+// output rules fire only on single-input steps consistent with the path, so
+// the emitted word always follows the automaton.
+func FromAutomaton(d *DFA) (*core.Machine, error) {
+	m := d.Minimize()
+	if !m.PrefixClosed() {
+		return nil, fmt.Errorf("automata: language is not prefix-closed; no Spocus transducer generates it")
+	}
+	if !m.Flat() {
+		return nil, fmt.Errorf("automata: automaton has a non-self-loop cycle; Section 3.1 excludes such languages")
+	}
+	live := m.liveStates()
+	if !live[m.start] {
+		// Empty language: a transducer with no output rules.
+		schema := &core.Schema{
+			In:  relation.Schema{{Name: "noop", Arity: 0}},
+			Out: relation.Schema{{Name: "never", Arity: 0}},
+			Log: []string{"never"},
+		}
+		return core.NewSpocus(schema, nil)
+	}
+
+	type edge struct {
+		from, to int
+		sym      string
+	}
+	var dagEdges, loops []edge
+	for s := 0; s < m.numStates; s++ {
+		if !live[s] {
+			continue
+		}
+		for _, sym := range m.alphabet {
+			t := m.trans[s][sym]
+			if !live[t] {
+				continue
+			}
+			if t == s {
+				loops = append(loops, edge{s, t, sym})
+			} else {
+				dagEdges = append(dagEdges, edge{s, t, sym})
+			}
+		}
+	}
+	edgeProp := func(e edge, i int) string {
+		return fmt.Sprintf("x%d-%d-%d", e.from, e.to, i)
+	}
+	loopProp := func(e edge, i int) string {
+		return fmt.Sprintf("y%d-%d", e.from, i)
+	}
+	var inputs []string
+	dagProp := make([]string, len(dagEdges))
+	for i, e := range dagEdges {
+		dagProp[i] = edgeProp(e, i)
+		inputs = append(inputs, dagProp[i])
+	}
+	loopPropN := make([]string, len(loops))
+	for i, e := range loops {
+		loopPropN[i] = loopProp(e, i)
+		inputs = append(inputs, loopPropN[i])
+	}
+	if len(inputs) == 0 {
+		inputs = []string{"noop"}
+	}
+
+	// Enumerate simple paths from the start state in the DAG of non-loop
+	// edges; flatness guarantees termination.
+	type path struct {
+		state int
+		edges []int // indexes into dagEdges
+	}
+	var paths []path
+	var rec func(p path)
+	rec = func(p path) {
+		paths = append(paths, p)
+		for i, e := range dagEdges {
+			if e.from == p.state {
+				rec(path{state: e.to, edges: append(append([]int(nil), p.edges...), i)})
+			}
+		}
+	}
+	rec(path{state: m.start})
+
+	// atPath(p) = exactly the path's edge props are past.
+	atPath := func(p path) []dlog.Literal {
+		onPath := make(map[int]bool, len(p.edges))
+		for _, i := range p.edges {
+			onPath[i] = true
+		}
+		var lits []dlog.Literal
+		for i := range dagEdges {
+			atom := dlog.NewAtom(core.Past(dagProp[i]))
+			if onPath[i] {
+				lits = append(lits, dlog.Pos(atom))
+			} else {
+				lits = append(lits, dlog.Neg(atom))
+			}
+		}
+		return lits
+	}
+	// Simultaneous inputs are resolved by PRIORITY, never by silence (the
+	// paper's ab*c example uses the same idiom: its b rule yields to a
+	// simultaneous C). Among the edges leaving a state the higher-indexed
+	// one wins; every self-loop yields to every edge from its state. An
+	// input that loses a tie, repeats a consumed edge out of order, or
+	// arrives off-path enters the cumulative state and permanently
+	// disables every output rule whose exact-path guard it violates; under
+	// the strict generation semantics (see ToAutomaton) a run with a
+	// silent step contributes no word, so such poisoned runs are harmless.
+	var rules dlog.Program
+	addRule := func(sym, trigger string, p path, beatenBy []string) {
+		body := []dlog.Literal{dlog.Pos(dlog.NewAtom(trigger))}
+		body = append(body, atPath(p)...)
+		for _, b := range beatenBy {
+			body = append(body, dlog.Neg(dlog.NewAtom(b)))
+		}
+		rules = append(rules, dlog.Rule{Head: dlog.NewAtom(outProp(sym)), Body: body})
+	}
+	for _, p := range paths {
+		// An edge rule demands its trigger be the ONLY dag-edge proposition
+		// present this step: a second edge arriving simultaneously would be
+		// consumed silently and could complete a longer path in the state
+		// without its letter ever being emitted. (Self-loop propositions
+		// may ride along harmlessly — they are not part of any path guard
+		// and remain re-firable.)
+		var fromHere []int
+		for i, e := range dagEdges {
+			if e.from == p.state {
+				fromHere = append(fromHere, i)
+			}
+		}
+		for _, i := range fromHere {
+			var beatenBy []string
+			for j := range dagEdges {
+				if j != i {
+					beatenBy = append(beatenBy, dagProp[j])
+				}
+			}
+			addRule(dagEdges[i].sym, dagProp[i], p, beatenBy)
+		}
+		var loopsHere []int
+		for i, e := range loops {
+			if e.from == p.state {
+				loopsHere = append(loopsHere, i)
+			}
+		}
+		for k, i := range loopsHere {
+			var beatenBy []string
+			for _, j := range fromHere {
+				beatenBy = append(beatenBy, dagProp[j])
+			}
+			for _, j := range loopsHere[k+1:] {
+				beatenBy = append(beatenBy, loopPropN[j])
+			}
+			addRule(loops[i].sym, loopPropN[i], p, beatenBy)
+		}
+	}
+
+	inSchema := make(relation.Schema, len(inputs))
+	for i, n := range inputs {
+		inSchema[i] = relation.Decl{Name: n, Arity: 0}
+	}
+	outSchema := make(relation.Schema, len(m.alphabet))
+	logNames := make([]string, len(m.alphabet))
+	for i, sym := range m.alphabet {
+		outSchema[i] = relation.Decl{Name: outProp(sym), Arity: 0}
+		logNames[i] = outProp(sym)
+	}
+	schema := &core.Schema{In: inSchema, Out: outSchema, Log: logNames}
+	t, err := core.NewSpocus(schema, rules)
+	if err != nil {
+		return nil, err
+	}
+	return t.SetName("from-automaton"), nil
+}
+
+// outProp names the output proposition for an alphabet symbol; symbols that
+// are not valid lower-case relation names are prefixed.
+func outProp(sym string) string {
+	if sym == "" {
+		return "out-eps"
+	}
+	r := sym[0]
+	if r >= 'a' && r <= 'z' {
+		return sym
+	}
+	return "out-" + strings.ToLower(sym)
+}

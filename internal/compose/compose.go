@@ -1,0 +1,306 @@
+// Package compose implements the interaction of relational transducers the
+// paper raises as future work (Section 5): networks in which outputs of
+// some transducers are fed as inputs to others, possibly with feedback.
+//
+// Semantics are synchronous with unit delay: at step i a node consumes its
+// external inputs for step i together with the wired outputs its peers
+// produced at step i-1. Unit delay sidesteps the instantaneous-feedback
+// consistency problem the paper points out, while still letting business
+// partners converse (customer orders at step i, supplier bills at step i+1,
+// and so on).
+//
+// The package provides joint runs, error-freeness across the network, and
+// a bounded compatibility check in the sense of the introduction: a search
+// for a joint run that achieves the parties' goals while every transducer
+// stays error-free.
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/verify"
+)
+
+// Node is one participant: a named transducer with its own database.
+type Node struct {
+	Name string
+	M    *core.Machine
+	DB   relation.Instance
+
+	state relation.Instance
+}
+
+// Wire routes one node's output relation into another node's input
+// relation (the relations must have equal arity).
+type Wire struct {
+	From   string // source node
+	Output string // source output relation
+	To     string // destination node
+	Input  string // destination input relation
+}
+
+// Network is a set of nodes and wires.
+type Network struct {
+	nodes map[string]*Node
+	order []string
+	wires []Wire
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{nodes: make(map[string]*Node)}
+}
+
+// AddNode registers a participant.
+func (n *Network) AddNode(name string, m *core.Machine, db relation.Instance) error {
+	if _, ok := n.nodes[name]; ok {
+		return fmt.Errorf("compose: duplicate node %s", name)
+	}
+	if db == nil {
+		db = relation.NewInstance()
+	}
+	n.nodes[name] = &Node{Name: name, M: m, DB: db}
+	n.order = append(n.order, name)
+	return nil
+}
+
+// Connect wires an output relation of one node to an input relation of
+// another.
+func (n *Network) Connect(from, output, to, input string) error {
+	src, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("compose: unknown node %s", from)
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		return fmt.Errorf("compose: unknown node %s", to)
+	}
+	oa, ok := src.M.Schema().Out.Arity(output)
+	if !ok {
+		return fmt.Errorf("compose: %s has no output relation %s", from, output)
+	}
+	ia, ok := dst.M.Schema().In.Arity(input)
+	if !ok {
+		return fmt.Errorf("compose: %s has no input relation %s", to, input)
+	}
+	if oa != ia {
+		return fmt.Errorf("compose: wire %s.%s/%d -> %s.%s/%d: arity mismatch", from, output, oa, to, input, ia)
+	}
+	n.wires = append(n.wires, Wire{From: from, Output: output, To: to, Input: input})
+	return nil
+}
+
+// Nodes returns the node names in insertion order.
+func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
+
+// ExternalInputs returns, for each node, its input relations that no wire
+// feeds — the relations the outside world (the search in Compatible) may
+// drive.
+func (n *Network) ExternalInputs() map[string]relation.Schema {
+	wired := map[string]map[string]bool{}
+	for _, w := range n.wires {
+		if wired[w.To] == nil {
+			wired[w.To] = map[string]bool{}
+		}
+		wired[w.To][w.Input] = true
+	}
+	out := map[string]relation.Schema{}
+	for name, node := range n.nodes {
+		var sch relation.Schema
+		for _, d := range node.M.Schema().In {
+			if !wired[name][d.Name] {
+				sch = append(sch, d)
+			}
+		}
+		out[name] = sch
+	}
+	return out
+}
+
+// StepInputs is one step of external stimulus: node name → input instance.
+type StepInputs map[string]relation.Instance
+
+// Run is the trace of a joint execution.
+type Run struct {
+	// Inputs[i][v] is what node v actually consumed at step i (external ∪
+	// wired).
+	Inputs []StepInputs
+	// Outputs[i][v] is node v's output at step i.
+	Outputs []StepInputs
+}
+
+// Len returns the number of steps.
+func (r *Run) Len() int { return len(r.Outputs) }
+
+// ErrorFree reports whether no node ever output an error fact.
+func (r *Run) ErrorFree() bool {
+	for _, step := range r.Outputs {
+		for _, out := range step {
+			if out.Rel(core.ErrorRel).Len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Execute runs the network for len(external) steps. Each node's state
+// starts empty; wired values are delayed one step.
+func (n *Network) Execute(external []StepInputs) (*Run, error) {
+	for _, node := range n.nodes {
+		st := relation.NewInstance()
+		for _, d := range node.M.Schema().State {
+			st.Ensure(d.Name, d.Arity)
+		}
+		node.state = st
+	}
+	run := &Run{}
+	prevOut := StepInputs{}
+	for i := range external {
+		inStep := StepInputs{}
+		outStep := StepInputs{}
+		for _, name := range n.order {
+			node := n.nodes[name]
+			in := relation.NewInstance()
+			if ext, ok := external[i][name]; ok {
+				in.UnionWith(ext)
+			}
+			for _, w := range n.wires {
+				if w.To != name {
+					continue
+				}
+				src, ok := prevOut[w.From]
+				if !ok {
+					continue
+				}
+				if rel := src.Rel(w.Output); rel != nil && rel.Len() > 0 {
+					in.Ensure(w.Input, rel.Arity()).UnionWith(rel)
+				}
+			}
+			next, out, err := node.M.Step(in, node.state, node.DB)
+			if err != nil {
+				return nil, fmt.Errorf("compose: node %s step %d: %w", name, i+1, err)
+			}
+			node.state = next
+			inStep[name] = in
+			outStep[name] = out
+		}
+		run.Inputs = append(run.Inputs, inStep)
+		run.Outputs = append(run.Outputs, outStep)
+		prevOut = outStep
+	}
+	return run, nil
+}
+
+// Goal names a goal to achieve in a given node's output at the last step.
+type Goal struct {
+	Node string
+	G    *verify.Goal
+}
+
+// CompatibleResult is the outcome of the bounded compatibility search.
+type CompatibleResult struct {
+	Compatible bool
+	// Witness is the external stimulus of a goal-achieving error-free run.
+	Witness []StepInputs
+	// Explored counts the candidate runs examined.
+	Explored int
+}
+
+// Compatible searches for a joint error-free run of length ≤ maxLen that
+// satisfies every goal at its final step, driving at most one external fact
+// per step drawn from the given constant pool. This realizes (boundedly)
+// the compatibility question of the paper's introduction: "there exists a
+// run which achieves some desired goals while satisfying both business
+// models". The search is exhaustive within its bounds, so a negative
+// answer means no such run exists within them.
+func (n *Network) Compatible(goals []Goal, pool []relation.Const, maxLen int) (*CompatibleResult, error) {
+	for _, g := range goals {
+		node, ok := n.nodes[g.Node]
+		if !ok {
+			return nil, fmt.Errorf("compose: unknown goal node %s", g.Node)
+		}
+		_ = node
+	}
+	ext := n.ExternalInputs()
+	// Candidate single-fact stimuli (plus the empty stimulus).
+	var candidates []StepInputs
+	candidates = append(candidates, StepInputs{})
+	var nodeNames []string
+	for name := range ext {
+		nodeNames = append(nodeNames, name)
+	}
+	sort.Strings(nodeNames)
+	for _, name := range nodeNames {
+		for _, d := range ext[name] {
+			for _, tup := range allTuples(pool, d.Arity) {
+				in := relation.NewInstance()
+				in.Add(d.Name, tup)
+				candidates = append(candidates, StepInputs{name: in})
+			}
+		}
+	}
+	res := &CompatibleResult{}
+	var rec func(prefix []StepInputs) (bool, error)
+	rec = func(prefix []StepInputs) (bool, error) {
+		if len(prefix) > 0 {
+			res.Explored++
+			run, err := n.Execute(prefix)
+			if err != nil {
+				return false, err
+			}
+			if !run.ErrorFree() {
+				return false, nil // prune: errors never disappear
+			}
+			achieved := true
+			for _, g := range goals {
+				out := run.Outputs[run.Len()-1][g.Node]
+				if !g.G.Holds(out) {
+					achieved = false
+					break
+				}
+			}
+			if achieved {
+				res.Compatible = true
+				res.Witness = prefix
+				return true, nil
+			}
+		}
+		if len(prefix) == maxLen {
+			return false, nil
+		}
+		for _, c := range candidates {
+			next := append(append([]StepInputs{}, prefix...), c)
+			done, err := rec(next)
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	}
+	_, err := rec(nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func allTuples(pool []relation.Const, arity int) []relation.Tuple {
+	if arity == 0 {
+		return []relation.Tuple{{}}
+	}
+	sub := allTuples(pool, arity-1)
+	var out []relation.Tuple
+	for _, c := range pool {
+		for _, t := range sub {
+			nt := make(relation.Tuple, 0, arity)
+			nt = append(nt, c)
+			nt = append(nt, t...)
+			out = append(out, nt)
+		}
+	}
+	return out
+}

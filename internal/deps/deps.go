@@ -1,0 +1,471 @@
+// Package deps implements functional and inclusion dependencies over a
+// single relation, their (undecidable) implication problem, and the two
+// reductions the paper builds on them: Proposition 3.1 (log validity is
+// undecidable for Spocus transducers extended with projection state rules)
+// and Theorem 3.4 (containment of Spocus transducers is undecidable).
+//
+// Implication of FDs+IncDs is undecidable [CV85, Mit83], so Implies is a
+// bounded chase returning a three-valued answer; the reduction demos use
+// dependency sets whose status is known.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// FD is a functional dependency Lhs → Rhs over 1-based column indices, as
+// written in the paper (e.g. 1 → 2).
+type FD struct {
+	Lhs []int
+	Rhs int
+}
+
+func (f FD) String() string {
+	parts := make([]string, len(f.Lhs))
+	for i, c := range f.Lhs {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, "") + "->" + fmt.Sprint(f.Rhs)
+}
+
+// IncD is an inclusion dependency R[Lhs] ⊆ R[Rhs] over 1-based column
+// indices (|Lhs| = |Rhs|).
+type IncD struct {
+	Lhs []int
+	Rhs []int
+}
+
+func (d IncD) String() string {
+	l := make([]string, len(d.Lhs))
+	r := make([]string, len(d.Rhs))
+	for i := range d.Lhs {
+		l[i] = fmt.Sprint(d.Lhs[i])
+	}
+	for i := range d.Rhs {
+		r[i] = fmt.Sprint(d.Rhs[i])
+	}
+	return "R[" + strings.Join(l, "") + "]⊆R[" + strings.Join(r, "") + "]"
+}
+
+// Set is a set of dependencies over one relation of the given arity.
+type Set struct {
+	Arity int
+	FDs   []FD
+	IncDs []IncD
+}
+
+// Validate checks column indices.
+func (s Set) Validate() error {
+	col := func(c int) error {
+		if c < 1 || c > s.Arity {
+			return fmt.Errorf("deps: column %d out of range 1..%d", c, s.Arity)
+		}
+		return nil
+	}
+	for _, f := range s.FDs {
+		for _, c := range f.Lhs {
+			if err := col(c); err != nil {
+				return err
+			}
+		}
+		if err := col(f.Rhs); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.IncDs {
+		if len(d.Lhs) != len(d.Rhs) {
+			return fmt.Errorf("deps: inclusion %s has mismatched sides", d)
+		}
+		for _, c := range append(append([]int{}, d.Lhs...), d.Rhs...) {
+			if err := col(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s Set) String() string {
+	var parts []string
+	for _, f := range s.FDs {
+		parts = append(parts, f.String())
+	}
+	for _, d := range s.IncDs {
+		parts = append(parts, d.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SatisfiedBy reports whether the instance satisfies the FD.
+func (f FD) SatisfiedBy(r *relation.Rel) bool {
+	for _, u := range r.Tuples() {
+		for _, v := range r.Tuples() {
+			agree := true
+			for _, c := range f.Lhs {
+				if u[c-1] != v[c-1] {
+					agree = false
+					break
+				}
+			}
+			if agree && u[f.Rhs-1] != v[f.Rhs-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SatisfiedBy reports whether the instance satisfies the IncD.
+func (d IncD) SatisfiedBy(r *relation.Rel) bool {
+	for _, u := range r.Tuples() {
+		found := false
+		for _, v := range r.Tuples() {
+			ok := true
+			for k := range d.Lhs {
+				if u[d.Lhs[k]-1] != v[d.Rhs[k]-1] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiedBy reports whether the instance satisfies every dependency.
+func (s Set) SatisfiedBy(r *relation.Rel) bool {
+	for _, f := range s.FDs {
+		if !f.SatisfiedBy(r) {
+			return false
+		}
+	}
+	for _, d := range s.IncDs {
+		if !d.SatisfiedBy(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Answer is a three-valued implication verdict.
+type Answer int
+
+const (
+	// Unknown means the chase budget was exhausted.
+	Unknown Answer = iota
+	// Implied means F ⊨ G.
+	Implied
+	// NotImplied means F ⊭ G, witnessed by a finite instance.
+	NotImplied
+)
+
+func (a Answer) String() string {
+	switch a {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not-implied"
+	}
+	return "unknown"
+}
+
+// Implies runs the bounded chase to test whether every instance satisfying
+// f also satisfies every dependency of g. The chase may diverge (the
+// problem is undecidable); maxSteps bounds the work. When the verdict is
+// NotImplied, the returned instance satisfies f but violates g.
+func Implies(f, g Set, maxSteps int) (Answer, *relation.Rel) {
+	if f.Arity != g.Arity {
+		return NotImplied, nil
+	}
+	overall := Implied
+	for _, fd := range g.FDs {
+		if fd.trivial() || containsFD(f.FDs, fd) {
+			continue
+		}
+		ans, witness := chaseFD(f, fd, maxSteps)
+		switch ans {
+		case NotImplied:
+			return NotImplied, witness
+		case Unknown:
+			overall = Unknown
+		}
+	}
+	for _, ind := range g.IncDs {
+		if ind.trivial() || containsIncD(f.IncDs, ind) {
+			continue
+		}
+		ans, witness := chaseIncD(f, ind, maxSteps)
+		switch ans {
+		case NotImplied:
+			return NotImplied, witness
+		case Unknown:
+			overall = Unknown
+		}
+	}
+	return overall, nil
+}
+
+// trivial reports whether the FD holds in every instance (Rhs ∈ Lhs).
+func (f FD) trivial() bool {
+	for _, c := range f.Lhs {
+		if c == f.Rhs {
+			return true
+		}
+	}
+	return false
+}
+
+// trivial reports whether the IncD holds in every instance (Lhs = Rhs).
+func (d IncD) trivial() bool {
+	for k := range d.Lhs {
+		if d.Lhs[k] != d.Rhs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFD(fds []FD, fd FD) bool {
+	for _, f := range fds {
+		if f.String() == fd.String() {
+			return true
+		}
+	}
+	return false
+}
+
+func containsIncD(ds []IncD, d IncD) bool {
+	for _, e := range ds {
+		if e.String() == d.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// chaseState is a tableau of tuples over integer labeled nulls with a
+// union-find for FD-forced equalities.
+type chaseState struct {
+	arity  int
+	tuples [][]int
+	parent map[int]int
+	next   int
+}
+
+func newChase(arity int) *chaseState {
+	return &chaseState{arity: arity, parent: map[int]int{}}
+}
+
+func (c *chaseState) fresh() int {
+	c.next++
+	c.parent[c.next] = c.next
+	return c.next
+}
+
+func (c *chaseState) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+func (c *chaseState) union(x, y int) {
+	rx, ry := c.find(x), c.find(y)
+	if rx != ry {
+		c.parent[rx] = ry
+	}
+}
+
+func (c *chaseState) canon(t []int) []int {
+	out := make([]int, len(t))
+	for i, x := range t {
+		out[i] = c.find(x)
+	}
+	return out
+}
+
+func (c *chaseState) key(t []int) string {
+	return fmt.Sprint(c.canon(t))
+}
+
+// step applies one applicable chase rule of f; it returns false at fixpoint.
+func (c *chaseState) step(f Set) bool {
+	// FD rule: equate Rhs values of tuples agreeing on Lhs.
+	for _, fd := range f.FDs {
+		for i := range c.tuples {
+			for j := range c.tuples {
+				u, v := c.canon(c.tuples[i]), c.canon(c.tuples[j])
+				agree := true
+				for _, col := range fd.Lhs {
+					if u[col-1] != v[col-1] {
+						agree = false
+						break
+					}
+				}
+				if agree && u[fd.Rhs-1] != v[fd.Rhs-1] {
+					c.union(u[fd.Rhs-1], v[fd.Rhs-1])
+					return true
+				}
+			}
+		}
+	}
+	// IncD rule: add a witness tuple with fresh nulls elsewhere.
+	for _, d := range f.IncDs {
+		seen := map[string]bool{}
+		for _, t := range c.tuples {
+			seen[c.key(t)] = true
+		}
+		for _, t := range c.tuples {
+			u := c.canon(t)
+			found := false
+			for _, w := range c.tuples {
+				v := c.canon(w)
+				ok := true
+				for k := range d.Lhs {
+					if u[d.Lhs[k]-1] != v[d.Rhs[k]-1] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fresh := make([]int, c.arity)
+				for i := range fresh {
+					fresh[i] = c.fresh()
+				}
+				for k := range d.Lhs {
+					fresh[d.Rhs[k]-1] = u[d.Lhs[k]-1]
+				}
+				if !seen[c.key(fresh)] {
+					c.tuples = append(c.tuples, fresh)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (c *chaseState) run(f Set, maxSteps int) bool {
+	for i := 0; i < maxSteps; i++ {
+		if !c.step(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// rel converts the tableau into a concrete instance (nulls become
+// constants n<i>).
+func (c *chaseState) rel() *relation.Rel {
+	r := relation.NewRel(c.arity)
+	for _, t := range c.tuples {
+		u := c.canon(t)
+		tup := make(relation.Tuple, len(u))
+		for i, x := range u {
+			tup[i] = relation.Const(fmt.Sprintf("n%d", x))
+		}
+		r.Add(tup)
+	}
+	return r
+}
+
+// chaseFD tests f ⊨ fd by chasing the canonical two-tuple violation.
+func chaseFD(f Set, fd FD, maxSteps int) (Answer, *relation.Rel) {
+	c := newChase(f.Arity)
+	u := make([]int, f.Arity)
+	v := make([]int, f.Arity)
+	for i := 0; i < f.Arity; i++ {
+		u[i] = c.fresh()
+	}
+	for i := 0; i < f.Arity; i++ {
+		v[i] = c.fresh()
+	}
+	for _, col := range fd.Lhs {
+		c.union(u[col-1], v[col-1])
+	}
+	c.tuples = [][]int{u, v}
+	if !c.run(f, maxSteps) {
+		return Unknown, nil
+	}
+	if c.find(u[fd.Rhs-1]) == c.find(v[fd.Rhs-1]) {
+		return Implied, nil
+	}
+	witness := c.rel()
+	if f.SatisfiedBy(witness) && !fd.SatisfiedBy(witness) {
+		return NotImplied, witness
+	}
+	// The chase terminated but the tableau happens to satisfy the FD (the
+	// initial violation was merged away): implied.
+	return Implied, nil
+}
+
+// chaseIncD tests f ⊨ d by chasing a single generic tuple.
+func chaseIncD(f Set, d IncD, maxSteps int) (Answer, *relation.Rel) {
+	c := newChase(f.Arity)
+	u := make([]int, f.Arity)
+	for i := range u {
+		u[i] = c.fresh()
+	}
+	c.tuples = [][]int{u}
+	if !c.run(f, maxSteps) {
+		return Unknown, nil
+	}
+	witness := c.rel()
+	if d.SatisfiedBy(witness) {
+		return Implied, nil
+	}
+	if f.SatisfiedBy(witness) {
+		return NotImplied, witness
+	}
+	return Unknown, nil
+}
+
+// ProjectionLists returns the distinct Rhs column lists of the inclusion
+// dependencies of the sets, sorted — the projections the Proposition 3.1
+// transducer must maintain.
+func ProjectionLists(sets ...Set) [][]int {
+	seen := map[string][]int{}
+	for _, s := range sets {
+		for _, d := range s.IncDs {
+			key := fmt.Sprint(d.Rhs)
+			seen[key] = d.Rhs
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// ProjRelName names the state relation holding the projection of R onto the
+// given 1-based columns (the paper's past-R_{j1…jm}).
+func ProjRelName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return "r" + strings.Join(parts, "-")
+}

@@ -1,0 +1,312 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// paperExample is the paper's own instance: R binary, F = {1→2},
+// G = {R[1] ⊆ R[2]}; F ⊭ G.
+func paperExample() (Set, Set) {
+	f := Set{Arity: 2, FDs: []FD{{Lhs: []int{1}, Rhs: 2}}}
+	g := Set{Arity: 2, IncDs: []IncD{{Lhs: []int{1}, Rhs: []int{2}}}}
+	return f, g
+}
+
+// transitivity is a known implication: {1→2, 2→3} ⊨ {1→3} over arity 3.
+func transitivity() (Set, Set) {
+	f := Set{Arity: 3, FDs: []FD{{Lhs: []int{1}, Rhs: 2}, {Lhs: []int{2}, Rhs: 3}}}
+	g := Set{Arity: 3, FDs: []FD{{Lhs: []int{1}, Rhs: 3}}}
+	return f, g
+}
+
+func rel2(pairs ...[2]string) *relation.Rel {
+	r := relation.NewRel(2)
+	for _, p := range pairs {
+		r.Add(relation.Tuple{relation.Const(p[0]), relation.Const(p[1])})
+	}
+	return r
+}
+
+func TestSatisfaction(t *testing.T) {
+	fd := FD{Lhs: []int{1}, Rhs: 2}
+	if !fd.SatisfiedBy(rel2([2]string{"a", "1"}, [2]string{"b", "2"})) {
+		t.Error("satisfying instance rejected")
+	}
+	if fd.SatisfiedBy(rel2([2]string{"a", "1"}, [2]string{"a", "2"})) {
+		t.Error("violating instance accepted")
+	}
+	inc := IncD{Lhs: []int{1}, Rhs: []int{2}}
+	if !inc.SatisfiedBy(rel2([2]string{"a", "a"})) {
+		t.Error("satisfying inclusion rejected")
+	}
+	if inc.SatisfiedBy(rel2([2]string{"a", "b"})) {
+		t.Error("violating inclusion accepted")
+	}
+}
+
+func TestImpliesTransitivity(t *testing.T) {
+	f, g := transitivity()
+	ans, _ := Implies(f, g, 1000)
+	if ans != Implied {
+		t.Errorf("transitivity: %v, want implied", ans)
+	}
+}
+
+func TestImpliesPaperExample(t *testing.T) {
+	f, g := paperExample()
+	ans, witness := Implies(f, g, 1000)
+	if ans != NotImplied {
+		t.Fatalf("paper example: %v, want not-implied", ans)
+	}
+	if witness == nil || !f.SatisfiedBy(witness) || g.SatisfiedBy(witness) {
+		t.Errorf("bad witness %s", witness)
+	}
+}
+
+func TestImpliesReflexive(t *testing.T) {
+	f := Set{Arity: 2, IncDs: []IncD{{Lhs: []int{1}, Rhs: []int{2}}}}
+	ans, _ := Implies(f, f, 1000)
+	if ans != Implied {
+		t.Errorf("self-implication: %v", ans)
+	}
+}
+
+func TestImpliesAugmentedFD(t *testing.T) {
+	// {1→2} ⊨ {13→2} (augmentation).
+	f := Set{Arity: 3, FDs: []FD{{Lhs: []int{1}, Rhs: 2}}}
+	g := Set{Arity: 3, FDs: []FD{{Lhs: []int{1, 3}, Rhs: 2}}}
+	ans, _ := Implies(f, g, 1000)
+	if ans != Implied {
+		t.Errorf("augmentation: %v", ans)
+	}
+	// The converse fails.
+	ans2, w := Implies(g, f, 1000)
+	if ans2 != NotImplied {
+		t.Errorf("converse augmentation: %v", ans2)
+	}
+	if w == nil {
+		t.Error("no witness")
+	}
+}
+
+func TestValidateRejectsBadColumns(t *testing.T) {
+	s := Set{Arity: 2, FDs: []FD{{Lhs: []int{3}, Rhs: 1}}}
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	s2 := Set{Arity: 2, IncDs: []IncD{{Lhs: []int{1}, Rhs: []int{1, 2}}}}
+	if err := s2.Validate(); err == nil {
+		t.Error("mismatched inclusion sides accepted")
+	}
+}
+
+// TestProp31Reduction demonstrates Proposition 3.1: the log (∅, {violg}) is
+// producible by the extended transducer iff F ⊭ G.
+func TestProp31Reduction(t *testing.T) {
+	f, g := paperExample()
+	m, err := Prop31Transducer(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != core.KindExtended {
+		t.Fatalf("kind = %v, want extended", m.Kind())
+	}
+	// F ⊭ G: feed the chase witness, then an empty step; violg must appear
+	// without violf.
+	_, witness := Implies(f, g, 1000)
+	step1 := relation.NewInstance()
+	step1.Ensure("r", 2).UnionWith(witness)
+	run, err := m.Execute(relation.NewInstance(), relation.Sequence{step1, relation.NewInstance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Outputs[0].Rel(ViolG).Len() > 0 || run.Outputs[0].Rel(ViolF).Len() > 0 {
+		t.Errorf("step 1 must be silent (state is previous-step): %s", run.Outputs[0])
+	}
+	if run.Outputs[1].Rel(ViolG).Len() == 0 {
+		t.Errorf("violg not derived on F ⊭ G witness: %s", run.Outputs[1])
+	}
+	if run.Outputs[1].Rel(ViolF).Len() > 0 {
+		t.Errorf("violf derived on F-satisfying witness: %s", run.Outputs[1])
+	}
+	// Log equals (∅, {violg}) exactly.
+	if !run.Logs[0].Empty() {
+		t.Errorf("log step 1 = %s, want empty", run.Logs[0])
+	}
+	want := relation.NewInstance()
+	want.Add(ViolG, relation.Tuple{})
+	if !run.Logs[1].Equal(want) {
+		t.Errorf("log step 2 = %s, want {violg}", run.Logs[1])
+	}
+}
+
+// TestProp31ImpliedCase: when F ⊨ G, no single-instance run produces violg
+// without violf (checked by exhaustive search over small instances).
+func TestProp31ImpliedCase(t *testing.T) {
+	f, g := transitivity()
+	m, err := Prop31Transducer(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := []relation.Const{"a", "b", "c"}
+	var tuples []relation.Tuple
+	for _, x := range consts {
+		for _, y := range consts {
+			for _, z := range consts {
+				tuples = append(tuples, relation.Tuple{x, y, z})
+			}
+		}
+	}
+	// All instances with up to 2 tuples.
+	for i := 0; i < len(tuples); i++ {
+		for j := i; j < len(tuples); j++ {
+			step1 := relation.NewInstance()
+			step1.Add("r", tuples[i])
+			step1.Add("r", tuples[j])
+			run, err := m.Execute(relation.NewInstance(), relation.Sequence{step1, relation.NewInstance()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasG := run.Outputs[1].Rel(ViolG).Len() > 0
+			hasF := run.Outputs[1].Rel(ViolF).Len() > 0
+			if hasG && !hasF {
+				t.Fatalf("violg without violf on %v, %v despite F ⊨ G", tuples[i], tuples[j])
+			}
+		}
+	}
+}
+
+// TestThm34ReductionNotImplied: when F ⊭ G, a well-formed TFG run produces
+// a log Sim cannot imitate — non-containment, as the theorem's reduction
+// requires.
+func TestThm34ReductionNotImplied(t *testing.T) {
+	f, g := paperExample()
+	red, err := NewThm34Reduction(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.TFG.Kind() != core.KindSpocus || red.Sim.Kind() != core.KindSpocus {
+		t.Fatal("reduction machines must be Spocus")
+	}
+	_, witness := Implies(f, g, 1000)
+	inputs := red.WellFormedInputs(witness)
+	// Add a final empty step so the violations (computed from past state)
+	// can fire.
+	inputs = append(inputs, relation.NewInstance())
+	run, err := red.TFG.Execute(relation.NewInstance(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Valid(core.ErrorFree) == false {
+		t.Fatalf("well-formed input raised error at step %d", run.ErrorFreePrefix()+1)
+	}
+	last := run.Logs[len(run.Logs)-1]
+	if last.Rel(ViolG).Len() == 0 || last.Rel(ViolF).Len() > 0 {
+		t.Fatalf("expected violg-without-violf at the end, got %s", last)
+	}
+	if _, err := red.SimInputsForLog(run.Logs); err == nil {
+		t.Fatal("Sim claimed to imitate a F ⊭ G witness log")
+	}
+}
+
+// TestThm34ReductionImplied: when F ⊨ G, Sim imitates TFG's logs — both on
+// well-formed and on adversarial runs.
+func TestThm34ReductionImplied(t *testing.T) {
+	f, g := transitivity()
+	red, err := NewThm34Reduction(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed run on an F-satisfying instance.
+	inst := relation.NewRel(3)
+	inst.Add(relation.Tuple{"a", "b", "c"})
+	inst.Add(relation.Tuple{"d", "b", "c"})
+	inputs := append(red.WellFormedInputs(inst), relation.NewInstance())
+	checkImitation(t, red, inputs)
+	// An adversarial (non-well-formed) run: two attribute values at once.
+	bad := relation.NewInstance()
+	bad.Add("attr1", relation.Tuple{"a"})
+	bad.Add("attr1", relation.Tuple{"b"})
+	checkImitation(t, red, relation.Sequence{bad, relation.NewInstance()})
+	// Missing ok: an empty step.
+	checkImitation(t, red, relation.Sequence{relation.NewInstance(), relation.NewInstance()})
+}
+
+// checkImitation runs TFG on the inputs and verifies Sim reproduces the log
+// exactly.
+func checkImitation(t *testing.T, red *Thm34Reduction, inputs relation.Sequence) {
+	t.Helper()
+	run, err := red.TFG.Execute(relation.NewInstance(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simIn, err := red.SimInputsForLog(run.Logs)
+	if err != nil {
+		t.Fatalf("Sim cannot imitate log %v: %v", run.Logs, err)
+	}
+	simRun, err := red.Sim.Execute(relation.NewInstance(), simIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simRun.Logs.Equal(run.Logs) {
+		t.Fatalf("Sim log differs:\ntfg: %v\nsim: %v", run.Logs, simRun.Logs)
+	}
+}
+
+// TestPropChaseSoundness: whenever the chase says NotImplied, the witness
+// really separates F from G; whenever it says Implied on random FD-only
+// sets, exhaustive small-instance search finds no counterexample.
+func TestPropChaseSoundness(t *testing.T) {
+	fdSet := func(r *rand.Rand) Set {
+		s := Set{Arity: 3}
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			lhs := []int{1 + r.Intn(3)}
+			if r.Intn(2) == 0 {
+				lhs = append(lhs, 1+r.Intn(3))
+			}
+			s.FDs = append(s.FDs, FD{Lhs: lhs, Rhs: 1 + r.Intn(3)})
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		F, G := fdSet(r), fdSet(r)
+		ans, witness := Implies(F, G, 500)
+		switch ans {
+		case NotImplied:
+			return witness != nil && F.SatisfiedBy(witness) && !G.SatisfiedBy(witness)
+		case Implied:
+			// Exhaustive check over 2-tuple instances with 2 constants.
+			consts := []relation.Const{"a", "b"}
+			var tuples []relation.Tuple
+			for _, x := range consts {
+				for _, y := range consts {
+					for _, z := range consts {
+						tuples = append(tuples, relation.Tuple{x, y, z})
+					}
+				}
+			}
+			for i := range tuples {
+				for j := range tuples {
+					inst := relation.NewRel(3)
+					inst.Add(tuples[i])
+					inst.Add(tuples[j])
+					if F.SatisfiedBy(inst) && !G.SatisfiedBy(inst) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+package deps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dlog"
+	"repro/internal/relation"
+)
+
+// violF and violG are the 0-ary violation outputs of both reductions.
+const (
+	ViolF = "violf"
+	ViolG = "violg"
+)
+
+// violationRules builds the output rules deriving head (violf/violg) from
+// the dependencies, reading tuples from pastRel and projections from the
+// past of the named projection relations. For an FD the rule joins two
+// tuples agreeing on the left-hand side and differing on the right; for an
+// IncD it finds a tuple whose projection is missing.
+func violationRules(head string, s Set, pastRel string, pastProj func([]int) string) dlog.Program {
+	var prog dlog.Program
+	vars := func(prefix string) []dlog.Term {
+		out := make([]dlog.Term, s.Arity)
+		for i := range out {
+			out[i] = dlog.V(fmt.Sprintf("%s%d", prefix, i+1))
+		}
+		return out
+	}
+	for _, fd := range s.FDs {
+		u := vars("X")
+		v := vars("Y")
+		for _, c := range fd.Lhs {
+			v[c-1] = u[c-1] // shared variable encodes equality
+		}
+		body := []dlog.Literal{
+			dlog.Pos(dlog.Atom{Pred: pastRel, Args: u}),
+			dlog.Pos(dlog.Atom{Pred: pastRel, Args: v}),
+			dlog.Neq(u[fd.Rhs-1], v[fd.Rhs-1]),
+		}
+		prog = append(prog, dlog.Rule{Head: dlog.NewAtom(head), Body: body})
+	}
+	for _, d := range s.IncDs {
+		u := vars("X")
+		proj := make([]dlog.Term, len(d.Lhs))
+		for k, c := range d.Lhs {
+			proj[k] = u[c-1]
+		}
+		body := []dlog.Literal{
+			dlog.Pos(dlog.Atom{Pred: pastRel, Args: u}),
+			dlog.Neg(dlog.Atom{Pred: pastProj(d.Rhs), Args: proj}),
+		}
+		prog = append(prog, dlog.Rule{Head: dlog.NewAtom(head), Body: body})
+	}
+	return prog
+}
+
+// Prop31Transducer builds the extended Spocus transducer of Proposition
+// 3.1 for dependency sets F and G over a relation of their common arity:
+// state rules store R and the projections required by the inclusion
+// dependencies (the projection rules are exactly the non-Spocus extension),
+// and output rules derive violf/violg. The log is {violf, violg}, and the
+// log sequence (∅, {violg}) is valid iff F ⊭ G — which is why log validity
+// is undecidable for this class.
+func Prop31Transducer(f, g Set) (*core.Machine, error) {
+	if f.Arity != g.Arity {
+		return nil, fmt.Errorf("deps: arities differ")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	arity := f.Arity
+	projs := ProjectionLists(f, g)
+
+	schema := &core.Schema{
+		In: relation.Schema{{Name: "r", Arity: arity}},
+		Out: relation.Schema{
+			{Name: ViolF, Arity: 0},
+			{Name: ViolG, Arity: 0},
+		},
+		Log: []string{ViolF, ViolG},
+	}
+	stateSchema := relation.Schema{}
+	var extra dlog.Program
+	vars := make([]dlog.Term, arity)
+	for i := range vars {
+		vars[i] = dlog.V(fmt.Sprintf("X%d", i+1))
+	}
+	for _, p := range projs {
+		name := ProjRelName(p)
+		stateSchema = append(stateSchema, relation.Decl{Name: name, Arity: len(p)})
+		args := make([]dlog.Term, len(p))
+		for k, c := range p {
+			args[k] = vars[c-1]
+		}
+		extra = append(extra, dlog.Rule{
+			Head:       dlog.Atom{Pred: name, Args: args},
+			Body:       []dlog.Literal{dlog.Pos(dlog.Atom{Pred: "r", Args: vars})},
+			Cumulative: true,
+		})
+	}
+	schema.State = stateSchema
+	pastProj := func(cols []int) string { return ProjRelName(cols) }
+	rules := violationRules(ViolF, f, core.Past("r"), pastProj)
+	rules = append(rules, violationRules(ViolG, g, core.Past("r"), pastProj)...)
+	m, err := core.NewExtended(schema, extra, rules)
+	if err != nil {
+		return nil, err
+	}
+	return m.SetName("prop31"), nil
+}
+
+// Thm34Reduction holds the two transducers of the Theorem 3.4 reduction:
+// TFG constructs instances of R (and the projections needed to check the
+// dependencies) one tuple at a time, flagging violations of F and G and
+// policing well-formedness with ok/error; Sim is the simple transducer that
+// simulates TFG's logs exactly when F ⊨ G. Thus F ⊨ G iff every valid log
+// of TFG is a valid log of Sim — containment is undecidable.
+type Thm34Reduction struct {
+	F, G Set
+	TFG  *core.Machine
+	Sim  *core.Machine
+}
+
+// NewThm34Reduction builds the reduction for the given dependency sets.
+func NewThm34Reduction(f, g Set) (*Thm34Reduction, error) {
+	if f.Arity != g.Arity {
+		return nil, fmt.Errorf("deps: arities differ")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	arity := f.Arity
+	projs := ProjectionLists(f, g)
+
+	// --- TFG ---------------------------------------------------------------
+	in := relation.Schema{{Name: "r", Arity: arity}}
+	for _, p := range projs {
+		in = append(in, relation.Decl{Name: ProjRelName(p), Arity: len(p)})
+	}
+	attr := func(i int) string { return fmt.Sprintf("attr%d", i) }
+	for i := 1; i <= arity; i++ {
+		in = append(in, relation.Decl{Name: attr(i), Arity: 1})
+	}
+	out := relation.Schema{
+		{Name: ViolF, Arity: 0},
+		{Name: ViolG, Arity: 0},
+		{Name: core.OKRel, Arity: 0},
+		{Name: core.ErrorRel, Arity: 0},
+	}
+	logNames := []string{ViolF, ViolG, core.OKRel, core.ErrorRel}
+	schema := &core.Schema{In: in, Out: out, Log: logNames}
+
+	vars := make([]dlog.Term, arity)
+	for i := range vars {
+		vars[i] = dlog.V(fmt.Sprintf("X%d", i+1))
+	}
+	pastProj := func(cols []int) string { return core.Past(ProjRelName(cols)) }
+	rules := violationRules(ViolF, f, core.Past("r"), pastProj)
+	rules = append(rules, violationRules(ViolG, g, core.Past("r"), pastProj)...)
+
+	err0 := func(body ...dlog.Literal) {
+		rules = append(rules, dlog.Rule{Head: dlog.NewAtom(core.ErrorRel), Body: body})
+	}
+	// (1) each attribute relation holds at most one value.
+	for i := 1; i <= arity; i++ {
+		err0(dlog.Pos(dlog.NewAtom(attr(i), dlog.V("X"))), dlog.Pos(dlog.NewAtom(attr(i), dlog.V("Y"))), dlog.Neq(dlog.V("X"), dlog.V("Y")))
+	}
+	// (2) the R tuple's coordinates appear in the attribute relations.
+	for i := 1; i <= arity; i++ {
+		err0(dlog.Pos(dlog.Atom{Pred: "r", Args: vars}), dlog.Neg(dlog.NewAtom(attr(i), vars[i-1])))
+	}
+	// (3) the attribute values combine into the R tuple.
+	{
+		body := make([]dlog.Literal, 0, arity+1)
+		for i := 1; i <= arity; i++ {
+			body = append(body, dlog.Pos(dlog.NewAtom(attr(i), vars[i-1])))
+		}
+		body = append(body, dlog.Neg(dlog.Atom{Pred: "r", Args: vars}))
+		err0(body...)
+	}
+	// (4) each projection input carries the projection of the R tuple.
+	for _, p := range projs {
+		args := make([]dlog.Term, len(p))
+		for k, c := range p {
+			args[k] = vars[c-1]
+		}
+		err0(dlog.Pos(dlog.Atom{Pred: "r", Args: vars}), dlog.Neg(dlog.Atom{Pred: ProjRelName(p), Args: args}))
+	}
+	// (5) each projection relation holds at most one tuple per step.
+	for _, p := range projs {
+		u := make([]dlog.Term, len(p))
+		v := make([]dlog.Term, len(p))
+		for k := range p {
+			u[k] = dlog.V(fmt.Sprintf("U%d", k))
+			v[k] = dlog.V(fmt.Sprintf("V%d", k))
+		}
+		for k := range p {
+			err0(dlog.Pos(dlog.Atom{Pred: ProjRelName(p), Args: u}), dlog.Pos(dlog.Atom{Pred: ProjRelName(p), Args: v}), dlog.Neq(u[k], v[k]))
+		}
+	}
+	// ok: every attribute relation is non-empty this step.
+	{
+		body := make([]dlog.Literal, 0, arity)
+		for i := 1; i <= arity; i++ {
+			body = append(body, dlog.Pos(dlog.NewAtom(attr(i), dlog.V(fmt.Sprintf("W%d", i)))))
+		}
+		rules = append(rules, dlog.Rule{Head: dlog.NewAtom(core.OKRel), Body: body})
+	}
+	tfg, err := core.NewSpocus(schema, rules)
+	if err != nil {
+		return nil, fmt.Errorf("deps: TFG: %w", err)
+	}
+	tfg.SetName("tfg")
+
+	// --- Sim -----------------------------------------------------------------
+	sim := core.MustParseProgram(`
+transducer sim
+schema
+  input: simf/0, simg/0, simg2/0, simerror/0, simnotok/0;
+  output: violf/0, violg/0, ok/0, error/0;
+  log: violf, violg, ok, error;
+state rules
+  past-simf +:- simf;
+  past-simg +:- simg;
+  past-simg2 +:- simg2;
+  past-simerror +:- simerror;
+  past-simnotok +:- simnotok;
+output rules
+  violf :- simg;
+  violg :- simg;
+  violf :- simf;
+  error :- simerror;
+  violg :- past-simerror, simg2;
+  ok :- NOT simnotok;
+  violg :- past-simnotok, simg2;
+`)
+	return &Thm34Reduction{F: f, G: g, TFG: tfg, Sim: sim}, nil
+}
+
+// WellFormedInputs produces the input sequence inserting the instance into
+// TFG one tuple at a time, with the attribute and projection relations
+// filled as the well-formedness rules demand.
+func (r *Thm34Reduction) WellFormedInputs(inst *relation.Rel) relation.Sequence {
+	projs := ProjectionLists(r.F, r.G)
+	var seq relation.Sequence
+	for _, t := range inst.Tuples() {
+		step := relation.NewInstance()
+		step.Add("r", t)
+		for i, c := range t {
+			step.Add(fmt.Sprintf("attr%d", i+1), relation.Tuple{c})
+		}
+		for _, p := range projs {
+			proj := make(relation.Tuple, len(p))
+			for k, c := range p {
+				proj[k] = t[c-1]
+			}
+			step.Add(ProjRelName(p), proj)
+		}
+		seq = append(seq, step)
+	}
+	return seq
+}
+
+// SimInputsForLog constructs Sim inputs reproducing a TFG log, valid
+// whenever F ⊨ G (on non-well-formed logs it uses the simerror/simnotok
+// escape hatches). It returns an error if the log is one Sim cannot imitate
+// — which, by the reduction, happens exactly on logs witnessing F ⊭ G.
+func (r *Thm34Reduction) SimInputsForLog(log relation.Sequence) (relation.Sequence, error) {
+	var seq relation.Sequence
+	escaped := false
+	for i, step := range log {
+		escapedBefore := escaped // the hatches act through past-state
+		in := relation.NewInstance()
+		violF := step.Rel(ViolF).Len() > 0
+		violG := step.Rel(ViolG).Len() > 0
+		ok := step.Rel(core.OKRel).Len() > 0
+		errOut := step.Rel(core.ErrorRel).Len() > 0
+		if !ok {
+			in.Add("simnotok", relation.Tuple{})
+			escaped = true
+		}
+		if errOut {
+			in.Add("simerror", relation.Tuple{})
+			escaped = true
+		}
+		switch {
+		case violF && violG:
+			in.Add("simg", relation.Tuple{})
+		case violF:
+			in.Add("simf", relation.Tuple{})
+		case violG:
+			// violg without violf: only expressible after an escape hatch
+			// opened at some strictly earlier step.
+			if !escapedBefore {
+				return nil, fmt.Errorf("deps: step %d: violg without violf on a well-formed log — F ⊭ G witness", i+1)
+			}
+			in.Add("simg2", relation.Tuple{})
+		}
+		seq = append(seq, in)
+	}
+	return seq, nil
+}

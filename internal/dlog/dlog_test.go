@@ -1,0 +1,482 @@
+package dlog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func inst(facts ...string) relation.Instance {
+	in := relation.NewInstance()
+	for _, f := range facts {
+		name := f
+		var args relation.Tuple
+		if i := strings.IndexByte(f, '('); i >= 0 {
+			name = f[:i]
+			inner := strings.TrimSuffix(f[i+1:], ")")
+			if inner != "" {
+				for _, part := range strings.Split(inner, ",") {
+					args = append(args, relation.Const(strings.TrimSpace(part)))
+				}
+			}
+		}
+		in.Add(name, args)
+	}
+	return in
+}
+
+func TestParseShortOutputRules(t *testing.T) {
+	src := `
+		sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+		deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).
+	`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p) != 2 {
+		t.Fatalf("got %d rules, want 2", len(p))
+	}
+	if p[0].Head.Pred != "sendbill" || len(p[0].Body) != 3 {
+		t.Errorf("rule 0 wrong: %v", p[0])
+	}
+	if p[0].Body[2].Kind != LitNeg || p[0].Body[2].Atom.Pred != "past-pay" {
+		t.Errorf("NOT literal not parsed: %v", p[0].Body[2])
+	}
+	if p[0].Cumulative {
+		t.Error("output rule marked cumulative")
+	}
+}
+
+func TestParseCumulativeRule(t *testing.T) {
+	r, err := ParseRule("past-order(X) +:- order(X);")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !r.Cumulative {
+		t.Error("+:- not detected")
+	}
+	if r.Head.Pred != "past-order" || !r.Head.Args[0].Var {
+		t.Errorf("head wrong: %v", r.Head)
+	}
+}
+
+func TestParseInequality(t *testing.T) {
+	r, err := ParseRule("violF :- past-R(X,Y), past-R(X,Y2), Y <> Y2.")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(r.Body) != 3 || r.Body[2].Kind != LitNeq {
+		t.Fatalf("inequality not parsed: %v", r)
+	}
+	r2, err := ParseRule("p :- q(X), X != a;")
+	if err != nil {
+		t.Fatalf("parse !=: %v", err)
+	}
+	if r2.Body[1].Kind != LitNeq || r2.Body[1].Right.Name != "a" {
+		t.Errorf("!= literal wrong: %v", r2.Body[1])
+	}
+}
+
+func TestParseEqualityAndQuoted(t *testing.T) {
+	r, err := ParseRule("p(X) :- q(X), X = 'Time';")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if r.Body[1].Kind != LitEq || r.Body[1].Right.Name != "Time" || r.Body[1].Right.Var {
+		t.Errorf("quoted constant wrong: %v", r.Body[1])
+	}
+}
+
+func TestParsePropositionalFact(t *testing.T) {
+	p, err := ParseProgram("ok; error :- bad.")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p) != 2 || len(p[0].Body) != 0 || p[0].Head.Pred != "ok" {
+		t.Errorf("facts wrong: %v", p)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := ParseProgram("% comment\n// another\n# third\np :- q; % trailing\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p) != 1 {
+		t.Errorf("got %d rules, want 1", len(p))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"p :- q(",            // unbalanced
+		"p :- NOT;",          // NOT without atom
+		"p :- X;",            // bare variable
+		"p :- q(X) r(X);",    // missing comma
+		"P(x) :- q(x);",      // uppercase predicate
+		"p :- 'unterminated", // bad string
+		"p :- q(X), <> Y;",   // comparison without lhs
+	}
+	for _, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCheckSafe(t *testing.T) {
+	ok := MustParseProgram("p(X) :- q(X), NOT r(X);")
+	if err := ok.CheckSafe(); err != nil {
+		t.Errorf("safe program rejected: %v", err)
+	}
+	bad := MustParseProgram("p(X) :- NOT r(X);")
+	if err := bad.CheckSafe(); err == nil {
+		t.Error("unsafe head variable accepted")
+	}
+	bad2 := MustParseProgram("p :- q(X), X <> Y;")
+	if err := bad2.CheckSafe(); err == nil {
+		t.Error("unsafe inequality variable accepted")
+	}
+}
+
+func TestEvalShortRules(t *testing.T) {
+	// Step 2 of the paper's Fig. 1: past-order={time,newsweek}, pay(time,855),
+	// price as given; deliver(time) should be derived.
+	p := MustParseProgram(`
+		sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+		deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+	`)
+	db := inst("price(time,855)", "price(newsweek,845)", "price(le-monde,8350)")
+	state := inst("past-order(time)", "past-order(newsweek)")
+	input := inst("pay(time,855)")
+	out, err := Eval(p, MultiDB{input, state, db})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("deliver", relation.Tuple{"time"}) {
+		t.Errorf("deliver(time) not derived; out=%s", out)
+	}
+	if out.Rel("sendbill").Len() != 0 {
+		t.Errorf("sendbill should be empty (no order this step); out=%s", out)
+	}
+}
+
+func TestEvalNegationAndInequality(t *testing.T) {
+	p := MustParseProgram(`
+		viol(X) :- r(X,Y), r(X,Y2), Y <> Y2;
+		only(X) :- r(X,Y), NOT bad(X);
+	`)
+	edb := inst("r(a,1)", "r(a,2)", "r(b,1)", "bad(b)")
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("viol", relation.Tuple{"a"}) || out.Has("viol", relation.Tuple{"b"}) {
+		t.Errorf("viol wrong: %s", out)
+	}
+	if !out.Has("only", relation.Tuple{"a"}) || out.Has("only", relation.Tuple{"b"}) {
+		t.Errorf("only wrong: %s", out)
+	}
+}
+
+func TestEvalEqualityBinds(t *testing.T) {
+	p := MustParseProgram(`pick(Y) :- r(X,Y), X = a;`)
+	edb := inst("r(a,1)", "r(b,2)")
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("pick", relation.Tuple{"1"}) || out.Has("pick", relation.Tuple{"2"}) {
+		t.Errorf("pick wrong: %s", out)
+	}
+}
+
+func TestEvalLayeredIDB(t *testing.T) {
+	// b depends on a; nonrecursive layering must evaluate a first.
+	p := MustParseProgram(`
+		a(X) :- e(X);
+		b(X) :- a(X), NOT f(X);
+	`)
+	edb := inst("e(1)", "e(2)", "f(2)")
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("b", relation.Tuple{"1"}) || out.Has("b", relation.Tuple{"2"}) {
+		t.Errorf("b wrong: %s", out)
+	}
+}
+
+func TestEvalRejectsRecursion(t *testing.T) {
+	p := MustParseProgram(`
+		t(X,Y) :- e(X,Y);
+		t(X,Y) :- t(X,Z), e(Z,Y);
+	`)
+	if _, err := Eval(p, MultiDB{inst("e(1,2)")}); err == nil {
+		t.Error("recursive program accepted by nonrecursive Eval")
+	}
+}
+
+func TestEvalStratifiedTransitiveClosure(t *testing.T) {
+	p := MustParseProgram(`
+		t(X,Y) :- e(X,Y);
+		t(X,Y) :- t(X,Z), e(Z,Y);
+		unreach(X,Y) :- node(X), node(Y), NOT t(X,Y);
+	`)
+	edb := inst("e(1,2)", "e(2,3)", "node(1)", "node(2)", "node(3)")
+	out, err := EvalStratified(p, MultiDB{edb})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("t", relation.Tuple{"1", "3"}) {
+		t.Errorf("closure missing 1->3: %s", out)
+	}
+	if !out.Has("unreach", relation.Tuple{"3", "1"}) || out.Has("unreach", relation.Tuple{"1", "3"}) {
+		t.Errorf("unreach wrong: %s", out)
+	}
+}
+
+func TestStratifyRejectsNegationCycle(t *testing.T) {
+	p := MustParseProgram(`
+		win(X) :- move(X,Y), NOT win(Y);
+	`)
+	if _, err := Stratify(p); err == nil {
+		t.Error("negation cycle accepted")
+	}
+}
+
+func TestCheckSemipositive(t *testing.T) {
+	p := MustParseProgram(`deliver(X) :- past-order(X), pay(X,Y), NOT past-pay(X,Y);`)
+	allowed := func(n string) bool { return n != "deliver" }
+	if err := CheckSemipositive(p, allowed); err != nil {
+		t.Errorf("valid Spocus output program rejected: %v", err)
+	}
+	p2 := MustParseProgram(`a(X) :- e(X); b(X) :- a(X);`)
+	allowedEDB := func(n string) bool { return n == "e" }
+	if err := CheckSemipositive(p2, allowedEDB); err == nil {
+		t.Error("output predicate in body accepted by semipositive check")
+	}
+}
+
+func TestEvalZeroAryHeads(t *testing.T) {
+	p := MustParseProgram(`ok :- a(X1), b(X2); error :- a(X), b(X);`)
+	out, err := Eval(p, MultiDB{inst("a(1)", "b(2)")})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !out.Has("ok", relation.Tuple{}) {
+		t.Error("ok not derived")
+	}
+	if out.Has("error", relation.Tuple{}) {
+		t.Error("error wrongly derived")
+	}
+}
+
+func TestEvalRuleBindingsEnumerates(t *testing.T) {
+	body := MustParseProgram(`x :- r(X,Y), NOT s(X);`)[0].Body
+	edb := inst("r(a,1)", "r(b,2)", "r(c,3)", "s(b)")
+	var got []string
+	err := EvalRuleBindings(body, MultiDB{edb}, func(b Binding) bool {
+		got = append(got, string(b["X"])+string(b["Y"]))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("bindings: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d bindings, want 2: %v", len(got), got)
+	}
+}
+
+func TestEvalRuleBindingsEarlyStop(t *testing.T) {
+	body := MustParseProgram(`x :- r(X);`)[0].Body
+	edb := inst("r(a)", "r(b)", "r(c)")
+	count := 0
+	if err := EvalRuleBindings(body, MultiDB{edb}, func(Binding) bool {
+		count++
+		return false
+	}); err != nil {
+		t.Fatalf("bindings: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("early stop ignored: %d calls", count)
+	}
+}
+
+func TestProgramRename(t *testing.T) {
+	p := MustParseProgram(`a(X) :- b(X), NOT c(X);`)
+	q := p.Rename(func(n string) string { return n + "_1" })
+	if q[0].Head.Pred != "a_1" || q[0].Body[0].Atom.Pred != "b_1" || q[0].Body[1].Atom.Pred != "c_1" {
+		t.Errorf("rename wrong: %v", q)
+	}
+	// Original untouched.
+	if p[0].Head.Pred != "a" {
+		t.Error("rename mutated original")
+	}
+}
+
+func TestProgramConstants(t *testing.T) {
+	p := MustParseProgram(`a(X) :- b(X, c1), X <> c2; d(k);`)
+	got := p.Constants()
+	want := []relation.Const{"c1", "c2", "k"}
+	if len(got) != len(want) {
+		t.Fatalf("Constants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Constants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	src := `deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);`
+	p := MustParseProgram(src)
+	p2 := MustParseProgram(p.String())
+	if p.String() != p2.String() {
+		t.Errorf("round trip changed program:\n%s\nvs\n%s", p, p2)
+	}
+}
+
+// bruteEval evaluates a single-rule program by enumerating all bindings over
+// the active domain — an oracle for the property test below.
+func bruteEval(r Rule, edb relation.Instance) relation.Instance {
+	dom := edb.ActiveDomain()
+	vars := r.Vars()
+	out := relation.NewInstance()
+	out.Ensure(r.Head.Pred, len(r.Head.Args))
+	var rec func(i int, b Binding)
+	rec = func(i int, b Binding) {
+		if i == len(vars) {
+			for _, l := range r.Body {
+				switch l.Kind {
+				case LitPos, LitNeg:
+					okt, t := atomTuple(l.Atom, b)
+					if !okt {
+						return
+					}
+					has := edb.Has(l.Atom.Pred, t)
+					if l.Kind == LitPos && !has || l.Kind == LitNeg && has {
+						return
+					}
+				case LitNeq:
+					lc, _ := b.resolve(l.Left)
+					rc, _ := b.resolve(l.Right)
+					if lc == rc {
+						return
+					}
+				case LitEq:
+					lc, _ := b.resolve(l.Left)
+					rc, _ := b.resolve(l.Right)
+					if lc != rc {
+						return
+					}
+				}
+			}
+			_, ht := atomTuple(r.Head, b)
+			out.Add(r.Head.Pred, ht)
+			return
+		}
+		for _, c := range dom {
+			b[vars[i]] = c
+			rec(i+1, b)
+		}
+		delete(b, vars[i])
+	}
+	rec(0, make(Binding))
+	return out
+}
+
+// randomRuleAndEDB builds a random safe single-rule program plus EDB.
+func randomRuleAndEDB(r *rand.Rand) (Rule, relation.Instance) {
+	preds := []string{"p", "q"}
+	vars := []string{"X", "Y", "Z"}
+	nPos := 1 + r.Intn(2)
+	var body []Literal
+	usedVars := map[string]bool{}
+	for i := 0; i < nPos; i++ {
+		args := []Term{V(vars[r.Intn(len(vars))]), V(vars[r.Intn(len(vars))])}
+		for _, a := range args {
+			usedVars[a.Name] = true
+		}
+		body = append(body, Pos(NewAtom(preds[r.Intn(len(preds))], args...)))
+	}
+	var posVars []string
+	for v := range usedVars {
+		posVars = append(posVars, v)
+	}
+	// Possibly one negative literal and one inequality over bound vars.
+	if r.Intn(2) == 0 {
+		body = append(body, Neg(NewAtom(preds[r.Intn(len(preds))],
+			V(posVars[r.Intn(len(posVars))]), V(posVars[r.Intn(len(posVars))]))))
+	}
+	if r.Intn(2) == 0 && len(posVars) >= 2 {
+		body = append(body, Neq(V(posVars[0]), V(posVars[len(posVars)-1])))
+	}
+	head := NewAtom("h", V(posVars[r.Intn(len(posVars))]))
+	rule := Rule{Head: head, Body: body}
+
+	edb := relation.NewInstance()
+	consts := []relation.Const{"a", "b", "c"}
+	for _, p := range preds {
+		edb.Ensure(p, 2)
+		n := r.Intn(5)
+		for i := 0; i < n; i++ {
+			edb.Add(p, relation.Tuple{consts[r.Intn(3)], consts[r.Intn(3)]})
+		}
+	}
+	if edb.Len() == 0 {
+		edb.Add("p", relation.Tuple{"a", "b"})
+	}
+	return rule, edb
+}
+
+func TestPropEvalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rule, edb := randomRuleAndEDB(r)
+		got, err := Eval(Program{rule}, MultiDB{edb})
+		if err != nil {
+			return false
+		}
+		want := bruteEval(rule, edb)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPositiveProgramMonotone(t *testing.T) {
+	// For negation-free rules, adding EDB facts never removes derived facts.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rule, edb := randomRuleAndEDB(r)
+		// Strip negative literals to get a positive rule.
+		var body []Literal
+		for _, l := range rule.Body {
+			if l.Kind != LitNeg {
+				body = append(body, l)
+			}
+		}
+		rule.Body = body
+		small, err := Eval(Program{rule}, MultiDB{edb})
+		if err != nil {
+			return false
+		}
+		bigger := edb.Clone()
+		bigger.Add("p", relation.Tuple{"c", "c"})
+		large, err := Eval(Program{rule}, MultiDB{bigger})
+		if err != nil {
+			return false
+		}
+		return small.SubsetOf(large)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,505 @@
+package dlog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// DB is the evaluator's view of the extensional database: a lookup from
+// relation name to a (possibly nil) finite relation.
+type DB interface {
+	Rel(name string) *relation.Rel
+}
+
+// MultiDB looks relations up across several instances in order; the first
+// instance that holds the name wins. The transducer engine uses this to
+// present input ∪ state ∪ database as one EDB (the schemas are disjoint).
+type MultiDB []relation.Instance
+
+// Rel implements DB.
+func (m MultiDB) Rel(name string) *relation.Rel {
+	for _, in := range m {
+		if r, ok := in[name]; ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// Binding maps variable names to constants during rule evaluation.
+type Binding map[string]relation.Const
+
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// resolve returns the constant a term denotes under the binding, and whether
+// it is determined.
+func (b Binding) resolve(t Term) (relation.Const, bool) {
+	if !t.Var {
+		return relation.Const(t.Name), true
+	}
+	c, ok := b[t.Name]
+	return c, ok
+}
+
+// EvalError reports an evaluation failure (an unsafe or recursive program
+// reaching the evaluator, typically a missing CheckSafe call).
+type EvalError struct{ Msg string }
+
+func (e *EvalError) Error() string { return "dlog: " + e.Msg }
+
+// Eval evaluates a nonrecursive program bottom-up over the given EDB and
+// returns the derived instance (IDB relations only). Rules may reference
+// other head predicates as long as the dependency graph is acyclic; negation
+// may be applied to any predicate that is either extensional or fully
+// evaluated in an earlier layer. Cumulative markers are ignored here — the
+// transducer engine applies cumulative semantics across steps.
+func Eval(p Program, edb DB) (relation.Instance, error) {
+	layers, err := Layers(p)
+	if err != nil {
+		return nil, err
+	}
+	derived := relation.NewInstance()
+	look := lookupChain{derived, edb}
+	for _, layer := range layers {
+		// Within a layer predicates are independent (no cycles), so a single
+		// pass suffices.
+		for _, pred := range layer {
+			for _, r := range p.RulesFor(pred) {
+				if err := evalRule(r, look, derived); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return derived, nil
+}
+
+// lookupChain consults the derived instance first, then the EDB.
+type lookupChain struct {
+	derived relation.Instance
+	edb     DB
+}
+
+func (lc lookupChain) Rel(name string) *relation.Rel {
+	if r, ok := lc.derived[name]; ok {
+		return r
+	}
+	if lc.edb == nil {
+		return nil
+	}
+	return lc.edb.Rel(name)
+}
+
+// Layers computes an evaluation order for the program's head predicates:
+// a list of layers such that every body reference from a rule in layer i
+// goes to an extensional predicate or a head predicate in a layer < i
+// (positive references within the same layer are also forbidden — the
+// program must be nonrecursive). It returns an error on cyclic dependencies.
+func Layers(p Program) ([][]string, error) {
+	heads := make(map[string]bool)
+	for _, r := range p {
+		heads[r.Head.Pred] = true
+	}
+	// deps[h] = set of head predicates h's rules reference.
+	deps := make(map[string]map[string]bool)
+	for h := range heads {
+		deps[h] = make(map[string]bool)
+	}
+	for _, r := range p {
+		for _, l := range r.Body {
+			if l.Kind != LitPos && l.Kind != LitNeg {
+				continue
+			}
+			if heads[l.Atom.Pred] {
+				deps[r.Head.Pred][l.Atom.Pred] = true
+			}
+		}
+	}
+	// Kahn's algorithm over the predicate dependency graph.
+	placed := make(map[string]bool)
+	var layers [][]string
+	for len(placed) < len(heads) {
+		var layer []string
+		for h := range heads {
+			if placed[h] {
+				continue
+			}
+			ready := true
+			for d := range deps[h] {
+				if !placed[d] && d != "" {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				layer = append(layer, h)
+			}
+		}
+		if len(layer) == 0 {
+			remaining := make([]string, 0)
+			for h := range heads {
+				if !placed[h] {
+					remaining = append(remaining, h)
+				}
+			}
+			sort.Strings(remaining)
+			return nil, &EvalError{Msg: fmt.Sprintf("recursive program: cycle among predicates %v", remaining)}
+		}
+		sort.Strings(layer)
+		for _, h := range layer {
+			placed[h] = true
+		}
+		layers = append(layers, layer)
+	}
+	return layers, nil
+}
+
+// evalRule derives all heads of r over the lookup and adds them to out.
+func evalRule(r Rule, db DB, out relation.Instance) error {
+	lits := orderBody(r.Body)
+	head := r.Head
+	emit := func(b Binding) error {
+		t := make(relation.Tuple, len(head.Args))
+		for i, a := range head.Args {
+			c, ok := b.resolve(a)
+			if !ok {
+				return &EvalError{Msg: fmt.Sprintf("unsafe rule %q: head variable %s unbound", r, a.Name)}
+			}
+			t[i] = c
+		}
+		out.Ensure(head.Pred, len(head.Args)).Add(t)
+		return nil
+	}
+	return search(lits, 0, make(Binding), db, emit)
+}
+
+// EvalRuleBindings enumerates the satisfying bindings of a rule body over
+// the EDB, calling f for each; evaluation stops early if f returns false.
+// It is used by the verifier to enumerate witnesses.
+func EvalRuleBindings(body []Literal, db DB, f func(Binding) bool) error {
+	lits := orderBody(body)
+	stop := &EvalError{Msg: "stopped"}
+	err := search(lits, 0, make(Binding), db, func(b Binding) error {
+		if !f(b.clone()) {
+			return stop
+		}
+		return nil
+	})
+	if err == stop {
+		return nil
+	}
+	return err
+}
+
+// orderBody reorders literals for evaluation: positive atoms stay in the
+// author's order (a reasonable join order for hand-written rules); negative
+// atoms and comparisons are deferred until their variables are bound, which
+// the search loop handles by scanning for the next evaluable literal.
+func orderBody(body []Literal) []Literal {
+	return body
+}
+
+// search enumerates bindings satisfying lits[done:] by picking, at each
+// step, an evaluable literal: any positive atom, or a negative/comparison
+// literal whose variables are all bound (negatives are checked eagerly once
+// bound to prune the search).
+func search(lits []Literal, _ int, b Binding, db DB, emit func(Binding) error) error {
+	// Partition remaining literals into checked and pending.
+	return searchRec(lits, make([]bool, len(lits)), 0, b, db, emit)
+}
+
+func searchRec(lits []Literal, used []bool, nUsed int, b Binding, db DB, emit func(Binding) error) error {
+	if nUsed == len(lits) {
+		return emit(b)
+	}
+	// First, greedily discharge every fully-bound non-positive literal.
+	for i, l := range lits {
+		if used[i] || l.Kind == LitPos {
+			continue
+		}
+		switch l.Kind {
+		case LitNeg:
+			if groundAtom(l.Atom, b) {
+				ok, t := atomTuple(l.Atom, b)
+				if !ok {
+					continue
+				}
+				if db.Rel(l.Atom.Pred).Has(t) {
+					return nil // negation fails: prune
+				}
+				used[i] = true
+				err := searchRec(lits, used, nUsed+1, b, db, emit)
+				used[i] = false
+				return err
+			}
+		case LitNeq:
+			lc, lok := b.resolve(l.Left)
+			rc, rok := b.resolve(l.Right)
+			if lok && rok {
+				if lc == rc {
+					return nil
+				}
+				used[i] = true
+				err := searchRec(lits, used, nUsed+1, b, db, emit)
+				used[i] = false
+				return err
+			}
+		case LitEq:
+			lc, lok := b.resolve(l.Left)
+			rc, rok := b.resolve(l.Right)
+			switch {
+			case lok && rok:
+				if lc != rc {
+					return nil
+				}
+				used[i] = true
+				err := searchRec(lits, used, nUsed+1, b, db, emit)
+				used[i] = false
+				return err
+			case lok && !rok:
+				b[l.Right.Name] = lc
+				used[i] = true
+				err := searchRec(lits, used, nUsed+1, b, db, emit)
+				used[i] = false
+				delete(b, l.Right.Name)
+				return err
+			case !lok && rok:
+				b[l.Left.Name] = rc
+				used[i] = true
+				err := searchRec(lits, used, nUsed+1, b, db, emit)
+				used[i] = false
+				delete(b, l.Left.Name)
+				return err
+			}
+		}
+	}
+	// Next positive atom in author order; choose the one with the most
+	// bound arguments to keep fanout low.
+	best := -1
+	bestBound := -1
+	for i, l := range lits {
+		if used[i] || l.Kind != LitPos {
+			continue
+		}
+		bound := 0
+		for _, a := range l.Atom.Args {
+			if _, ok := b.resolve(a); ok {
+				bound++
+			}
+		}
+		if bound > bestBound {
+			best, bestBound = i, bound
+		}
+	}
+	if best == -1 {
+		// Only unbound negatives/comparisons remain: unsafe body.
+		for i, l := range lits {
+			if !used[i] {
+				return &EvalError{Msg: fmt.Sprintf("unsafe body: literal %q has unbound variables", l)}
+			}
+		}
+		return emit(b)
+	}
+	l := lits[best]
+	used[best] = true
+	rel := db.Rel(l.Atom.Pred)
+	var outerErr error
+	visit := func(t relation.Tuple) bool {
+		if len(t) != len(l.Atom.Args) {
+			return true
+		}
+		newVars := match(l.Atom.Args, t, b)
+		if newVars == nil {
+			return true
+		}
+		err := searchRec(lits, used, nUsed+1, b, db, emit)
+		for _, v := range newVars {
+			delete(b, v)
+		}
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	}
+	if rel != nil {
+		// Use the first-column index when the first argument is already
+		// bound — the common join pattern in the paper's rules.
+		if len(l.Atom.Args) > 0 {
+			if c, ok := b.resolve(l.Atom.Args[0]); ok {
+				rel.RangeFirst(c, visit)
+				used[best] = false
+				return outerErr
+			}
+		}
+		rel.Range(visit)
+	}
+	used[best] = false
+	return outerErr
+}
+
+// match extends b to unify args with tuple t. On success it returns the list
+// of newly-bound variable names (possibly empty but non-nil); on mismatch it
+// undoes its bindings and returns nil.
+func match(args []Term, t relation.Tuple, b Binding) []string {
+	newVars := []string{}
+	for i, a := range args {
+		c, ok := b.resolve(a)
+		if ok {
+			if c != t[i] {
+				for _, v := range newVars {
+					delete(b, v)
+				}
+				return nil
+			}
+			continue
+		}
+		b[a.Name] = t[i]
+		newVars = append(newVars, a.Name)
+	}
+	return newVars
+}
+
+func groundAtom(a Atom, b Binding) bool {
+	for _, t := range a.Args {
+		if _, ok := b.resolve(t); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func atomTuple(a Atom, b Binding) (bool, relation.Tuple) {
+	t := make(relation.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		c, ok := b.resolve(arg)
+		if !ok {
+			return false, nil
+		}
+		t[i] = c
+	}
+	return true, t
+}
+
+// EvalStratified evaluates a possibly recursive program under stratified
+// semantics: strata are computed so that negative references cross strictly
+// downward; within a stratum, rules are iterated to a fixpoint (naive
+// evaluation). This extension is beyond the Spocus fragment and is used to
+// contrast expressiveness in tests and examples.
+func EvalStratified(p Program, edb DB) (relation.Instance, error) {
+	strata, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	derived := relation.NewInstance()
+	look := lookupChain{derived, edb}
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool)
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		for {
+			before := derived.Len()
+			for _, pred := range stratum {
+				for _, r := range p.RulesFor(pred) {
+					if err := evalRule(r, look, derived); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if derived.Len() == before {
+				break
+			}
+		}
+	}
+	return derived, nil
+}
+
+// Stratify partitions the program's head predicates into strata such that
+// positive references stay within or below a stratum and negative references
+// go strictly below. It returns an error if no stratification exists (a
+// cycle through negation).
+func Stratify(p Program) ([][]string, error) {
+	heads := make(map[string]bool)
+	for _, r := range p {
+		heads[r.Head.Pred] = true
+	}
+	// stratum numbers via iterated relaxation.
+	level := make(map[string]int)
+	for h := range heads {
+		level[h] = 0
+	}
+	n := len(heads)
+	for iter := 0; iter <= n*n+1; iter++ {
+		changed := false
+		for _, r := range p {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				if l.Kind != LitPos && l.Kind != LitNeg {
+					continue
+				}
+				q := l.Atom.Pred
+				if !heads[q] {
+					continue
+				}
+				want := level[q]
+				if l.Kind == LitNeg {
+					want = level[q] + 1
+				}
+				if level[h] < want {
+					level[h] = want
+					changed = true
+					if level[h] > n {
+						return nil, &EvalError{Msg: fmt.Sprintf("program is not stratifiable: negation cycle through %s", h)}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	maxLevel := 0
+	for _, lv := range level {
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	strata := make([][]string, maxLevel+1)
+	for h, lv := range level {
+		strata[lv] = append(strata[lv], h)
+	}
+	for _, s := range strata {
+		sort.Strings(s)
+	}
+	return strata, nil
+}
+
+// CheckSemipositive verifies that the program is in the Spocus output
+// fragment: every body atom (positive or negative) refers only to predicates
+// in allowed (the input, state, and database relations) — in particular no
+// output predicate appears in any body — and the program passes CheckSafe.
+func CheckSemipositive(p Program, allowed func(string) bool) error {
+	if err := p.CheckSafe(); err != nil {
+		return err
+	}
+	for _, r := range p {
+		for _, l := range r.Body {
+			if l.Kind != LitPos && l.Kind != LitNeg {
+				continue
+			}
+			if !allowed(l.Atom.Pred) {
+				return fmt.Errorf("rule %q: body predicate %s is not an input, state, or database relation", r, l.Atom.Pred)
+			}
+		}
+	}
+	return nil
+}

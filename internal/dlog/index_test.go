@@ -1,0 +1,75 @@
+package dlog
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestIndexedJoinConstantFirstArg exercises the RangeFirst fast path with a
+// constant first argument.
+func TestIndexedJoinConstantFirstArg(t *testing.T) {
+	p := MustParseProgram(`pick(Y) :- r(a, Y);`)
+	edb := relation.NewInstance()
+	edb.Add("r", relation.Tuple{"a", "1"})
+	edb.Add("r", relation.Tuple{"a", "2"})
+	edb.Add("r", relation.Tuple{"b", "3"})
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rel("pick").Len() != 2 || !out.Has("pick", relation.Tuple{"1"}) || !out.Has("pick", relation.Tuple{"2"}) {
+		t.Errorf("pick = %s", out.Rel("pick"))
+	}
+}
+
+// TestIndexedJoinBoundByEarlierAtom exercises the fast path where the first
+// argument is bound by a previous join step.
+func TestIndexedJoinBoundByEarlierAtom(t *testing.T) {
+	p := MustParseProgram(`j(X,Z) :- s(X), r(X, Z);`)
+	edb := relation.NewInstance()
+	edb.Add("s", relation.Tuple{"a"})
+	edb.Add("r", relation.Tuple{"a", "1"})
+	edb.Add("r", relation.Tuple{"b", "2"})
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rel("j").Len() != 1 || !out.Has("j", relation.Tuple{"a", "1"}) {
+		t.Errorf("j = %s", out.Rel("j"))
+	}
+}
+
+// TestUnboundFirstArgStillScans: when the first argument is a fresh
+// variable the evaluator must fall back to the full scan.
+func TestUnboundFirstArgStillScans(t *testing.T) {
+	p := MustParseProgram(`all(X,Y) :- r(X,Y);`)
+	edb := relation.NewInstance()
+	edb.Add("r", relation.Tuple{"a", "1"})
+	edb.Add("r", relation.Tuple{"b", "2"})
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rel("all").Len() != 2 {
+		t.Errorf("all = %s", out.Rel("all"))
+	}
+}
+
+// TestRepeatedVariableInIndexedAtom: r(X, X) with the first position bound
+// must still filter the second position correctly through the index path.
+func TestRepeatedVariableInIndexedAtom(t *testing.T) {
+	p := MustParseProgram(`diag(X) :- s(X), r(X, X);`)
+	edb := relation.NewInstance()
+	edb.Add("s", relation.Tuple{"a"})
+	edb.Add("s", relation.Tuple{"b"})
+	edb.Add("r", relation.Tuple{"a", "a"})
+	edb.Add("r", relation.Tuple{"b", "c"})
+	out, err := Eval(p, MultiDB{edb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rel("diag").Len() != 1 || !out.Has("diag", relation.Tuple{"a"}) {
+		t.Errorf("diag = %s", out.Rel("diag"))
+	}
+}

@@ -1,0 +1,263 @@
+package dlog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates token kinds of the rule language (shared with the
+// transducer program syntax in package core, which embeds this lexer).
+type TokKind int
+
+const (
+	// TokEOF marks end of input.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier or numeric constant (e.g. order, past-pay, 855).
+	TokIdent
+	// TokVar is a variable (identifier beginning with an upper-case letter
+	// or underscore).
+	TokVar
+	// TokString is a quoted constant, e.g. 'Time'.
+	TokString
+	// TokLParen is "(".
+	TokLParen
+	// TokRParen is ")".
+	TokRParen
+	// TokComma is ",".
+	TokComma
+	// TokSemi is ";".
+	TokSemi
+	// TokPeriod is "." used as an alternative rule terminator.
+	TokPeriod
+	// TokColon is ":" (used by schema declarations).
+	TokColon
+	// TokDefine is ":-".
+	TokDefine
+	// TokCumDefine is "+:-".
+	TokCumDefine
+	// TokNeq is "<>" or "!=".
+	TokNeq
+	// TokEq is "=".
+	TokEq
+	// TokNot is the keyword NOT (case-insensitive).
+	TokNot
+	// TokSlash is "/" (used by arity annotations such as price/2).
+	TokSlash
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokVar:
+		return "variable"
+	case TokString:
+		return "string"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokSemi:
+		return "';'"
+	case TokPeriod:
+		return "'.'"
+	case TokColon:
+		return "':'"
+	case TokDefine:
+		return "':-'"
+	case TokCumDefine:
+		return "'+:-'"
+	case TokNeq:
+		return "'<>'"
+	case TokEq:
+		return "'='"
+	case TokNot:
+		return "NOT"
+	case TokSlash:
+		return "'/'"
+	}
+	return "?"
+}
+
+// Token is a lexed token with its source line for error reporting.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+// Lexer tokenizes the rule and transducer-program languages. Comments run
+// from "//", "%", or "#" to end of line.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	tok  Token
+	err  error
+}
+
+// NewLexer creates a lexer over src and advances to the first token.
+func NewLexer(src string) *Lexer {
+	l := &Lexer{src: src, line: 1}
+	l.Next()
+	return l
+}
+
+// Tok returns the current token.
+func (l *Lexer) Tok() Token { return l.tok }
+
+// Err returns the first lexing error encountered, if any.
+func (l *Lexer) Err() error { return l.err }
+
+// Errorf records and returns a parse error annotated with the current line.
+func (l *Lexer) Errorf(format string, args ...any) error {
+	err := fmt.Errorf("line %d: %s", l.tok.Line, fmt.Sprintf(format, args...))
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '*' || r == '\''
+}
+
+// Next advances to the next token and returns it.
+func (l *Lexer) Next() Token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%' || c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		l.tok = Token{Kind: TokEOF, Line: l.line}
+		return l.tok
+	}
+	start := l.pos
+	c := rune(l.src[l.pos])
+	switch {
+	case c == '(':
+		l.pos++
+		l.tok = Token{Kind: TokLParen, Text: "(", Line: l.line}
+	case c == ')':
+		l.pos++
+		l.tok = Token{Kind: TokRParen, Text: ")", Line: l.line}
+	case c == ',':
+		l.pos++
+		l.tok = Token{Kind: TokComma, Text: ",", Line: l.line}
+	case c == ';':
+		l.pos++
+		l.tok = Token{Kind: TokSemi, Text: ";", Line: l.line}
+	case c == '.':
+		l.pos++
+		l.tok = Token{Kind: TokPeriod, Text: ".", Line: l.line}
+	case c == '=':
+		l.pos++
+		l.tok = Token{Kind: TokEq, Text: "=", Line: l.line}
+	case c == '<' && strings.HasPrefix(l.src[l.pos:], "<>"):
+		l.pos += 2
+		l.tok = Token{Kind: TokNeq, Text: "<>", Line: l.line}
+	case c == '!' && strings.HasPrefix(l.src[l.pos:], "!="):
+		l.pos += 2
+		l.tok = Token{Kind: TokNeq, Text: "!=", Line: l.line}
+	case c == '/':
+		l.pos++
+		l.tok = Token{Kind: TokSlash, Text: "/", Line: l.line}
+	case c == '+' && strings.HasPrefix(l.src[l.pos:], "+:-"):
+		l.pos += 3
+		l.tok = Token{Kind: TokCumDefine, Text: "+:-", Line: l.line}
+	case c == ':' && strings.HasPrefix(l.src[l.pos:], ":-"):
+		l.pos += 2
+		l.tok = Token{Kind: TokDefine, Text: ":-", Line: l.line}
+	case c == ':':
+		l.pos++
+		l.tok = Token{Kind: TokColon, Text: ":", Line: l.line}
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			l.Errorf("unterminated quoted constant")
+			l.tok = Token{Kind: TokEOF, Line: l.line}
+			return l.tok
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		l.tok = Token{Kind: TokString, Text: text, Line: l.line}
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		switch {
+		case strings.EqualFold(text, "not"):
+			l.tok = Token{Kind: TokNot, Text: text, Line: l.line}
+		case text[0] == '_' || unicode.IsUpper(rune(text[0])):
+			l.tok = Token{Kind: TokVar, Text: text, Line: l.line}
+		default:
+			l.tok = Token{Kind: TokIdent, Text: text, Line: l.line}
+		}
+	default:
+		l.Errorf("unexpected character %q", c)
+		l.pos++
+		l.tok = Token{Kind: TokEOF, Line: l.line}
+	}
+	return l.tok
+}
+
+func (l *Lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+// Expect consumes a token of the given kind or records an error.
+func (l *Lexer) Expect(k TokKind) (Token, error) {
+	t := l.tok
+	if t.Kind != k {
+		return t, l.Errorf("expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	l.Next()
+	return t, nil
+}
+
+// Accept consumes the current token if it has the given kind.
+func (l *Lexer) Accept(k TokKind) bool {
+	if l.tok.Kind == k {
+		l.Next()
+		return true
+	}
+	return false
+}
+
+// AcceptKeyword consumes the current token if it is an identifier equal
+// (case-insensitively) to word.
+func (l *Lexer) AcceptKeyword(word string) bool {
+	if l.tok.Kind == TokIdent && strings.EqualFold(l.tok.Text, word) {
+		l.Next()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package dlog
+
+import "fmt"
+
+// ParseProgram parses a sequence of rules. Rules are terminated by ";" or
+// "."; the final terminator may be omitted. The concrete syntax follows the
+// paper:
+//
+//	past-order(X) +:- order(X);
+//	deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+//	error :- pay(X,Y), X <> Y;
+//
+// Facts (rules with empty bodies) are written "head;" or "head :- ;".
+func ParseProgram(src string) (Program, error) {
+	l := NewLexer(src)
+	var p Program
+	for l.Tok().Kind != TokEOF {
+		r, err := parseRule(l)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, r)
+	}
+	if err := l.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseRuleFrom parses a single rule from an existing lexer, leaving the
+// lexer positioned after the rule's terminator. It is used by the transducer
+// program parser in package core, which shares this lexer.
+func ParseRuleFrom(l *Lexer) (Rule, error) {
+	return parseRule(l)
+}
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (Rule, error) {
+	l := NewLexer(src)
+	r, err := parseRule(l)
+	if err != nil {
+		return Rule{}, err
+	}
+	if l.Tok().Kind != TokEOF {
+		return Rule{}, l.Errorf("trailing input after rule")
+	}
+	return r, nil
+}
+
+func parseRule(l *Lexer) (Rule, error) {
+	head, err := parseAtom(l)
+	if err != nil {
+		return Rule{}, err
+	}
+	var r Rule
+	r.Head = head
+	switch l.Tok().Kind {
+	case TokDefine:
+		l.Next()
+	case TokCumDefine:
+		l.Next()
+		r.Cumulative = true
+	case TokSemi, TokPeriod:
+		l.Next()
+		return r, nil // fact
+	case TokEOF:
+		return r, nil
+	default:
+		return Rule{}, l.Errorf("expected ':-', '+:-' or rule terminator, found %q", l.Tok().Text)
+	}
+	// Body: possibly empty (immediately terminated).
+	if l.Tok().Kind == TokSemi || l.Tok().Kind == TokPeriod {
+		l.Next()
+		return r, nil
+	}
+	for {
+		lit, err := parseLiteral(l)
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Body = append(r.Body, lit)
+		if l.Accept(TokComma) {
+			continue
+		}
+		break
+	}
+	if l.Tok().Kind == TokSemi || l.Tok().Kind == TokPeriod {
+		l.Next()
+	} else if l.Tok().Kind != TokEOF {
+		return Rule{}, l.Errorf("expected rule terminator, found %q", l.Tok().Text)
+	}
+	return r, nil
+}
+
+func parseLiteral(l *Lexer) (Literal, error) {
+	if l.Accept(TokNot) {
+		a, err := parseAtom(l)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Neg(a), nil
+	}
+	// Could be an atom or a comparison. Parse a term first; if followed by
+	// "<>"/"!="/"=", it is a comparison, otherwise it must be an atom whose
+	// predicate is that identifier.
+	t := l.Tok()
+	switch t.Kind {
+	case TokIdent, TokString, TokVar:
+		l.Next()
+		switch l.Tok().Kind {
+		case TokNeq:
+			l.Next()
+			rhs, err := parseTerm(l)
+			if err != nil {
+				return Literal{}, err
+			}
+			return Neq(tokenTerm(t), rhs), nil
+		case TokEq:
+			l.Next()
+			rhs, err := parseTerm(l)
+			if err != nil {
+				return Literal{}, err
+			}
+			return Eq(tokenTerm(t), rhs), nil
+		case TokLParen:
+			if t.Kind == TokVar {
+				return Literal{}, l.Errorf("predicate name %q must not begin with an upper-case letter", t.Text)
+			}
+			args, err := parseArgs(l)
+			if err != nil {
+				return Literal{}, err
+			}
+			return Pos(Atom{Pred: t.Text, Args: args}), nil
+		default:
+			if t.Kind == TokVar {
+				return Literal{}, l.Errorf("bare variable %q is not a literal", t.Text)
+			}
+			return Pos(Atom{Pred: t.Text}), nil
+		}
+	default:
+		return Literal{}, l.Errorf("expected literal, found %s %q", t.Kind, t.Text)
+	}
+}
+
+func parseAtom(l *Lexer) (Atom, error) {
+	name, err := l.Expect(TokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	if l.Tok().Kind != TokLParen {
+		return Atom{Pred: name.Text}, nil
+	}
+	args, err := parseArgs(l)
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: name.Text, Args: args}, nil
+}
+
+func parseArgs(l *Lexer) ([]Term, error) {
+	if _, err := l.Expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Term
+	if l.Accept(TokRParen) {
+		return args, nil
+	}
+	for {
+		t, err := parseTerm(l)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if l.Accept(TokComma) {
+			continue
+		}
+		if _, err := l.Expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func parseTerm(l *Lexer) (Term, error) {
+	t := l.Tok()
+	switch t.Kind {
+	case TokVar:
+		l.Next()
+		return V(t.Text), nil
+	case TokIdent, TokString:
+		l.Next()
+		return C(t.Text), nil
+	default:
+		return Term{}, l.Errorf("expected term, found %s %q", t.Kind, t.Text)
+	}
+}
+
+func tokenTerm(t Token) Term {
+	if t.Kind == TokVar {
+		return V(t.Text)
+	}
+	return C(t.Text)
+}
+
+// MustParseProgram parses a program and panics on error; intended for
+// statically-known programs in examples, models, and tests.
+func MustParseProgram(src string) Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(fmt.Sprintf("dlog: parse: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,101 @@
+package fol
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// TestFiniteDomainForallExists: ∀x ∃y r(x,y) with r free is satisfiable
+// over the finite domain (choose r total) — rejected by the BS checker but
+// decidable with FiniteDomain.
+func TestFiniteDomainForallExists(t *testing.T) {
+	f := ForallF([]string{"X"}, ExistsF([]string{"Y"}, AtomF("r", x("X"), x("Y"))))
+	if _, err := Solve(&Problem{Formula: f, Free: map[string]int{"r": 2}}); err == nil {
+		t.Fatal("∀∃ accepted without FiniteDomain")
+	}
+	res, err := Solve(&Problem{
+		Formula:      f,
+		Free:         map[string]int{"r": 2},
+		ExtraConsts:  []relation.Const{"a", "b"},
+		FiniteDomain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The model must indeed make r total on the domain.
+	for _, d := range res.Domain {
+		found := false
+		for _, e := range res.Domain {
+			if res.Model["r"].Has(relation.Tuple{d, e}) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("model r not total at %s: %s", d, res.Model["r"])
+		}
+	}
+}
+
+// TestFiniteDomainForallExistsUnsat: ∀x ∃y (r(x,y) ∧ ¬r(x,y)) is
+// unsatisfiable.
+func TestFiniteDomainForallExistsUnsat(t *testing.T) {
+	f := ForallF([]string{"X"}, ExistsF([]string{"Y"},
+		AndF(AtomF("r", x("X"), x("Y")), NotF(AtomF("r", x("X"), x("Y"))))))
+	res, err := Solve(&Problem{
+		Formula:      f,
+		Free:         map[string]int{"r": 2},
+		ExtraConsts:  []relation.Const{"a"},
+		FiniteDomain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+// TestFiniteDomainFunctionalForcing: ∀x,y,y' (r(x,y) ∧ r(x,y') → y=y') ∧
+// ∀x ∃y r(x,y) over a 2-element domain forces r to be a function; adding
+// ∃u,v,w (r(u,w) ∧ r(v,w) ∧ u≠v) stays satisfiable (non-injective
+// function), while forcing injectivity plus non-injectivity is not.
+func TestFiniteDomainFunctionalForcing(t *testing.T) {
+	functional := ForallF([]string{"X", "Y", "Z"},
+		Implies(AndF(AtomF("r", x("X"), x("Y")), AtomF("r", x("X"), x("Z"))), Eq(x("Y"), x("Z"))))
+	total := ForallF([]string{"X"}, ExistsF([]string{"Y"}, AtomF("r", x("X"), x("Y"))))
+	collide := ExistsF([]string{"U", "V", "W"}, AndF(
+		AtomF("r", x("U"), x("W")), AtomF("r", x("V"), x("W")), Neq(x("U"), x("V"))))
+	res, err := Solve(&Problem{
+		Formula:      AndF(functional, total, collide),
+		Free:         map[string]int{"r": 2},
+		ExtraConsts:  []relation.Const{"a", "b"},
+		FiniteDomain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat {
+		t.Fatalf("constant function should satisfy: %v", res.Status)
+	}
+	injective := ForallF([]string{"U", "V", "W"},
+		Implies(AndF(AtomF("r", x("U"), x("W")), AtomF("r", x("V"), x("W"))), Eq(x("U"), x("V"))))
+	res2, err := Solve(&Problem{
+		Formula:      AndF(functional, total, collide, injective),
+		Free:         map[string]int{"r": 2},
+		ExtraConsts:  []relation.Const{"a", "b"},
+		Witnesses:    1,
+		FiniteDomain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != sat.Unsat {
+		t.Fatalf("injective + colliding should be unsat: %v", res2.Status)
+	}
+}

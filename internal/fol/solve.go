@@ -1,0 +1,603 @@
+package fol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dlog"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// WitnessPrefix begins the names of the fresh witness elements added to the
+// domain by the small-model construction. The '?' keeps them disjoint from
+// every parseable constant.
+const WitnessPrefix = "?w"
+
+// Problem is a finite-satisfiability question for a closed ∃*∀*FO sentence.
+type Problem struct {
+	// Formula is the closed sentence to test. It may use arbitrary
+	// ∧/∨/¬/→ structure as long as, after NNF, no existential quantifier
+	// falls under a universal one.
+	Formula Formula
+	// Fixed maps predicate names to closed-world finite extensions (e.g.
+	// the product database): an atom over Fixed is true iff the tuple is
+	// present.
+	Fixed map[string]*relation.Rel
+	// Free maps predicate names to arities; their extensions over the
+	// finite domain are chosen by the solver (e.g. the unknown inputs).
+	Free map[string]int
+	// ExtraConsts adds constants to the domain beyond those in the formula
+	// and the fixed relations.
+	ExtraConsts []relation.Const
+	// Witnesses overrides the number of fresh witness elements; 0 means
+	// max(1, number of existential variables), the paper's bound.
+	Witnesses int
+	// FiniteDomain admits sentences outside the Bernays–Schönfinkel class
+	// (existential quantifiers under universal ones) by expanding the inner
+	// existentials disjunctively over the finite domain. The answer is then
+	// satisfiability over that explicit domain — sound and complete for BS
+	// sentences, but only a bounded check for ∀∃ sentences, whose
+	// small-model property does not hold in general. Witness elements are
+	// allocated for the outer existentials only.
+	FiniteDomain bool
+	// MaxConflicts bounds the SAT search (0 = unlimited); exceeding it
+	// yields Status Unknown.
+	MaxConflicts int64
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	// Status is Sat, Unsat, or Unknown (budget exhausted).
+	Status sat.Status
+	// Domain is the finite universe used (constants plus witnesses).
+	Domain []relation.Const
+	// Model holds chosen extensions for the free predicates (Sat only).
+	Model map[string]*relation.Rel
+	// Witness maps each (alpha-renamed) existential variable to its chosen
+	// domain element (Sat only).
+	Witness map[string]relation.Const
+	// Vars and Clauses are grounding statistics.
+	Vars, Clauses int
+}
+
+// Solve decides finite satisfiability of the problem by grounding to CNF
+// and running the CDCL solver. See the package comment for semantics.
+func Solve(p *Problem) (*Result, error) {
+	f := RenameBound(NNF(p.Formula))
+	if fv := FreeVars(f); len(fv) > 0 {
+		return nil, fmt.Errorf("fol: sentence has free variables %v", fv)
+	}
+	var nExists int
+	if p.FiniteDomain {
+		nExists = countOuterExistentials(f)
+	} else {
+		var err error
+		nExists, err = CheckBS(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Check predicate usage against Fixed/Free declarations.
+	for pred, arity := range Preds(f) {
+		if r, ok := p.Fixed[pred]; ok {
+			if r != nil && r.Len() > 0 && r.Arity() != arity {
+				return nil, fmt.Errorf("fol: %s used with arity %d, fixed relation has arity %d", pred, arity, r.Arity())
+			}
+			continue
+		}
+		if a, ok := p.Free[pred]; ok {
+			if a != arity {
+				return nil, fmt.Errorf("fol: %s used with arity %d, declared free with arity %d", pred, arity, a)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("fol: predicate %s is neither fixed nor free", pred)
+	}
+
+	// Assemble the domain: formula constants, fixed-relation active domain,
+	// extra constants, then witnesses.
+	domSet := make(map[relation.Const]bool)
+	for _, c := range Constants(f) {
+		domSet[c] = true
+	}
+	for _, r := range p.Fixed {
+		if r == nil {
+			continue
+		}
+		for _, t := range r.Tuples() {
+			for _, c := range t {
+				domSet[c] = true
+			}
+		}
+	}
+	for _, c := range p.ExtraConsts {
+		domSet[c] = true
+	}
+	var domain []relation.Const
+	for c := range domSet {
+		domain = append(domain, c)
+	}
+	sort.Slice(domain, func(i, j int) bool { return domain[i] < domain[j] })
+	w := p.Witnesses
+	if w == 0 {
+		w = nExists
+		if w == 0 {
+			w = 1
+		}
+	}
+	for i := 1; i <= w; i++ {
+		domain = append(domain, relation.Const(fmt.Sprintf("%s%d", WitnessPrefix, i)))
+	}
+
+	g := &grounder{
+		solver: sat.New(),
+		fixed:  p.Fixed,
+		free:   p.Free,
+		domain: domain,
+		domIdx: make(map[relation.Const]int, len(domain)),
+		atoms:  make(map[string]int),
+		sels:   make(map[string][]int),
+	}
+	for i, d := range domain {
+		g.domIdx[d] = i
+	}
+	g.trueVar = g.solver.NewVar()
+	if err := g.solver.AddClause(g.trueVar); err != nil {
+		return nil, err
+	}
+	root, err := g.lit(f, map[string]gterm{}, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.solver.AddClause(root); err != nil {
+		return nil, err
+	}
+	res := &Result{Domain: domain, Vars: g.solver.NumVars(), Clauses: g.solver.NumClauses()}
+	if p.MaxConflicts > 0 {
+		res.Status = g.solver.SolveBudget(p.MaxConflicts)
+	} else {
+		res.Status = g.solver.Solve()
+	}
+	if res.Status != sat.Sat {
+		return res, nil
+	}
+	// Extract the model of the free predicates.
+	res.Model = make(map[string]*relation.Rel, len(p.Free))
+	for pred, arity := range p.Free {
+		res.Model[pred] = relation.NewRel(arity)
+	}
+	for key, v := range g.atoms {
+		if !g.solver.Value(v) {
+			continue
+		}
+		pred, tuple := decodeAtomKey(key)
+		res.Model[pred].Add(tuple)
+	}
+	// Extract existential witnesses.
+	res.Witness = make(map[string]relation.Const)
+	for x, vars := range g.sels {
+		for i, v := range vars {
+			if g.solver.Value(v) {
+				res.Witness[x] = domain[i]
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// gterm is a grounded term during encoding: either a concrete constant or a
+// selector-encoded existential variable.
+type gterm struct {
+	c   relation.Const
+	sel string // non-empty: name of an existential variable
+}
+
+type grounder struct {
+	solver  *sat.Solver
+	fixed   map[string]*relation.Rel
+	free    map[string]int
+	domain  []relation.Const
+	domIdx  map[relation.Const]int
+	trueVar int
+	// atoms caches SAT variables for ground atoms of free predicates,
+	// keyed by pred + tuple.
+	atoms map[string]int
+	// sels maps each existential variable to its selector variables, one
+	// per domain element, under an exactly-one constraint.
+	sels map[string][]int
+}
+
+func atomKey(pred string, t relation.Tuple) string {
+	var b strings.Builder
+	b.WriteString(pred)
+	for _, c := range t {
+		b.WriteByte(1)
+		b.WriteString(string(c))
+	}
+	return b.String()
+}
+
+func decodeAtomKey(key string) (string, relation.Tuple) {
+	parts := strings.Split(key, "\x01")
+	t := make(relation.Tuple, len(parts)-1)
+	for i, p := range parts[1:] {
+		t[i] = relation.Const(p)
+	}
+	return parts[0], t
+}
+
+// groundAtomLit returns the literal for a fully ground atom: a truth
+// constant for fixed predicates, a cached SAT variable for free ones.
+func (g *grounder) groundAtomLit(pred string, t relation.Tuple) (int, error) {
+	if r, ok := g.fixed[pred]; ok {
+		if r.Has(t) {
+			return g.trueVar, nil
+		}
+		return -g.trueVar, nil
+	}
+	if _, ok := g.free[pred]; !ok {
+		return 0, fmt.Errorf("fol: undeclared predicate %s", pred)
+	}
+	key := atomKey(pred, t)
+	if v, ok := g.atoms[key]; ok {
+		return v, nil
+	}
+	v := g.solver.NewVar()
+	g.atoms[key] = v
+	return v, nil
+}
+
+// selectors allocates (once) the selector variables for existential
+// variable x with the exactly-one constraint.
+func (g *grounder) selectors(x string) []int {
+	if vs, ok := g.sels[x]; ok {
+		return vs
+	}
+	vs := make([]int, len(g.domain))
+	for i := range vs {
+		vs[i] = g.solver.NewVar()
+	}
+	// At least one.
+	g.solver.AddClause(vs...)
+	// At most one (pairwise).
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			g.solver.AddClause(-vs[i], -vs[j])
+		}
+	}
+	g.sels[x] = vs
+	return vs
+}
+
+func (g *grounder) domainIndex(c relation.Const) int {
+	if i, ok := g.domIdx[c]; ok {
+		return i
+	}
+	return -1
+}
+
+// lit encodes the formula under the environment and returns a literal that
+// is (for the positive-polarity occurrences NNF guarantees for ∃, and full
+// equivalence elsewhere) equivalent to the formula's truth. underForall
+// tracks quantifier nesting: existentials inside a universal scope are
+// expanded disjunctively over the domain (finite-domain semantics) rather
+// than selector-encoded, since their witness may depend on the universal
+// instantiation.
+func (g *grounder) lit(f Formula, env map[string]gterm, underForall bool) (int, error) {
+	switch t := f.(type) {
+	case Atom:
+		return g.atomLit(t, env)
+	case Equal:
+		return g.eqLit(t, env)
+	case Not:
+		l, err := g.lit(t.F, env, underForall)
+		if err != nil {
+			return 0, err
+		}
+		return -l, nil
+	case And:
+		var lits []int
+		for _, h := range t.Fs {
+			l, err := g.lit(h, env, underForall)
+			if err != nil {
+				return 0, err
+			}
+			if l == g.trueVar {
+				continue
+			}
+			if l == -g.trueVar {
+				return -g.trueVar, nil
+			}
+			lits = append(lits, l)
+		}
+		return g.andLit(lits), nil
+	case Or:
+		var lits []int
+		for _, h := range t.Fs {
+			l, err := g.lit(h, env, underForall)
+			if err != nil {
+				return 0, err
+			}
+			if l == -g.trueVar {
+				continue
+			}
+			if l == g.trueVar {
+				return g.trueVar, nil
+			}
+			lits = append(lits, l)
+		}
+		return g.orLit(lits), nil
+	case Forall:
+		return g.forallLit(t.Vars, t.F, env)
+	case Exists:
+		if underForall {
+			return g.expandExists(t.Vars, t.F, env)
+		}
+		nenv := cloneEnv(env)
+		for _, x := range t.Vars {
+			g.selectors(x)
+			nenv[x] = gterm{sel: x}
+		}
+		return g.lit(t.F, nenv, underForall)
+	}
+	return 0, fmt.Errorf("fol: unknown formula node %T", f)
+}
+
+// expandExists grounds ∃x̄ φ as the disjunction over all domain assignments
+// of x̄ (used under universal scope, where selector encoding is unsound).
+func (g *grounder) expandExists(vars []string, body Formula, env map[string]gterm) (int, error) {
+	var lits []int
+	var rec func(i int, env map[string]gterm) error
+	rec = func(i int, env map[string]gterm) error {
+		if i == len(vars) {
+			l, err := g.lit(body, env, true)
+			if err != nil {
+				return err
+			}
+			lits = append(lits, l)
+			return nil
+		}
+		for _, d := range g.domain {
+			nenv := cloneEnv(env)
+			nenv[vars[i]] = gterm{c: d}
+			if err := rec(i+1, nenv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, env); err != nil {
+		return 0, err
+	}
+	var kept []int
+	for _, l := range lits {
+		if l == -g.trueVar {
+			continue
+		}
+		if l == g.trueVar {
+			return g.trueVar, nil
+		}
+		kept = append(kept, l)
+	}
+	return g.orLit(kept), nil
+}
+
+func cloneEnv(env map[string]gterm) map[string]gterm {
+	n := make(map[string]gterm, len(env)+2)
+	for k, v := range env {
+		n[k] = v
+	}
+	return n
+}
+
+func (g *grounder) forallLit(vars []string, body Formula, env map[string]gterm) (int, error) {
+	var lits []int
+	var rec func(i int, env map[string]gterm) error
+	rec = func(i int, env map[string]gterm) error {
+		if i == len(vars) {
+			l, err := g.lit(body, env, true)
+			if err != nil {
+				return err
+			}
+			lits = append(lits, l)
+			return nil
+		}
+		for _, d := range g.domain {
+			nenv := cloneEnv(env)
+			nenv[vars[i]] = gterm{c: d}
+			if err := rec(i+1, nenv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, env); err != nil {
+		return 0, err
+	}
+	// Simplify constants.
+	var kept []int
+	for _, l := range lits {
+		if l == g.trueVar {
+			continue
+		}
+		if l == -g.trueVar {
+			return -g.trueVar, nil
+		}
+		kept = append(kept, l)
+	}
+	return g.andLit(kept), nil
+}
+
+// andLit Tseitin-defines a literal equivalent to the conjunction of lits.
+func (g *grounder) andLit(lits []int) int {
+	switch len(lits) {
+	case 0:
+		return g.trueVar
+	case 1:
+		return lits[0]
+	}
+	a := g.solver.NewVar()
+	long := make([]int, 0, len(lits)+1)
+	for _, l := range lits {
+		g.solver.AddClause(-a, l)
+		long = append(long, -l)
+	}
+	long = append(long, a)
+	g.solver.AddClause(long...)
+	return a
+}
+
+// orLit Tseitin-defines a literal equivalent to the disjunction of lits.
+func (g *grounder) orLit(lits []int) int {
+	switch len(lits) {
+	case 0:
+		return -g.trueVar
+	case 1:
+		return lits[0]
+	}
+	a := g.solver.NewVar()
+	long := make([]int, 0, len(lits)+1)
+	for _, l := range lits {
+		g.solver.AddClause(a, -l)
+		long = append(long, l)
+	}
+	long = append(long, -a)
+	g.solver.AddClause(long...)
+	return a
+}
+
+// resolveArgs splits the atom's arguments into concrete constants and
+// selector variables under env.
+func resolveArgs(args []dlog.Term, env map[string]gterm) ([]gterm, error) {
+	out := make([]gterm, len(args))
+	for i, a := range args {
+		if !a.Var {
+			out[i] = gterm{c: relation.Const(a.Name)}
+			continue
+		}
+		gt, ok := env[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("fol: unbound variable %s", a.Name)
+		}
+		out[i] = gt
+	}
+	return out, nil
+}
+
+// atomLit encodes R(t̄) where t̄ may mix constants and selector variables.
+// With s distinct selector variables the encoding enumerates the |D|^s
+// assignments; each contributes two clauses defining the aux literal.
+func (g *grounder) atomLit(a Atom, env map[string]gterm) (int, error) {
+	gts, err := resolveArgs(a.Args, env)
+	if err != nil {
+		return 0, err
+	}
+	// Distinct selector variables, in order of first occurrence.
+	var sels []string
+	seen := map[string]bool{}
+	for _, gt := range gts {
+		if gt.sel != "" && !seen[gt.sel] {
+			seen[gt.sel] = true
+			sels = append(sels, gt.sel)
+		}
+	}
+	if len(sels) == 0 {
+		t := make(relation.Tuple, len(gts))
+		for i, gt := range gts {
+			t[i] = gt.c
+		}
+		return g.groundAtomLit(a.Pred, t)
+	}
+	aux := g.solver.NewVar()
+	assign := make(map[string]relation.Const, len(sels))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(sels) {
+			t := make(relation.Tuple, len(gts))
+			for j, gt := range gts {
+				if gt.sel != "" {
+					t[j] = assign[gt.sel]
+				} else {
+					t[j] = gt.c
+				}
+			}
+			ground, err := g.groundAtomLit(a.Pred, t)
+			if err != nil {
+				return err
+			}
+			// combo ∧ ground → aux ; combo ∧ ¬ground → ¬aux
+			combo := make([]int, 0, len(sels)+2)
+			for _, x := range sels {
+				combo = append(combo, -g.sels[x][g.domainIndex(assign[x])])
+			}
+			if ground == g.trueVar {
+				g.solver.AddClause(append(append([]int{}, combo...), aux)...)
+			} else if ground == -g.trueVar {
+				g.solver.AddClause(append(append([]int{}, combo...), -aux)...)
+			} else {
+				g.solver.AddClause(append(append([]int{}, combo...), -ground, aux)...)
+				g.solver.AddClause(append(append([]int{}, combo...), ground, -aux)...)
+			}
+			return nil
+		}
+		for _, d := range g.domain {
+			assign[sels[i]] = d
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return aux, nil
+}
+
+// eqLit encodes t = u under env.
+func (g *grounder) eqLit(e Equal, env map[string]gterm) (int, error) {
+	gts, err := resolveArgs([]dlog.Term{e.L, e.R}, env)
+	if err != nil {
+		return 0, err
+	}
+	l, r := gts[0], gts[1]
+	switch {
+	case l.sel == "" && r.sel == "":
+		if l.c == r.c {
+			return g.trueVar, nil
+		}
+		return -g.trueVar, nil
+	case l.sel != "" && r.sel == "":
+		i := g.domainIndex(r.c)
+		if i < 0 {
+			return -g.trueVar, nil
+		}
+		return g.sels[l.sel][i], nil
+	case l.sel == "" && r.sel != "":
+		i := g.domainIndex(l.c)
+		if i < 0 {
+			return -g.trueVar, nil
+		}
+		return g.sels[r.sel][i], nil
+	default:
+		if l.sel == r.sel {
+			return g.trueVar, nil
+		}
+		aux := g.solver.NewVar()
+		sx, sy := g.sels[l.sel], g.sels[r.sel]
+		for i := range g.domain {
+			// sx_i ∧ sy_i → aux
+			g.solver.AddClause(-sx[i], -sy[i], aux)
+			for j := range g.domain {
+				if i != j {
+					// sx_i ∧ sy_j → ¬aux
+					g.solver.AddClause(-sx[i], -sy[j], -aux)
+				}
+			}
+		}
+		return aux, nil
+	}
+}

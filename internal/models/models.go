@@ -1,0 +1,344 @@
+// Package models is the library of business models used throughout the
+// paper and this reproduction: the short and friendly transducers of
+// Section 2.1 (verbatim), the ab*c propositional transducer of Section 3.1,
+// customized and input-controlled variants used by the containment and
+// error-free experiments, and two further e-commerce models (auction and
+// subscription) demonstrating the modeling range the paper claims.
+package models
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// ShortSrc is the paper's first example (transducer SHORT, Section 2.1): a
+// customer orders a product, is billed, pays, and takes delivery.
+const ShortSrc = `
+transducer short
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+`
+
+// FriendlySrc is the paper's customized variant (transducer FRIENDLY,
+// Section 2.1): the same business semantics as SHORT plus warning messages
+// and pending-bill reminders. The paper observes that SHORT and FRIENDLY
+// have exactly the same valid logs.
+const FriendlySrc = `
+transducer friendly
+relations
+  database: price/2, available/1;
+  input: order/1, pay/2, pending-bills/0;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1, unavailable/1,
+          rejectpay/1, alreadypaid/1, rebill/2;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  unavailable(X) :- order(X), NOT available(X);
+  rejectpay(X) :- pay(X,Y), NOT past-order(X);
+  rejectpay(X) :- pay(X,Y), past-order(X), NOT price(X,Y);
+  alreadypaid(X) :- pay(X,Y), past-pay(X,Y);
+  rebill(X,Y) :- pending-bills, past-order(X), price(X,Y), NOT past-pay(X,Y);
+`
+
+// RestrictedSrc customizes SHORT with a customer-side purchasing policy in
+// the style of Section 2.1's discussion: orders for blocked products are
+// never billed or delivered (the customer's internal regulations disallow
+// buying them from this supplier). Its valid logs are strictly contained in
+// SHORT's.
+const RestrictedSrc = `
+transducer restricted
+schema
+  database: price/2, available/1, blocked/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y), NOT blocked(X);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y), NOT blocked(X);
+`
+
+// ABCSrc is the propositional Spocus transducer of Section 3.1, generating
+// exactly the prefixes of the language ab*c. The paper writes the input
+// propositions as upper-case A, B, C; this syntax reserves upper-case
+// initials for variables, so they are spelled ia, ib, ic here.
+const ABCSrc = `
+transducer abstar
+schema
+  input: ia/0, ib/0, ic/0;
+  state: past-ia/0, past-ib/0, past-ic/0;
+  output: a/0, b/0, c/0;
+  log: a, b, c;
+state rules
+  past-ia +:- ia;
+  past-ib +:- ib;
+  past-ic +:- ic;
+output rules
+  a :- ia, NOT past-ia;
+  b :- ib, past-ia, NOT past-ic, NOT ic;
+  c :- ic, past-ia, NOT past-ic;
+`
+
+// GuardedSrc is SHORT extended with the error rules compiled from the three
+// T_sdi examples of Section 4.1 plus cancellation: payment must match a
+// prior order at the correct price, and cancellation requires a prior
+// order. Its error-free runs are exactly the well-behaved shopping
+// sessions.
+const GuardedSrc = `
+transducer guarded
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2, cancel/1;
+  state: past-order/1, past-pay/2, past-cancel/1;
+  output: sendbill/2, deliver/1, error/0;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+  past-cancel(X) +:- cancel(X);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y), NOT past-cancel(X);
+  error :- pay(X,Y), NOT past-order(X);
+  error :- pay(X,Y), NOT price(X,Y);
+  error :- cancel(X), NOT past-order(X);
+`
+
+// PayFirstSrc is a supplier policy: any delivery-relevant payment must
+// precede cancellation, and ordering an item twice is an error. It shares
+// GuardedSrc's schema so the two can be compared as acceptors
+// (Theorem 4.6).
+const PayFirstSrc = `
+transducer payfirst
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2, cancel/1;
+  state: past-order/1, past-pay/2, past-cancel/1;
+  output: sendbill/2, deliver/1, error/0;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+  past-cancel(X) +:- cancel(X);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y), NOT past-cancel(X);
+  error :- pay(X,Y), NOT past-order(X);
+  error :- pay(X,Y), NOT price(X,Y);
+  error :- cancel(X), NOT past-order(X);
+  error :- order(X), past-order(X);
+`
+
+// StrictSrc is SHORT with input-control error rules drawn from the
+// decidable fragment of Theorems 4.4/4.6: no negative state literal occurs
+// in an error rule. It forbids double orders, double payments, and payments
+// at unlisted prices.
+const StrictSrc = `
+transducer strict
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1, error/0;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  error :- order(X), past-order(X);
+  error :- pay(X,Y), past-pay(X,Y);
+  error :- pay(X,Y), NOT price(X,Y);
+`
+
+// StricterSrc adds to STRICT the rule that ordering an unavailable product
+// is an error; its error-free runs are strictly contained in STRICT's.
+const StricterSrc = `
+transducer stricter
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1, error/0;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  error :- order(X), past-order(X);
+  error :- pay(X,Y), past-pay(X,Y);
+  error :- pay(X,Y), NOT price(X,Y);
+  error :- order(X), NOT available(X);
+`
+
+// AuctionSrc models a sealed-bid auction: sellers list items, bidders bid
+// while the auction is open, and the seller closes the auction by accepting
+// a bid; the accepted bidder's item is awarded. Error rules enforce the
+// protocol (no bidding on unlisted items, no double listing, awards only on
+// actual bids).
+const AuctionSrc = `
+transducer auction
+schema
+  database: registered/1;
+  input: list/1, bid/2, accept/2;
+  state: past-list/1, past-bid/2, past-accept/2;
+  output: ack/1, award/2, error/0;
+  log: list, bid, award;
+state rules
+  past-list(I) +:- list(I);
+  past-bid(I,B) +:- bid(I,B);
+  past-accept(I,B) +:- accept(I,B);
+output rules
+  ack(I) :- list(I), NOT past-list(I);
+  award(I,B) :- accept(I,B), past-bid(I,B), NOT past-accept(I,B);
+  error :- list(I), past-list(I);
+  error :- bid(I,B), NOT past-list(I);
+  error :- bid(I,B), NOT registered(B);
+  error :- accept(I,B), NOT past-bid(I,B);
+`
+
+// SubscriptionSrc models periodic subscriptions: a customer subscribes to a
+// service at a database-listed rate, is invoiced, pays, and may cancel;
+// reminders can be requested. Payment before subscription and wrong
+// amounts are rejected with warnings rather than errors (FRIENDLY style).
+const SubscriptionSrc = `
+transducer subscription
+schema
+  database: rate/2;
+  input: subscribe/1, remit/2, cancel/1, remind/0;
+  state: past-subscribe/1, past-remit/2, past-cancel/1, past-remind/0;
+  output: invoice/2, activate/1, stop/1, badremit/1, reminder/2;
+  log: subscribe, remit, activate, stop;
+state rules
+  past-subscribe(S) +:- subscribe(S);
+  past-remit(S,R) +:- remit(S,R);
+  past-cancel(S) +:- cancel(S);
+  past-remind +:- remind;
+output rules
+  invoice(S,R) :- subscribe(S), rate(S,R), NOT past-remit(S,R);
+  activate(S) :- past-subscribe(S), rate(S,R), remit(S,R), NOT past-remit(S,R), NOT past-cancel(S);
+  stop(S) :- cancel(S), past-subscribe(S);
+  badremit(S) :- remit(S,R), NOT rate(S,R);
+  badremit(S) :- remit(S,R), NOT past-subscribe(S);
+  reminder(S,R) :- remind, past-subscribe(S), rate(S,R), NOT past-remit(S,R);
+`
+
+// Short returns the SHORT transducer.
+func Short() *core.Machine { return core.MustParseProgram(ShortSrc) }
+
+// Friendly returns the FRIENDLY transducer.
+func Friendly() *core.Machine { return core.MustParseProgram(FriendlySrc) }
+
+// Restricted returns the customer-restricted customization of SHORT.
+func Restricted() *core.Machine { return core.MustParseProgram(RestrictedSrc) }
+
+// ABC returns the ab*c propositional transducer of Section 3.1.
+func ABC() *core.Machine { return core.MustParseProgram(ABCSrc) }
+
+// Guarded returns SHORT with the Section 4.1 input-control error rules.
+func Guarded() *core.Machine { return core.MustParseProgram(GuardedSrc) }
+
+// PayFirst returns the stricter supplier policy sharing Guarded's schema.
+func PayFirst() *core.Machine { return core.MustParseProgram(PayFirstSrc) }
+
+// Strict returns SHORT with decidable-fragment error rules.
+func Strict() *core.Machine { return core.MustParseProgram(StrictSrc) }
+
+// Stricter returns Strict plus the availability error rule.
+func Stricter() *core.Machine { return core.MustParseProgram(StricterSrc) }
+
+// WithLog rebuilds a Spocus machine with a different log declaration (used
+// to construct the full-log variants Theorem 3.5 requires).
+func WithLog(m *core.Machine, logNames ...string) *core.Machine {
+	s := m.Schema().Clone()
+	s.Log = logNames
+	s.State = nil
+	nm, err := core.NewSpocus(s, m.OutputRules())
+	if err != nil {
+		panic("models: WithLog: " + err.Error())
+	}
+	return nm.SetName(m.Name() + "-log")
+}
+
+// Auction returns the sealed-bid auction model.
+func Auction() *core.Machine { return core.MustParseProgram(AuctionSrc) }
+
+// Subscription returns the subscription model.
+func Subscription() *core.Machine { return core.MustParseProgram(SubscriptionSrc) }
+
+// MagazineDB returns the database of Figure 1: prices of Time, Newsweek,
+// and Le Monde (855, 845, 8350) with all three available.
+func MagazineDB() relation.Instance {
+	db := relation.NewInstance()
+	db.Add("price", relation.Tuple{"time", "855"})
+	db.Add("price", relation.Tuple{"newsweek", "845"})
+	db.Add("price", relation.Tuple{"le-monde", "8350"})
+	db.Add("available", relation.Tuple{"time"})
+	db.Add("available", relation.Tuple{"newsweek"})
+	db.Add("available", relation.Tuple{"le-monde"})
+	return db
+}
+
+// Step builds a single input instance from (relation, tuple) facts; a
+// convenience for examples and tests.
+func Step(facts ...relation.Fact) relation.Instance {
+	in := relation.NewInstance()
+	for _, f := range facts {
+		in.Add(f.Rel, f.Args)
+	}
+	return in
+}
+
+// F builds a fact.
+func F(rel string, args ...string) relation.Fact {
+	t := make(relation.Tuple, len(args))
+	for i, a := range args {
+		t[i] = relation.Const(a)
+	}
+	return relation.Fact{Rel: rel, Args: t}
+}
+
+// Fig1Inputs is the input sequence of the Figure 1 run of SHORT: the
+// customer orders Time and Newsweek, pays for Time, orders Le Monde, then
+// pays for the remaining two.
+func Fig1Inputs() relation.Sequence {
+	return relation.Sequence{
+		Step(F("order", "time"), F("order", "newsweek")),
+		Step(F("pay", "time", "855"), F("order", "le-monde")),
+		Step(F("pay", "newsweek", "845"), F("pay", "le-monde", "8350")),
+	}
+}
+
+// Fig2Inputs is the input sequence of the Figure 2 run of FRIENDLY:
+// it exercises the warning outputs (unavailable product, bad payment,
+// double payment) and the pending-bills reminder.
+func Fig2Inputs() relation.Sequence {
+	return relation.Sequence{
+		Step(F("order", "time"), F("order", "la-stampa")),
+		Step(F("pay", "time", "855"), F("pay", "le-monde", "8350")),
+		Step(F("order", "newsweek"), F("pay", "time", "855")),
+		Step(F("pending-bills")),
+		Step(F("pay", "newsweek", "845")),
+	}
+}

@@ -1,0 +1,293 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func TestAllModelsParseAsSpocus(t *testing.T) {
+	for _, m := range []*core.Machine{
+		Short(), Friendly(), Restricted(), ABC(), Guarded(), PayFirst(), Auction(), Subscription(),
+	} {
+		if m.Kind() != core.KindSpocus {
+			t.Errorf("%s: kind = %v, want spocus", m.Name(), m.Kind())
+		}
+	}
+}
+
+// TestFig1Run regenerates the Figure 1 run of SHORT and checks each step's
+// outputs (experiment E1).
+func TestFig1Run(t *testing.T) {
+	run, err := Short().Execute(MagazineDB(), Fig1Inputs())
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	// Step 1: order(time), order(newsweek) → bills for both.
+	want1 := Step(F("sendbill", "time", "855"), F("sendbill", "newsweek", "845"))
+	if !run.Outputs[0].Restrict([]string{"sendbill", "deliver"}).Equal(want1.Restrict([]string{"sendbill", "deliver"})) {
+		t.Errorf("step1 output = %s, want %s", run.Outputs[0], want1)
+	}
+	// Step 2: pay(time), order(le-monde) → bill for le-monde, deliver time.
+	o2 := run.Outputs[1]
+	if !o2.Has("sendbill", relation.Tuple{"le-monde", "8350"}) || !o2.Has("deliver", relation.Tuple{"time"}) {
+		t.Errorf("step2 output wrong: %s", o2)
+	}
+	if o2.Rel("sendbill").Len() != 1 || o2.Rel("deliver").Len() != 1 {
+		t.Errorf("step2 extra outputs: %s", o2)
+	}
+	// Step 3: pay both → deliver both.
+	o3 := run.Outputs[2]
+	if !o3.Has("deliver", relation.Tuple{"newsweek"}) || !o3.Has("deliver", relation.Tuple{"le-monde"}) {
+		t.Errorf("step3 output wrong: %s", o3)
+	}
+	if o3.Rel("sendbill").Len() != 0 {
+		t.Errorf("step3 spurious bills: %s", o3)
+	}
+}
+
+// TestFig2Run regenerates the Figure 2 run of FRIENDLY, exercising every
+// warning output (experiment E2).
+func TestFig2Run(t *testing.T) {
+	run, err := Friendly().Execute(MagazineDB(), Fig2Inputs())
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	// Step 1: la-stampa is unavailable.
+	if !run.Outputs[0].Has("unavailable", relation.Tuple{"la-stampa"}) {
+		t.Errorf("step1 missing unavailable: %s", run.Outputs[0])
+	}
+	if !run.Outputs[0].Has("sendbill", relation.Tuple{"time", "855"}) {
+		t.Errorf("step1 missing bill: %s", run.Outputs[0])
+	}
+	// Step 2: paying for unordered le-monde is rejected; time delivers.
+	o2 := run.Outputs[1]
+	if !o2.Has("rejectpay", relation.Tuple{"le-monde"}) {
+		t.Errorf("step2 missing rejectpay: %s", o2)
+	}
+	if !o2.Has("deliver", relation.Tuple{"time"}) {
+		t.Errorf("step2 missing deliver: %s", o2)
+	}
+	// Step 3: double payment for time.
+	if !run.Outputs[2].Has("alreadypaid", relation.Tuple{"time"}) {
+		t.Errorf("step3 missing alreadypaid: %s", run.Outputs[2])
+	}
+	// Step 4: pending-bills reminds about the unpaid newsweek order.
+	o4 := run.Outputs[3]
+	if !o4.Has("rebill", relation.Tuple{"newsweek", "845"}) {
+		t.Errorf("step4 missing rebill: %s", o4)
+	}
+	if o4.Rel("rebill").Len() != 1 {
+		t.Errorf("step4 extra rebills: %s", o4)
+	}
+	// Step 5: newsweek delivered.
+	if !run.Outputs[4].Has("deliver", relation.Tuple{"newsweek"}) {
+		t.Errorf("step5 missing deliver: %s", run.Outputs[4])
+	}
+}
+
+// TestShortFriendlySameLogOnSharedInputs spot-checks the paper's claim that
+// FRIENDLY only adds unlogged niceties: on inputs over SHORT's schema the
+// two produce identical logs.
+func TestShortFriendlySameLogOnSharedInputs(t *testing.T) {
+	db := MagazineDB()
+	inputs := Fig1Inputs()
+	rs, err := Short().Execute(db, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Friendly().Execute(db, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Logs.Equal(rf.Logs) {
+		t.Errorf("logs differ:\nshort:    %v\nfriendly: %v", rs.Logs, rf.Logs)
+	}
+}
+
+func TestABCGeneratesPrefixesOfAbStarC(t *testing.T) {
+	m := ABC()
+	// Drive a, b, b, c and collect the emitted word.
+	seq := relation.Sequence{
+		Step(F("ia")), Step(F("ib")), Step(F("ib")), Step(F("ic")),
+	}
+	run, err := m.Execute(relation.NewInstance(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word string
+	for _, out := range run.Outputs {
+		for _, p := range []string{"a", "b", "c"} {
+			if out.Rel(p).Len() > 0 {
+				word += p
+			}
+		}
+	}
+	if word != "abbc" {
+		t.Errorf("word = %q, want abbc", word)
+	}
+	// Repeating ia emits nothing; b after c emits nothing.
+	seq2 := relation.Sequence{
+		Step(F("ia")), Step(F("ia")), Step(F("ic")), Step(F("ib")),
+	}
+	run2, err := m.Execute(relation.NewInstance(), seq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word2 string
+	for _, out := range run2.Outputs {
+		for _, p := range []string{"a", "b", "c"} {
+			if out.Rel(p).Len() > 0 {
+				word2 += p
+			}
+		}
+	}
+	if word2 != "ac" {
+		t.Errorf("word = %q, want ac", word2)
+	}
+}
+
+func TestGuardedErrorFreeDiscipline(t *testing.T) {
+	m := Guarded()
+	db := MagazineDB()
+	good, err := m.Execute(db, relation.Sequence{
+		Step(F("order", "time")),
+		Step(F("pay", "time", "855")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Valid(core.ErrorFree) {
+		t.Error("well-behaved session raised error")
+	}
+	// Paying before ordering is an error.
+	bad, err := m.Execute(db, relation.Sequence{
+		Step(F("pay", "time", "855")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Valid(core.ErrorFree) {
+		t.Error("pay-before-order accepted")
+	}
+	// Cancelling an order prevents delivery but is not an error.
+	cancelled, err := m.Execute(db, relation.Sequence{
+		Step(F("order", "time")),
+		Step(F("cancel", "time")),
+		Step(F("pay", "time", "855")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cancelled.Valid(core.ErrorFree) {
+		t.Error("cancel raised error")
+	}
+	if cancelled.Outputs[2].Rel("deliver").Len() != 0 {
+		t.Errorf("delivered after cancel: %s", cancelled.Outputs[2])
+	}
+}
+
+func TestPayFirstStricter(t *testing.T) {
+	db := MagazineDB()
+	// Double ordering is fine for guarded, an error for payfirst.
+	seq := relation.Sequence{
+		Step(F("order", "time")),
+		Step(F("order", "time")),
+	}
+	rg, err := Guarded().Execute(db, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := PayFirst().Execute(db, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Valid(core.ErrorFree) {
+		t.Error("guarded rejects double order")
+	}
+	if rp.Valid(core.ErrorFree) {
+		t.Error("payfirst accepts double order")
+	}
+}
+
+func TestAuctionProtocol(t *testing.T) {
+	db := relation.NewInstance()
+	db.Add("registered", relation.Tuple{"alice"})
+	db.Add("registered", relation.Tuple{"bob"})
+	run, err := Auction().Execute(db, relation.Sequence{
+		Step(F("list", "vase")),
+		Step(F("bid", "vase", "alice")),
+		Step(F("bid", "vase", "bob")),
+		Step(F("accept", "vase", "bob")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		t.Error("legal auction raised error")
+	}
+	if !run.Outputs[3].Has("award", relation.Tuple{"vase", "bob"}) {
+		t.Errorf("award missing: %s", run.Outputs[3])
+	}
+	// Bidding before listing is an error.
+	bad, err := Auction().Execute(db, relation.Sequence{Step(F("bid", "vase", "alice"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Valid(core.ErrorFree) {
+		t.Error("bid before list accepted")
+	}
+	// Unregistered bidder is an error.
+	bad2, err := Auction().Execute(db, relation.Sequence{
+		Step(F("list", "vase")),
+		Step(F("bid", "vase", "mallory")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad2.Valid(core.ErrorFree) {
+		t.Error("unregistered bidder accepted")
+	}
+}
+
+func TestSubscriptionLifecycle(t *testing.T) {
+	db := relation.NewInstance()
+	db.Add("rate", relation.Tuple{"news", "10"})
+	db.Add("rate", relation.Tuple{"sports", "15"})
+	run, err := Subscription().Execute(db, relation.Sequence{
+		Step(F("subscribe", "news")),
+		Step(F("remind")),
+		Step(F("remit", "news", "10")),
+		Step(F("cancel", "news")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Outputs[0].Has("invoice", relation.Tuple{"news", "10"}) {
+		t.Errorf("invoice missing: %s", run.Outputs[0])
+	}
+	if !run.Outputs[1].Has("reminder", relation.Tuple{"news", "10"}) {
+		t.Errorf("reminder missing: %s", run.Outputs[1])
+	}
+	if !run.Outputs[2].Has("activate", relation.Tuple{"news"}) {
+		t.Errorf("activate missing: %s", run.Outputs[2])
+	}
+	if !run.Outputs[3].Has("stop", relation.Tuple{"news"}) {
+		t.Errorf("stop missing: %s", run.Outputs[3])
+	}
+	// Wrong amount is flagged.
+	run2, err := Subscription().Execute(db, relation.Sequence{
+		Step(F("subscribe", "news")),
+		Step(F("remit", "news", "99")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run2.Outputs[1].Has("badremit", relation.Tuple{"news"}) {
+		t.Errorf("badremit missing: %s", run2.Outputs[1])
+	}
+	if run2.Outputs[1].Rel("activate").Len() != 0 {
+		t.Errorf("activated on wrong amount: %s", run2.Outputs[1])
+	}
+}

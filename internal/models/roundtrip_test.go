@@ -1,0 +1,63 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllModelsPrintParseRoundTrip: every model's printed program reparses
+// to a machine of the same kind with a stable printed form — the property
+// that makes the CLI's program files and the library's programs
+// interchangeable.
+func TestAllModelsPrintParseRoundTrip(t *testing.T) {
+	machines := map[string]*core.Machine{
+		"short":        Short(),
+		"friendly":     Friendly(),
+		"restricted":   Restricted(),
+		"abc":          ABC(),
+		"guarded":      Guarded(),
+		"payfirst":     PayFirst(),
+		"strict":       Strict(),
+		"stricter":     Stricter(),
+		"auction":      Auction(),
+		"subscription": Subscription(),
+	}
+	for name, m := range machines {
+		printed := m.String()
+		back, err := core.ParseProgram(printed)
+		if err != nil {
+			t.Errorf("%s: reparse failed: %v\n%s", name, err, printed)
+			continue
+		}
+		if back.Kind() != m.Kind() {
+			t.Errorf("%s: kind changed %v -> %v", name, m.Kind(), back.Kind())
+		}
+		if back.String() != printed {
+			t.Errorf("%s: printed form not stable", name)
+		}
+		if len(back.OutputRules()) != len(m.OutputRules()) {
+			t.Errorf("%s: rule count changed", name)
+		}
+	}
+}
+
+// TestModelsBehaveIdenticallyAfterRoundTrip: the reparsed machine computes
+// the same run on the Figure 1 session.
+func TestModelsBehaveIdenticallyAfterRoundTrip(t *testing.T) {
+	db := MagazineDB()
+	inputs := Fig1Inputs()
+	orig := Short()
+	back := core.MustParseProgram(orig.String())
+	r1, err := orig.Execute(db, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := back.Execute(db, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Outputs.Equal(r2.Outputs) || !r1.Logs.Equal(r2.Logs) {
+		t.Error("round-tripped machine behaves differently")
+	}
+}

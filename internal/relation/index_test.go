@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeVisitsAll(t *testing.T) {
+	r := NewRel(2)
+	r.Add(tup("a", "1"))
+	r.Add(tup("b", "2"))
+	r.Add(tup("a", "3"))
+	var seen []string
+	r.Range(func(u Tuple) bool {
+		seen = append(seen, u.Key())
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("Range visited %d tuples, want 3", len(seen))
+	}
+	// Early stop.
+	count := 0
+	r.Range(func(Tuple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Range ignored early stop: %d visits", count)
+	}
+	var nilRel *Rel
+	nilRel.Range(func(Tuple) bool { t.Fatal("nil Range visited"); return true })
+}
+
+func TestRangeFirstSelective(t *testing.T) {
+	r := NewRel(2)
+	r.Add(tup("a", "1"))
+	r.Add(tup("b", "2"))
+	r.Add(tup("a", "3"))
+	var seen []string
+	r.RangeFirst("a", func(u Tuple) bool {
+		seen = append(seen, string(u[1]))
+		return true
+	})
+	sort.Strings(seen)
+	if len(seen) != 2 || seen[0] != "1" || seen[1] != "3" {
+		t.Errorf("RangeFirst(a) = %v", seen)
+	}
+	none := 0
+	r.RangeFirst("z", func(Tuple) bool { none++; return true })
+	if none != 0 {
+		t.Error("RangeFirst visited absent key")
+	}
+	// Zero-arity relations have no index and must not panic.
+	z := NewRel(0)
+	z.Add(Tuple{})
+	z.RangeFirst("x", func(Tuple) bool { t.Fatal("zero-arity RangeFirst visited"); return true })
+}
+
+// TestPropIndexConsistentAfterCloneUnion: the first-column index stays
+// consistent with the tuple set through Add/Clone/UnionWith.
+func TestPropIndexConsistentAfterCloneUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		consts := []Const{"a", "b", "c"}
+		a := NewRel(2)
+		b := NewRel(2)
+		for i := 0; i < r.Intn(8); i++ {
+			a.Add(Tuple{consts[r.Intn(3)], consts[r.Intn(3)]})
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			b.Add(Tuple{consts[r.Intn(3)], consts[r.Intn(3)]})
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		// For every first-column value, RangeFirst must agree with a filter
+		// over Tuples.
+		for _, c := range consts {
+			viaIndex := map[string]bool{}
+			u.RangeFirst(c, func(t Tuple) bool {
+				viaIndex[t.Key()] = true
+				return true
+			})
+			viaScan := map[string]bool{}
+			for _, t := range u.Tuples() {
+				if t[0] == c {
+					viaScan[t.Key()] = true
+				}
+			}
+			if len(viaIndex) != len(viaScan) {
+				return false
+			}
+			for k := range viaScan {
+				if !viaIndex[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format and returns a solver
+// loaded with it. The "p cnf" header is optional; variables are allocated as
+// needed.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad DIMACS header %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad variable count %q", fields[2])
+			}
+			for s.NumVars() < n {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			l, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", f)
+			}
+			if l == 0 {
+				if err := s.AddClause(pending...); err != nil {
+					return nil, err
+				}
+				pending = pending[:0]
+				continue
+			}
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			for s.NumVars() < v {
+				s.NewVar()
+			}
+			pending = append(pending, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) > 0 {
+		if err := s.AddClause(pending...); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// WriteDIMACS serializes the solver's problem clauses in DIMACS format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", s.nVars, len(s.clauses)); err != nil {
+		return err
+	}
+	for _, c := range s.clauses {
+		var b strings.Builder
+		for _, l := range c.lits {
+			fmt.Fprintf(&b, "%d ", l)
+		}
+		b.WriteString("0\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

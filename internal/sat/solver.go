@@ -1,0 +1,493 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver: two-watched-literal propagation, first-UIP conflict analysis,
+// VSIDS-style branching activities, phase saving, and Luby restarts.
+//
+// The solver is the execution substrate for the paper's decision procedures:
+// every decidability result reduces to finite satisfiability of a
+// Bernays–Schönfinkel sentence, which package fol grounds into CNF and
+// solves here. Variables are positive integers; literals are non-zero
+// integers with negation by sign, as in DIMACS.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means solving was aborted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// ErrBadLiteral is returned when a clause mentions literal 0 or an
+// undeclared variable.
+var ErrBadLiteral = errors.New("sat: literal must be a non-zero declared variable")
+
+type clause struct {
+	lits    []int
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+
+	// watches[idx(l)] lists clauses watching literal l (their lits[0] or
+	// lits[1] equals l).
+	watches [][]*clause
+
+	assign   []int8 // 1 true, -1 false, 0 unassigned; indexed by var
+	level    []int  // decision level per var
+	reason   []*clause
+	phase    []int8 // saved phase per var
+	trail    []int
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+
+	order []int // lazily sorted variable ordering scratch
+
+	propagations uint64
+	conflicts    uint64
+	decisions    uint64
+
+	model []int8
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1}
+	s.watches = make([][]*clause, 2)
+	s.assign = make([]int8, 1)
+	s.level = make([]int, 1)
+	s.reason = make([]*clause, 1)
+	s.phase = make([]int8, 1)
+	s.activity = make([]float64, 1)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index (≥ 1).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, -1)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	return s.nVars
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns (propagations, conflicts, decisions) counters.
+func (s *Solver) Stats() (uint64, uint64, uint64) {
+	return s.propagations, s.conflicts, s.decisions
+}
+
+func idx(l int) int {
+	if l > 0 {
+		return 2 * l
+	}
+	return -2*l + 1
+}
+
+func (s *Solver) valueLit(l int) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	a := s.assign[v]
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+// AddClause adds a problem clause. Duplicate literals are removed and
+// tautological clauses are dropped. Adding an empty clause (or a clause
+// whose literals are all already false at level 0) makes the instance
+// trivially unsatisfiable. It must be called before Solve.
+func (s *Solver) AddClause(lits ...int) error {
+	seen := make(map[int]bool, len(lits))
+	var cl []int
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if l == 0 || v > s.nVars {
+			return fmt.Errorf("%w: %d (have %d vars)", ErrBadLiteral, l, s.nVars)
+		}
+		if seen[-l] {
+			return nil // tautology
+		}
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		cl = append(cl, l)
+	}
+	c := &clause{lits: cl}
+	s.clauses = append(s.clauses, c)
+	if len(cl) >= 2 {
+		s.watch(c)
+	}
+	return nil
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[idx(c.lits[0])] = append(s.watches[idx(c.lits[0])], c)
+	s.watches[idx(c.lits[1])] = append(s.watches[idx(c.lits[1])], c)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l int, from *clause) bool {
+	switch s.valueLit(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l
+	sign := int8(1)
+	if v < 0 {
+		v = -v
+		sign = -1
+	}
+	s.assign[v] = sign
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propagations++
+		notP := -p
+		ws := s.watches[idx(notP)]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is true, clause is satisfied.
+			if s.valueLit(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[idx(c.lits[1])] = append(s.watches[idx(c.lits[1])], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watchers and return.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[idx(notP)] = kept
+				return c
+			}
+		}
+		s.watches[idx(notP)] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]int, int) {
+	learnt := []int{0} // slot for asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	p := 0
+	trailIdx := len(s.trail) - 1
+	c := confl
+	for {
+		start := 0
+		if p != 0 {
+			start = 1
+		}
+		for k := start; k < len(c.lits); k++ {
+			q := c.lits[k]
+			v := q
+			if v < 0 {
+				v = -v
+			}
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal to expand on the trail.
+		for {
+			p = s.trail[trailIdx]
+			trailIdx--
+			v := p
+			if v < 0 {
+				v = -v
+			}
+			if seen[v] {
+				c = s.reason[v]
+				seen[v] = false
+				counter--
+				break
+			}
+		}
+		if counter == 0 {
+			break
+		}
+		// p's reason is expanded next; asserting literal is ¬p ultimately.
+		if c == nil {
+			// Decision variable reached with counter>0 cannot happen in
+			// 1UIP analysis; guard defensively.
+			break
+		}
+	}
+	learnt[0] = -p
+	// Compute backjump level: max level among learnt[1:].
+	bl := 0
+	for _, q := range learnt[1:] {
+		v := q
+		if v < 0 {
+			v = -v
+		}
+		if s.level[v] > bl {
+			bl = s.level[v]
+		}
+	}
+	// Move a literal of backjump level to position 1 for watching.
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i]
+		if v < 0 {
+			v = -v
+		}
+		if s.level[v] == bl {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	return learnt, bl
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	limit := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l
+		ph := int8(1)
+		if v < 0 {
+			v = -v
+			ph = -1
+		}
+		s.phase[v] = ph
+		s.assign[v] = 0
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = limit
+}
+
+// pickBranchVar selects the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int) int {
+	// Find the subsequence containing i.
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. The optional assumptions are
+// literals fixed at decision level 1. maxConflicts < 0 means no budget.
+func (s *Solver) Solve(assumptions ...int) Status {
+	return s.SolveBudget(-1, assumptions...)
+}
+
+// SolveBudget is Solve with a conflict budget; it returns Unknown when the
+// budget is exhausted.
+func (s *Solver) SolveBudget(maxConflicts int64, assumptions ...int) Status {
+	s.cancelUntil(0)
+	// Attach unit clauses at level 0.
+	for _, c := range s.clauses {
+		switch len(c.lits) {
+		case 0:
+			return Unsat
+		case 1:
+			if !s.enqueue(c.lits[0], nil) {
+				return Unsat
+			}
+		}
+	}
+	if s.propagate() != nil {
+		return Unsat
+	}
+	restart := 1
+	budget := int64(100) * int64(luby(restart))
+	var spent int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			spent++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learnt, bl := s.analyze(confl)
+			s.cancelUntil(bl)
+			c := &clause{lits: learnt, learnt: true}
+			s.learnts = append(s.learnts, c)
+			if len(learnt) >= 2 {
+				s.watch(c)
+			}
+			if !s.enqueue(learnt[0], c) {
+				return Unsat
+			}
+			s.varInc /= 0.95
+			if maxConflicts >= 0 && int64(s.conflicts) > maxConflicts {
+				return Unknown
+			}
+			if spent > budget {
+				// Restart.
+				restart++
+				budget = int64(100) * int64(luby(restart))
+				spent = 0
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		// No conflict: decide.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case -1:
+				return Unsat
+			case 1:
+				// Already satisfied; open an empty decision level so the
+				// index keeps advancing.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			// All variables assigned: model found.
+			s.model = append([]int8(nil), s.assign...)
+			return Sat
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := v
+		if s.phase[v] == -1 {
+			l = -v
+		}
+		s.enqueue(l, nil)
+	}
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil || v <= 0 || v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == 1
+}
+
+// Model returns the satisfying assignment as a sorted list of true variable
+// indices; it is only meaningful after Solve returned Sat.
+func (s *Solver) Model() []int {
+	var out []int
+	for v := 1; v < len(s.model); v++ {
+		if s.model[v] == 1 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,281 @@
+// Package tsdi implements the temporal sentence class T_sdi of Section 4.1
+// and its compilation into Spocus error rules (Theorem 4.1).
+//
+// A T_sdi sentence is a conjunction of clauses
+//
+//	∀x̄ [ φ(state, db, in)(x̄) → ψ(state, db, in)(x̄) ]
+//
+// where φ is a conjunction of literals with every variable occurring in a
+// positive literal and ψ is a positive quantifier-free formula. As in the
+// proof of Theorem 4.1, ψ is kept in conjunctive normal form, so a sentence
+// is a list of clauses "If → Then" with Then a disjunction of positive
+// atoms. A run satisfies the sentence iff every transition's current state,
+// database, and input satisfy it.
+//
+// Theorem 4.1 states that for every T_sdi sentence there is a Spocus
+// transducer whose error-free runs have exactly the input sequences
+// satisfying the sentence; Compile produces those error rules and Enforce
+// grafts them onto an existing machine.
+package tsdi
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dlog"
+	"repro/internal/relation"
+)
+
+// Clause is one conjunct ∀x̄ (⋀If → ⋁Then) of a T_sdi sentence.
+type Clause struct {
+	// If is a conjunction of literals over state, database, and input
+	// relations; every variable of the clause must occur in a positive If
+	// literal.
+	If []dlog.Literal
+	// Then is a disjunction of positive atoms over state, database, and
+	// input relations. An empty Then denotes falsity (the clause forbids
+	// every If match).
+	Then []dlog.Atom
+}
+
+// Sentence is a conjunction of clauses.
+type Sentence struct {
+	Clauses []Clause
+}
+
+// ParseClause parses "lit, lit => atom, atom" where the right side is a
+// disjunction of positive atoms (possibly empty).
+func ParseClause(src string) (Clause, error) {
+	parts := strings.SplitN(src, "=>", 2)
+	if len(parts) != 2 {
+		return Clause{}, fmt.Errorf("tsdi: clause %q must contain '=>'", src)
+	}
+	var c Clause
+	if strings.TrimSpace(parts[0]) != "" {
+		r, err := dlog.ParseRule("x :- " + parts[0])
+		if err != nil {
+			return Clause{}, err
+		}
+		c.If = r.Body
+	}
+	if strings.TrimSpace(parts[1]) != "" {
+		r, err := dlog.ParseRule("x :- " + parts[1])
+		if err != nil {
+			return Clause{}, err
+		}
+		for _, l := range r.Body {
+			if l.Kind != dlog.LitPos {
+				return Clause{}, fmt.Errorf("tsdi: Then side of %q must contain only positive atoms", src)
+			}
+			c.Then = append(c.Then, l.Atom)
+		}
+	}
+	return c, nil
+}
+
+// Parse parses a sentence given as clause strings.
+func Parse(clauses ...string) (*Sentence, error) {
+	s := &Sentence{}
+	for _, src := range clauses {
+		c, err := ParseClause(src)
+		if err != nil {
+			return nil, err
+		}
+		s.Clauses = append(s.Clauses, c)
+	}
+	return s, nil
+}
+
+// MustParse parses a sentence and panics on error; for static sentences in
+// examples and tests.
+func MustParse(clauses ...string) *Sentence {
+	s, err := Parse(clauses...)
+	if err != nil {
+		panic(fmt.Sprintf("tsdi: %v", err))
+	}
+	return s
+}
+
+func (c Clause) String() string {
+	lhs := make([]string, len(c.If))
+	for i, l := range c.If {
+		lhs[i] = l.String()
+	}
+	rhs := make([]string, len(c.Then))
+	for i, a := range c.Then {
+		rhs[i] = a.String()
+	}
+	return strings.Join(lhs, ", ") + " => " + strings.Join(rhs, ", ")
+}
+
+func (s *Sentence) String() string {
+	parts := make([]string, len(s.Clauses))
+	for i, c := range s.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// Vars returns the variables of the clause in order of first occurrence.
+func (c Clause) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(vs []string) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, l := range c.If {
+		add(l.Vars())
+	}
+	for _, a := range c.Then {
+		add(a.Vars())
+	}
+	return out
+}
+
+// Validate checks the clause against a transducer schema: literals range
+// over state, database, and input relations with correct arities, and every
+// variable occurs in a positive If literal.
+func (c Clause) Validate(s *core.Schema) error {
+	check := func(a dlog.Atom) error {
+		if !s.In.Has(a.Pred) && !s.State.Has(a.Pred) && !s.DB.Has(a.Pred) {
+			return fmt.Errorf("tsdi: %s is not a state, database, or input relation", a.Pred)
+		}
+		if ar, _ := s.Arity(a.Pred); ar != len(a.Args) {
+			return fmt.Errorf("tsdi: %s used with arity %d, schema says %d", a.Pred, len(a.Args), ar)
+		}
+		return nil
+	}
+	pos := map[string]bool{}
+	for _, l := range c.If {
+		switch l.Kind {
+		case dlog.LitPos:
+			if err := check(l.Atom); err != nil {
+				return err
+			}
+			for _, v := range l.Atom.Vars() {
+				pos[v] = true
+			}
+		case dlog.LitNeg:
+			if err := check(l.Atom); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range c.Then {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	for _, v := range c.Vars() {
+		if !pos[v] {
+			return fmt.Errorf("tsdi: clause %q: variable %s does not occur in a positive If literal", c, v)
+		}
+	}
+	return nil
+}
+
+// Validate validates every clause.
+func (s *Sentence) Validate(schema *core.Schema) error {
+	for _, c := range s.Clauses {
+		if err := c.Validate(schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compile produces the Spocus error rules of Theorem 4.1: for each clause
+// ∀x̄ (φ → L₁ ∨ … ∨ Lₘ) the rule
+//
+//	error :- φ, NOT L₁, …, NOT Lₘ.
+//
+// fires exactly at transitions violating the clause.
+func (s *Sentence) Compile() dlog.Program {
+	var p dlog.Program
+	for _, c := range s.Clauses {
+		body := append([]dlog.Literal{}, c.If...)
+		for _, a := range c.Then {
+			body = append(body, dlog.Neg(a))
+		}
+		p = append(p, dlog.Rule{Head: dlog.NewAtom(core.ErrorRel), Body: body})
+	}
+	return p
+}
+
+// Enforce returns a new Spocus machine equal to m plus the sentence's error
+// rules (declaring the error output relation if absent), so that m's
+// error-free runs accept exactly the input sequences satisfying the
+// sentence in conjunction with m's own error rules.
+func Enforce(m *core.Machine, s *Sentence) (*core.Machine, error) {
+	if err := s.Validate(m.Schema()); err != nil {
+		return nil, err
+	}
+	schema := m.Schema().Clone()
+	if !schema.Out.Has(core.ErrorRel) {
+		schema.Out = append(schema.Out, relation.Decl{Name: core.ErrorRel, Arity: 0})
+	}
+	schema.State = nil // regenerated by NewSpocus
+	rules := append(append(dlog.Program{}, m.OutputRules()...), s.Compile()...)
+	nm, err := core.NewSpocus(schema, rules)
+	if err != nil {
+		return nil, err
+	}
+	name := m.Name()
+	if name == "" {
+		name = "anonymous"
+	}
+	return nm.SetName(name + "+tsdi"), nil
+}
+
+// HoldsAt evaluates the sentence at one transition: state is the cumulated
+// past input (the Sᵢ₋₁ of the run semantics), input the current input.
+func (s *Sentence) HoldsAt(input, state, db relation.Instance) (bool, error) {
+	view := dlog.MultiDB{input, state, db}
+	for _, c := range s.Clauses {
+		body := append([]dlog.Literal{}, c.If...)
+		for _, a := range c.Then {
+			body = append(body, dlog.Neg(a))
+		}
+		violated := false
+		if err := dlog.EvalRuleBindings(body, view, func(dlog.Binding) bool {
+			violated = true
+			return false
+		}); err != nil {
+			return false, err
+		}
+		if violated {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SatisfiedBy reports whether every transition of the run satisfies the
+// sentence, using the run's recorded inputs and the Spocus state semantics.
+func (s *Sentence) SatisfiedBy(m *core.Machine, run *core.Run) (bool, error) {
+	state := relation.NewInstance()
+	for _, d := range m.Schema().In {
+		state.Ensure(core.Past(d.Name), d.Arity)
+	}
+	for i := range run.Inputs {
+		ok, err := s.HoldsAt(run.Inputs[i], state, run.DB)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		for _, d := range m.Schema().In {
+			if r := run.Inputs[i].Rel(d.Name); r != nil {
+				state.Ensure(core.Past(d.Name), d.Arity).UnionWith(r)
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,210 @@
+package tsdi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// The paper's three example sentences from Section 4.1 (over a schema with
+// order, pay, cancel inputs).
+const (
+	exPayOrCancel = "past-order(X), price(X,Y), NOT past-pay(X,Y) => pay(X,Y), cancel(X)"
+	exPayNeedsOrd = "pay(X,Y) => price(X,Y)"
+	exPayNeedsOr2 = "pay(X,Y) => past-order(X)"
+	exCancelOrd   = "cancel(X) => past-order(X)"
+)
+
+// cancelShort is SHORT extended with a cancel input so all three example
+// sentences type-check.
+const cancelShortSrc = `
+transducer cancelshort
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2, cancel/1;
+  state: past-order/1, past-pay/2, past-cancel/1;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+  past-cancel(X) +:- cancel(X);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y), NOT past-cancel(X);
+`
+
+func cancelShort() *core.Machine { return core.MustParseProgram(cancelShortSrc) }
+
+func TestParseClause(t *testing.T) {
+	c, err := ParseClause(exPayOrCancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.If) != 3 || len(c.Then) != 2 {
+		t.Fatalf("clause shape wrong: %v", c)
+	}
+	if c.Then[0].Pred != "pay" || c.Then[1].Pred != "cancel" {
+		t.Errorf("Then atoms wrong: %v", c.Then)
+	}
+}
+
+func TestParseClauseErrors(t *testing.T) {
+	if _, err := ParseClause("no arrow here"); err == nil {
+		t.Error("missing => accepted")
+	}
+	if _, err := ParseClause("a(X) => NOT b(X)"); err == nil {
+		t.Error("negative Then literal accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := cancelShort()
+	s := MustParse(exPayOrCancel, exPayNeedsOrd, exCancelOrd)
+	if err := s.Validate(m.Schema()); err != nil {
+		t.Errorf("paper sentences rejected: %v", err)
+	}
+	// Output relations are not allowed in T_sdi.
+	bad := MustParse("deliver(X) => past-pay(X,X)")
+	if err := bad.Validate(m.Schema()); err == nil {
+		t.Error("output relation accepted in T_sdi")
+	}
+	// Unbound variable on the Then side.
+	bad2 := MustParse("order(X) => pay(X,Y)")
+	if err := bad2.Validate(m.Schema()); err == nil {
+		t.Error("variable not bound by positive If literal accepted")
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	s := MustParse(exPayOrCancel)
+	p := s.Compile()
+	if len(p) != 1 {
+		t.Fatalf("rule count %d", len(p))
+	}
+	r := p[0]
+	if r.Head.Pred != core.ErrorRel || len(r.Body) != 5 {
+		t.Errorf("compiled rule wrong: %v", r)
+	}
+}
+
+// TestTheorem41Enforcement is the core claim: the error-free runs of the
+// enforcing machine are exactly the input sequences satisfying the
+// sentence. Random input sequences cross-check both directions.
+func TestTheorem41Enforcement(t *testing.T) {
+	m := cancelShort()
+	s := MustParse(exPayNeedsOrd, exPayNeedsOr2, exCancelOrd)
+	enforcer, err := Enforce(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enforcer.Kind() != core.KindSpocus {
+		t.Fatalf("enforcer kind %v", enforcer.Kind())
+	}
+	db := models.MagazineDB()
+	mags := []string{"time", "newsweek", "le-monde"}
+	prices := []string{"855", "845", "8350"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var seq relation.Sequence
+		for i := 0; i < 1+r.Intn(4); i++ {
+			in := relation.NewInstance()
+			for k := 0; k < r.Intn(3); k++ {
+				switch r.Intn(3) {
+				case 0:
+					in.Add("order", relation.Tuple{relation.Const(mags[r.Intn(3)])})
+				case 1:
+					in.Add("pay", relation.Tuple{relation.Const(mags[r.Intn(3)]), relation.Const(prices[r.Intn(3)])})
+				default:
+					in.Add("cancel", relation.Tuple{relation.Const(mags[r.Intn(3)])})
+				}
+			}
+			seq = append(seq, in)
+		}
+		run, err := enforcer.Execute(db, seq)
+		if err != nil {
+			return false
+		}
+		satisfies, err := s.SatisfiedBy(m, &core.Run{DB: db, Inputs: seq})
+		if err != nil {
+			return false
+		}
+		return run.Valid(core.ErrorFree) == satisfies
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnforceConcreteSessions(t *testing.T) {
+	m := cancelShort()
+	s := MustParse(exPayNeedsOr2, exCancelOrd)
+	enforcer, err := Enforce(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := models.MagazineDB()
+	good := relation.Sequence{
+		models.Step(models.F("order", "time")),
+		models.Step(models.F("pay", "time", "855")),
+	}
+	run, err := enforcer.Execute(db, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		t.Error("legal session raised error")
+	}
+	bad := relation.Sequence{
+		models.Step(models.F("pay", "time", "855")),
+	}
+	run2, err := enforcer.Execute(db, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Valid(core.ErrorFree) {
+		t.Error("pay before order accepted")
+	}
+	bad2 := relation.Sequence{
+		models.Step(models.F("cancel", "time")),
+	}
+	run3, err := enforcer.Execute(db, bad2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run3.Valid(core.ErrorFree) {
+		t.Error("cancel before order accepted")
+	}
+}
+
+func TestHoldsAtPreStateSemantics(t *testing.T) {
+	// T_sdi is evaluated against the PRE-state: ordering and paying in the
+	// same step violates "pay(X,Y) => past-order(X)".
+	s := MustParse(exPayNeedsOr2)
+	input := models.Step(models.F("order", "time"), models.F("pay", "time", "855"))
+	state := relation.NewInstance()
+	state.Ensure("past-order", 1)
+	state.Ensure("past-pay", 2)
+	ok, err := s.HoldsAt(input, state, models.MagazineDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("same-step order+pay should violate the pre-state sentence")
+	}
+}
+
+func TestSentenceStringRoundTrip(t *testing.T) {
+	s := MustParse(exPayOrCancel, exCancelOrd)
+	if len(s.Clauses) != 2 {
+		t.Fatal("clause count")
+	}
+	s2 := MustParse(s.Clauses[0].String(), s.Clauses[1].String())
+	if s.String() != s2.String() {
+		t.Errorf("round trip changed sentence: %q vs %q", s, s2)
+	}
+}

@@ -1,0 +1,344 @@
+package turing
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dlog"
+	"repro/internal/relation"
+)
+
+// EmitRel names the output proposition emitting symbol z in stage 3.
+func EmitRel(z string) string { return "emit-" + z }
+
+// HeadFree is the state-column marker for cells not under the head, the
+// paper's 0.
+const HeadFree = "0"
+
+// Schema relation names of the compiled transducer, as in the proof of
+// Theorem 4.2.
+const (
+	RelStage    = "stage"
+	RelTape     = "tape"
+	RelIndex    = "index"
+	RelOldindex = "oldindex"
+	RelMove     = "move"
+	RelCell     = "cell"
+)
+
+// Compile builds the Spocus transducer of Theorem 4.2 for the machine: its
+// error-free runs encode (i) the construction of an initial blank tape of
+// arbitrary finite length, (ii) a legal computation of M input one
+// configuration per step, and (iii) the emission, one letter per step, of
+// the word on the tape once M halts with its head on the leftmost cell.
+// The generated error rules follow the proof's three stages verbatim, plus
+// the control rules the paper leaves implicit (stage discipline, value
+// sanity, single head, move/head agreement).
+func Compile(m *Machine) (*core.Machine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	states := append(m.States(), HeadFree)
+	cells := m.Symbols
+
+	b := newRuleBuilder()
+	v := dlog.V
+	c := dlog.C
+	tape := func(args ...dlog.Term) dlog.Atom { return dlog.NewAtom(RelTape, args...) }
+	pastTape := func(args ...dlog.Term) dlog.Atom { return dlog.NewAtom(core.Past(RelTape), args...) }
+	stage := func(s string) dlog.Literal { return dlog.Pos(dlog.NewAtom(RelStage, c(s))) }
+	notPastStage := func(s string) dlog.Literal { return dlog.Neg(dlog.NewAtom(core.Past(RelStage), c(s))) }
+	pastStage := func(s string) dlog.Literal { return dlog.Pos(dlog.NewAtom(core.Past(RelStage), c(s))) }
+
+	// notPastTapeAll expands ⋀_{(z,s)∈Δ} ¬past-tape(stamp, i1, i2, z, s).
+	notPastTapeAll := func(stamp, i1, i2 dlog.Term) []dlog.Literal {
+		var lits []dlog.Literal
+		for _, z := range cells {
+			for _, s := range states {
+				lits = append(lits, dlog.Neg(pastTape(stamp, i1, i2, c(z), c(s))))
+			}
+		}
+		return lits
+	}
+	notTapeAll := func(stamp, i1, i2 dlog.Term) []dlog.Literal {
+		var lits []dlog.Literal
+		for _, z := range cells {
+			for _, s := range states {
+				lits = append(lits, dlog.Neg(tape(stamp, i1, i2, c(z), c(s))))
+			}
+		}
+		return lits
+	}
+	// phiNext(A, B) identifies A as the maximal used configuration stamp
+	// and B as its (unused) successor index.
+	phiNext := func(A, B dlog.Term) []dlog.Literal {
+		lits := []dlog.Literal{
+			dlog.Pos(pastTape(v("S·"), A, B, v("Zn·"), v("Vn·"))),           // (A,B) is an index pair
+			dlog.Pos(pastTape(A, v("Xn·"), v("Yn·"), v("Zn2·"), v("Vn2·"))), // A is a used stamp
+		}
+		lits = append(lits, notPastTapeAll(B, c("0"), c("1"))...) // B unused as stamp
+		return lits
+	}
+
+	// --- Stage discipline -------------------------------------------------
+	b.err(dlog.Pos(dlog.NewAtom(RelStage, v("X"))), dlog.Pos(dlog.NewAtom(RelStage, v("Y"))), dlog.Neq(v("X"), v("Y")))
+	b.err(dlog.Neg(dlog.NewAtom(RelStage, c("1"))), dlog.Neg(dlog.NewAtom(RelStage, c("2"))), dlog.Neg(dlog.NewAtom(RelStage, c("3"))))
+	b.err(stage("1"), pastStage("2"))
+	b.err(stage("1"), pastStage("3"))
+	b.err(stage("2"), pastStage("3"))
+	b.err(stage("2"), notPastStage("1"))
+	b.err(stage("3"), notPastStage("2"))
+
+	// Inputs irrelevant to the current stage must be empty.
+	irrelevant := map[string][]struct {
+		rel   string
+		arity int
+	}{
+		"1": {{RelMove, 1}, {RelCell, 1}},
+		"2": {{RelIndex, 1}, {RelOldindex, 1}, {RelCell, 1}},
+		"3": {{RelTape, 5}, {RelIndex, 1}, {RelOldindex, 1}, {RelMove, 1}},
+	}
+	for _, st := range []string{"1", "2", "3"} {
+		for _, ir := range irrelevant[st] {
+			args := make([]dlog.Term, ir.arity)
+			for i := range args {
+				args[i] = v(fmt.Sprintf("W%d", i))
+			}
+			b.err(stage(st), dlog.Pos(dlog.NewAtom(ir.rel, args...)))
+		}
+	}
+
+	// --- Stage 1, first step ---------------------------------------------
+	first := []dlog.Literal{stage("1"), notPastStage("1")}
+	b.err(append(first, dlog.Neg(tape(c("0"), c("0"), c("1"), c(m.Blank), c(m.Start))))...)
+	b.err(append(first, dlog.Neg(dlog.NewAtom(RelIndex, c("0"))))...)
+	b.err(append(first, dlog.Neg(dlog.NewAtom(RelIndex, c("1"))))...)
+	b.err(append(first, dlog.Neg(dlog.NewAtom(RelOldindex, c("0"))))...)
+	b.err(append(first, dlog.Pos(dlog.NewAtom(RelIndex, v("X"))), dlog.Neq(v("X"), c("0")), dlog.Neq(v("X"), c("1")))...)
+	b.err(append(first, dlog.Pos(dlog.NewAtom(RelOldindex, v("X"))), dlog.Neq(v("X"), c("0")))...)
+	fiveVars := []dlog.Term{v("S"), v("X"), v("Y"), v("Z"), v("V")}
+	firstTapeWant := []dlog.Term{c("0"), c("0"), c("1"), c(m.Blank), c(m.Start)}
+	for i := range fiveVars {
+		b.err(append(first, dlog.Pos(tape(fiveVars...)), dlog.Neq(fiveVars[i], firstTapeWant[i]))...)
+	}
+
+	// --- Stage 1, later steps ---------------------------------------------
+	later := []dlog.Literal{stage("1"), pastStage("1")}
+	// One tuple at a time per relation.
+	five2 := []dlog.Term{v("S2"), v("X2"), v("Y2"), v("Z2"), v("V2")}
+	for i := range fiveVars {
+		b.err(append(later, dlog.Pos(tape(fiveVars...)), dlog.Pos(tape(five2...)), dlog.Neq(fiveVars[i], five2[i]))...)
+	}
+	b.err(append(later, dlog.Pos(dlog.NewAtom(RelIndex, v("X"))), dlog.Pos(dlog.NewAtom(RelIndex, v("Y"))), dlog.Neq(v("X"), v("Y")))...)
+	b.err(append(later, dlog.Pos(dlog.NewAtom(RelOldindex, v("X"))), dlog.Pos(dlog.NewAtom(RelOldindex, v("Y"))), dlog.Neq(v("X"), v("Y")))...)
+	// Shape of late tape tuples: (0, A, B, blank, HeadFree).
+	b.err(append(later, dlog.Pos(tape(fiveVars...)), dlog.Neq(v("S"), c("0")))...)
+	b.err(append(later, dlog.Pos(tape(fiveVars...)), dlog.Neq(v("Z"), c(m.Blank)))...)
+	b.err(append(later, dlog.Pos(tape(fiveVars...)), dlog.Neq(v("V"), c(HeadFree)))...)
+	// The paper's rules (1)–(10).
+	lateTape := dlog.Pos(tape(c("0"), v("A"), v("B"), c(m.Blank), c(HeadFree)))
+	pIndex := func(t dlog.Term) dlog.Literal { return dlog.Pos(dlog.NewAtom(core.Past(RelIndex), t)) }
+	nIndex := func(t dlog.Term) dlog.Literal { return dlog.Neg(dlog.NewAtom(core.Past(RelIndex), t)) }
+	pOld := func(t dlog.Term) dlog.Literal { return dlog.Pos(dlog.NewAtom(core.Past(RelOldindex), t)) }
+	nOld := func(t dlog.Term) dlog.Literal { return dlog.Neg(dlog.NewAtom(core.Past(RelOldindex), t)) }
+	curIndex := func(t dlog.Term) dlog.Literal { return dlog.Pos(dlog.NewAtom(RelIndex, t)) }
+	curOld := func(t dlog.Term) dlog.Literal { return dlog.Pos(dlog.NewAtom(RelOldindex, t)) }
+	b.err(append(later, lateTape, nIndex(v("A")))...)                                                                                        // (1)
+	b.err(append(later, lateTape, pOld(v("A")))...)                                                                                          // (2)
+	b.err(append(later, lateTape, pIndex(v("B")))...)                                                                                        // (3)
+	b.err(append(later, lateTape, dlog.Neg(dlog.NewAtom(RelOldindex, v("A"))))...)                                                           // (4)
+	b.err(append(later, lateTape, dlog.Neg(dlog.NewAtom(RelIndex, v("B"))))...)                                                              // (5)
+	b.err(append(later, curOld(v("A")), curIndex(v("B")), dlog.Neg(tape(c("0"), v("A"), v("B"), c(m.Blank), c(HeadFree))))...)               // (6)
+	b.err(append(later, curIndex(v("B")), pIndex(v("A")), nOld(v("A")), dlog.Neg(tape(c("0"), v("A"), v("B"), c(m.Blank), c(HeadFree))))...) // (7)
+	b.err(append(later, curIndex(v("B")), pIndex(v("A")), nOld(v("A")), dlog.Neg(dlog.NewAtom(RelOldindex, v("A"))))...)                     // (8)
+	b.err(append(later, curOld(v("A")), nIndex(v("A")))...)                                                                                  // (9)
+	b.err(append(later, curOld(v("A")), pOld(v("A")))...)                                                                                    // (10)
+
+	// --- Stage 2 ------------------------------------------------------------
+	s2 := stage("2")
+	// (1) one stamp per step.
+	b.err(s2, dlog.Pos(tape(fiveVars...)), dlog.Pos(tape(five2...)), dlog.Neq(v("S"), v("S2")))
+	// Value sanity: cell and state columns draw from Δ.
+	{
+		lits := []dlog.Literal{s2, dlog.Pos(tape(fiveVars...))}
+		for _, z := range cells {
+			lits = append(lits, dlog.Neq(v("Z"), c(z)))
+		}
+		b.err(lits...)
+	}
+	{
+		lits := []dlog.Literal{s2, dlog.Pos(tape(fiveVars...))}
+		for _, s := range states {
+			lits = append(lits, dlog.Neq(v("V"), c(s)))
+		}
+		b.err(lits...)
+	}
+	// Single row per index pair (functional in cell and state columns).
+	b.err(s2, dlog.Pos(tape(v("S"), v("X"), v("Y"), v("Z"), v("V"))), dlog.Pos(tape(v("S"), v("X"), v("Y"), v("Z2"), v("V2"))), dlog.Neq(v("Z"), v("Z2")))
+	b.err(s2, dlog.Pos(tape(v("S"), v("X"), v("Y"), v("Z"), v("V"))), dlog.Pos(tape(v("S"), v("X"), v("Y"), v("Z2"), v("V2"))), dlog.Neq(v("V"), v("V2")))
+	// Single head.
+	b.err(s2, dlog.Pos(tape(v("S"), v("X"), v("Y"), v("Z"), v("V"))), dlog.Pos(tape(v("S"), v("X2"), v("Y2"), v("Z2"), v("V2"))),
+		dlog.Neq(v("V"), c(HeadFree)), dlog.Neq(v("V2"), c(HeadFree)), dlog.Neq(v("X"), v("X2")))
+	// (2) current index pairs occur in past configurations.
+	{
+		lits := []dlog.Literal{s2, dlog.Pos(tape(fiveVars...)), dlog.Pos(pastTape(v("A"), v("X2"), v("Y2"), v("Z2"), v("V2")))}
+		lits = append(lits, notPastTapeAll(v("A"), v("X"), v("Y"))...)
+		b.err(lits...)
+	}
+	// (3) past index pairs occur in the current configuration.
+	{
+		lits := []dlog.Literal{s2, dlog.Pos(pastTape(v("A"), v("X"), v("Y"), v("Z"), v("V"))), dlog.Pos(tape(five2...))}
+		lits = append(lits, notTapeAll(v("S2"), v("X"), v("Y"))...)
+		b.err(lits...)
+	}
+	// (4) a new configuration must be input while a successor stamp exists.
+	{
+		lits := []dlog.Literal{s2}
+		lits = append(lits, phiNext(v("A"), v("B"))...)
+		lits = append(lits, notTapeAll(v("B"), c("0"), c("1"))...)
+		b.err(lits...)
+	}
+	// (5),(6) stamp freshness and provenance.
+	b.err(s2, dlog.Pos(tape(fiveVars...)), dlog.Pos(pastTape(v("S"), v("X2"), v("Y2"), v("Z2"), v("V2"))))
+	b.err(s2, dlog.Pos(tape(fiveVars...)), nIndex(v("S")))
+	// (7),(8) exactly one move per step.
+	b.err(s2, dlog.Pos(dlog.NewAtom(RelMove, v("X"))), dlog.Pos(dlog.NewAtom(RelMove, v("Y"))), dlog.Neq(v("X"), v("Y")))
+	{
+		lits := []dlog.Literal{s2}
+		for i := range m.Rules {
+			lits = append(lits, dlog.Neg(dlog.NewAtom(RelMove, c(moveConst(i)))))
+		}
+		b.err(lits...)
+	}
+	// Per-move rules.
+	for i, r := range m.Rules {
+		mv := dlog.Pos(dlog.NewAtom(RelMove, c(moveConst(i))))
+		base := func() []dlog.Literal {
+			lits := []dlog.Literal{s2, mv}
+			return append(lits, phiNext(v("A"), v("B"))...)
+		}
+		// Move/head agreement: the maximal configuration's head must read
+		// r.Read in state r.State.
+		for _, z := range cells {
+			for _, s := range m.States() {
+				if s == HeadFree || (s == r.State && z == r.Read) {
+					continue
+				}
+				if s == m.Halt && z != r.Read {
+					// Handled the same as any mismatch; fallthrough.
+				}
+				b.err(append(base(), dlog.Pos(pastTape(v("A"), v("X"), v("Y"), c(z), c(s))))...)
+			}
+		}
+		if r.Move == Right {
+			// (9) headless row with headless predecessor copies.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X0"), v("X1"), v("Z1"), c(HeadFree))),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), v("Z2"), c(HeadFree))),
+				dlog.Neg(tape(v("B"), v("X1"), v("X2"), v("Z2"), c(HeadFree))))...)
+			// (10) headless first row copies.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), c("0"), c("1"), v("Z"), c(HeadFree))),
+				dlog.Neg(tape(v("B"), c("0"), c("1"), v("Z"), c(HeadFree))))...)
+			// (11) the head cell is overwritten and releases the head.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), c(r.Read), c(r.State))),
+				dlog.Neg(tape(v("B"), v("X1"), v("X2"), c(r.Write), c(HeadFree))))...)
+			// (12) the successor cell keeps its symbol and takes the head.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), c(r.Read), c(r.State))),
+				dlog.Pos(pastTape(v("A"), v("X2"), v("X3"), v("Z"), c(HeadFree))),
+				dlog.Neg(tape(v("B"), v("X2"), v("X3"), v("Z"), c(r.Next))))...)
+		} else {
+			// (9L) headless row with headless successor copies.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), v("Z1"), c(HeadFree))),
+				dlog.Pos(pastTape(v("A"), v("X2"), v("X3"), v("Z2"), c(HeadFree))),
+				dlog.Neg(tape(v("B"), v("X1"), v("X2"), v("Z1"), c(HeadFree))))...)
+			// (13L) the headless last row copies (its right index is the
+			// maximal stage-1 index, the one never retired to oldindex).
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X"), v("M"), v("Z"), c(HeadFree))),
+				pIndex(v("M")), nOld(v("M")),
+				dlog.Neg(tape(v("B"), v("X"), v("M"), v("Z"), c(HeadFree))))...)
+			// (11L) the head cell is overwritten and releases the head.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), c(r.Read), c(r.State))),
+				dlog.Neg(tape(v("B"), v("X1"), v("X2"), c(r.Write), c(HeadFree))))...)
+			// (12L) the predecessor cell keeps its symbol and takes the head.
+			b.err(append(base(),
+				dlog.Pos(pastTape(v("A"), v("X0"), v("X1"), v("C"), c(HeadFree))),
+				dlog.Pos(pastTape(v("A"), v("X1"), v("X2"), c(r.Read), c(r.State))),
+				dlog.Neg(tape(v("B"), v("X0"), v("X1"), v("C"), c(r.Next))))...)
+		}
+	}
+
+	// --- Stage 3 ------------------------------------------------------------
+	s3 := stage("3")
+	cell := func(t dlog.Term) dlog.Literal { return dlog.Pos(dlog.NewAtom(RelCell, t)) }
+	b.err(s3, cell(v("X")), cell(v("Y")), dlog.Neq(v("X"), v("Y")))
+	b.err(s3, dlog.Neg(dlog.NewAtom(RelCell, c("0"))), dlog.Neg(dlog.NewAtom(core.Past(RelCell), c("0"))))
+	b.err(s3, cell(v("B")), dlog.Pos(dlog.NewAtom(core.Past(RelCell), v("B"))))
+	b.err(s3,
+		dlog.Pos(dlog.NewAtom(core.Past(RelCell), v("A"))),
+		dlog.Pos(pastTape(v("S"), v("A"), v("B"), v("Z"), v("V"))),
+		dlog.Neg(dlog.NewAtom(core.Past(RelCell), v("B"))),
+		dlog.Neg(dlog.NewAtom(RelCell, v("B"))))
+
+	// Emission rules (the only non-error outputs).
+	for _, z := range m.Symbols {
+		if z == m.Blank {
+			continue
+		}
+		b.rule(EmitRel(z),
+			cell(c("0")),
+			dlog.Pos(pastTape(v("A"), c("0"), c("1"), c(z), c(m.Halt))))
+		b.rule(EmitRel(z),
+			cell(v("B")), dlog.Neq(v("B"), c("0")),
+			dlog.Pos(pastTape(v("A"), c("0"), c("1"), v("Y"), c(m.Halt))),
+			dlog.Pos(pastTape(v("A"), v("B"), v("W"), c(z), c(HeadFree))))
+	}
+
+	// --- Assemble the Spocus machine ---------------------------------------
+	in := relation.Schema{
+		{Name: RelStage, Arity: 1},
+		{Name: RelTape, Arity: 5},
+		{Name: RelIndex, Arity: 1},
+		{Name: RelOldindex, Arity: 1},
+		{Name: RelMove, Arity: 1},
+		{Name: RelCell, Arity: 1},
+	}
+	out := relation.Schema{{Name: core.ErrorRel, Arity: 0}}
+	logNames := []string{core.ErrorRel}
+	for _, z := range m.Symbols {
+		if z == m.Blank {
+			continue
+		}
+		out = append(out, relation.Decl{Name: EmitRel(z), Arity: 0})
+		logNames = append(logNames, EmitRel(z))
+	}
+	schema := &core.Schema{In: in, Out: out, Log: logNames}
+	t, err := core.NewSpocus(schema, b.prog)
+	if err != nil {
+		return nil, fmt.Errorf("turing: compiled program invalid: %w", err)
+	}
+	return t.SetName("tm-simulator"), nil
+}
+
+// moveConst names the move-rule constant for rule index i (1-based, as in
+// the paper's numbering of M's instructions).
+func moveConst(i int) string { return fmt.Sprintf("%d", i+1) }
+
+type ruleBuilder struct {
+	prog dlog.Program
+}
+
+func newRuleBuilder() *ruleBuilder { return &ruleBuilder{} }
+
+func (b *ruleBuilder) err(body ...dlog.Literal) {
+	b.prog = append(b.prog, dlog.Rule{Head: dlog.NewAtom(core.ErrorRel), Body: body})
+}
+
+func (b *ruleBuilder) rule(head string, body ...dlog.Literal) {
+	b.prog = append(b.prog, dlog.Rule{Head: dlog.NewAtom(head), Body: body})
+}

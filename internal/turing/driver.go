@@ -1,0 +1,121 @@
+package turing
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// IndexNames returns the ordered index constants for a pool of n indexes:
+// "0", "1", "i2", "i3", … — the 0, 1, a₂, a₃, … of the proof.
+func IndexNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		switch i {
+		case 0:
+			out[i] = "0"
+		case 1:
+			out[i] = "1"
+		default:
+			out[i] = fmt.Sprintf("i%d", i)
+		}
+	}
+	return out
+}
+
+// DriveInputs produces the well-formed input sequence that makes the
+// compiled transducer simulate the given computation and emit the first
+// emitLen cells of the halting tape (emitLen < 0 emits the whole tape
+// segment). The sequence has one stage-1 step per tape cell, one stage-2
+// step per computation move, and one stage-3 step per emitted cell.
+func DriveInputs(m *Machine, comp Computation, emitLen int) (relation.Sequence, error) {
+	if len(comp.Configs) == 0 {
+		return nil, fmt.Errorf("turing: empty computation")
+	}
+	cellsN := len(comp.Configs[0].Tape)
+	if cellsN == 0 {
+		return nil, fmt.Errorf("turing: empty tape segment")
+	}
+	steps := len(comp.Moves)
+	// The index chain provides both the cell ordering (cellsN+1 indexes for
+	// cellsN rows) and the configuration stamps (steps+1 stamps).
+	pool := cellsN + 1
+	if steps+1 > pool {
+		pool = steps + 1
+	}
+	idx := IndexNames(pool)
+	rows := pool - 1 // tape rows after stage 1
+	pad := func(cfg Config) Config {
+		p := cfg.Clone()
+		for len(p.Tape) < rows {
+			p.Tape = append(p.Tape, m.Blank)
+		}
+		return p
+	}
+
+	var seq relation.Sequence
+	cst := func(s string) relation.Const { return relation.Const(s) }
+
+	// Stage 1: build the blank tape and the index pool.
+	firstStep := relation.NewInstance()
+	firstStep.Add(RelStage, relation.Tuple{"1"})
+	firstStep.Add(RelTape, relation.Tuple{"0", "0", "1", cst(m.Blank), cst(m.Start)})
+	firstStep.Add(RelIndex, relation.Tuple{"0"})
+	firstStep.Add(RelIndex, relation.Tuple{"1"})
+	firstStep.Add(RelOldindex, relation.Tuple{"0"})
+	seq = append(seq, firstStep)
+	for k := 2; k < pool; k++ {
+		st := relation.NewInstance()
+		st.Add(RelStage, relation.Tuple{"1"})
+		st.Add(RelTape, relation.Tuple{"0", cst(idx[k-1]), cst(idx[k]), cst(m.Blank), cst(HeadFree)})
+		st.Add(RelIndex, relation.Tuple{cst(idx[k])})
+		st.Add(RelOldindex, relation.Tuple{cst(idx[k-1])})
+		seq = append(seq, st)
+	}
+
+	// Stage 2: one full configuration per step, stamped along the chain.
+	for t := 1; t <= steps; t++ {
+		st := relation.NewInstance()
+		st.Add(RelStage, relation.Tuple{"2"})
+		st.Add(RelMove, relation.Tuple{cst(moveConst(comp.Moves[t-1]))})
+		cfg := pad(comp.Configs[t])
+		stamp := cst(idx[t])
+		for r := 0; r < rows; r++ {
+			state := HeadFree
+			if r == cfg.Head {
+				state = cfg.State
+			}
+			st.Add(RelTape, relation.Tuple{stamp, cst(idx[r]), cst(idx[r+1]), cst(cfg.Tape[r]), cst(state)})
+		}
+		seq = append(seq, st)
+	}
+
+	// Stage 3: read the word off the tape cell by cell.
+	if emitLen < 0 || emitLen > rows {
+		emitLen = rows
+	}
+	for k := 0; k < emitLen; k++ {
+		st := relation.NewInstance()
+		st.Add(RelStage, relation.Tuple{"3"})
+		st.Add(RelCell, relation.Tuple{cst(idx[k])})
+		seq = append(seq, st)
+	}
+	return seq, nil
+}
+
+// EmittedWord reads the emitted symbols off a run of the compiled
+// transducer, in step order.
+func EmittedWord(m *Machine, outputs relation.Sequence) []string {
+	var word []string
+	for _, out := range outputs {
+		for _, z := range m.Symbols {
+			if z == m.Blank {
+				continue
+			}
+			if out.Rel(EmitRel(z)).Len() > 0 {
+				word = append(word, z)
+			}
+		}
+	}
+	return word
+}

@@ -1,0 +1,282 @@
+// Package turing implements the nondeterministic Turing machine substrate
+// of Theorem 4.2 and the construction from its proof: a compiler from a
+// Turing machine M to a Spocus transducer whose error-free runs simulate
+// M's computations from the empty tape and output, one letter at a time,
+// the word left on the tape when M halts. Together with a driver that
+// produces the well-formed input sequences encoding a given computation,
+// this realizes the theorem's claim that error-free propositional-output
+// Spocus transducers generate exactly the prefix-closed r.e. languages.
+package turing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Move is a head direction.
+type Move int
+
+const (
+	// Left moves the head one cell left.
+	Left Move = iota
+	// Right moves the head one cell right.
+	Right
+)
+
+func (m Move) String() string {
+	if m == Left {
+		return "L"
+	}
+	return "R"
+}
+
+// Rule is one nondeterministic transition: in state State reading Read,
+// write Write, move the head, and enter Next.
+type Rule struct {
+	State string
+	Read  string
+	Write string
+	Move  Move
+	Next  string
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("(%s,%s)->(%s,%s,%s)", r.State, r.Read, r.Write, r.Move, r.Next)
+}
+
+// Machine is a nondeterministic one-tape Turing machine with a right-
+// infinite tape. State and symbol names must be lower-case identifiers
+// (they become constants of the compiled transducer); the blank symbol is
+// part of Symbols.
+type Machine struct {
+	Symbols []string // tape alphabet, including Blank
+	Blank   string
+	Start   string
+	Halt    string
+	Rules   []Rule
+}
+
+// States returns the sorted set of states mentioned by the machine.
+func (m *Machine) States() []string {
+	set := map[string]bool{m.Start: true, m.Halt: true}
+	for _, r := range m.Rules {
+		set[r.State] = true
+		set[r.Next] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural sanity: the blank is a symbol, rules use
+// declared symbols, no rule leaves the halt state, and names are usable as
+// transducer constants.
+func (m *Machine) Validate() error {
+	symOK := map[string]bool{}
+	for _, s := range m.Symbols {
+		symOK[s] = true
+	}
+	if !symOK[m.Blank] {
+		return fmt.Errorf("turing: blank %q is not in the alphabet", m.Blank)
+	}
+	names := append(append([]string{}, m.Symbols...), m.States()...)
+	for _, n := range names {
+		if n == "" || !isLowerIdent(n) {
+			return fmt.Errorf("turing: name %q must be a non-empty lower-case identifier", n)
+		}
+	}
+	for _, r := range m.Rules {
+		if !symOK[r.Read] || !symOK[r.Write] {
+			return fmt.Errorf("turing: rule %s uses undeclared symbol", r)
+		}
+		if r.State == m.Halt {
+			return fmt.Errorf("turing: rule %s leaves the halting state", r)
+		}
+	}
+	return nil
+}
+
+func isLowerIdent(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		case c == '-' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Config is a machine configuration over a fixed-length tape segment.
+type Config struct {
+	Tape  []string
+	Head  int
+	State string
+}
+
+// Clone copies the configuration.
+func (c Config) Clone() Config {
+	t := make([]string, len(c.Tape))
+	copy(t, c.Tape)
+	return Config{Tape: t, Head: c.Head, State: c.State}
+}
+
+func (c Config) String() string {
+	parts := make([]string, len(c.Tape))
+	for i, s := range c.Tape {
+		if i == c.Head {
+			parts[i] = "[" + s + ":" + c.State + "]"
+		} else {
+			parts[i] = s
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Halted reports whether the configuration is in the halt state of m.
+func (m *Machine) Halted(c Config) bool { return c.State == m.Halt }
+
+// Initial returns the initial configuration on a blank tape of n cells.
+func (m *Machine) Initial(n int) Config {
+	t := make([]string, n)
+	for i := range t {
+		t[i] = m.Blank
+	}
+	return Config{Tape: t, Head: 0, State: m.Start}
+}
+
+// Apply applies rule index ri to the configuration, returning the successor
+// or an error if the rule does not apply or the head leaves the tape
+// segment (a right-infinite tape truncated to the segment; running off the
+// right end means the segment was too short).
+func (m *Machine) Apply(c Config, ri int) (Config, error) {
+	if ri < 0 || ri >= len(m.Rules) {
+		return Config{}, fmt.Errorf("turing: no rule %d", ri)
+	}
+	r := m.Rules[ri]
+	if c.State != r.State || c.Tape[c.Head] != r.Read {
+		return Config{}, fmt.Errorf("turing: rule %s does not apply in %s", r, c)
+	}
+	n := c.Clone()
+	n.Tape[n.Head] = r.Write
+	if r.Move == Left {
+		n.Head--
+	} else {
+		n.Head++
+	}
+	if n.Head < 0 {
+		return Config{}, fmt.Errorf("turing: head fell off the left end")
+	}
+	if n.Head >= len(n.Tape) {
+		return Config{}, fmt.Errorf("turing: head ran past the tape segment (need a longer tape)")
+	}
+	n.State = r.Next
+	return n, nil
+}
+
+// Applicable returns the rule indices applicable in c.
+func (m *Machine) Applicable(c Config) []int {
+	var out []int
+	for i, r := range m.Rules {
+		if c.State == r.State && c.Tape[c.Head] == r.Read {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Computation is a halting run: the configurations c₀..c_T and the rule
+// chosen at each step (len(Moves) = len(Configs)-1).
+type Computation struct {
+	Configs []Config
+	Moves   []int
+}
+
+// Word extracts the output word of a halting configuration: the maximal
+// blank-free prefix of the tape (the paper's convention, with the word
+// starting at the leftmost cell).
+func (m *Machine) Word(c Config) []string {
+	var out []string
+	for _, s := range c.Tape {
+		if s == m.Blank {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Enumerate explores all computations from the empty tape with at most
+// maxSteps steps over a tape segment of tapeLen cells, calling visit for
+// each halting computation whose final head position is the leftmost cell
+// (the normal form Theorem 4.2 assumes). Exploration is depth-first over
+// the nondeterministic choices; visit returning false stops early.
+func (m *Machine) Enumerate(tapeLen, maxSteps int, visit func(Computation) bool) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	stop := false
+	var rec func(comp Computation)
+	rec = func(comp Computation) {
+		if stop {
+			return
+		}
+		cur := comp.Configs[len(comp.Configs)-1]
+		if m.Halted(cur) {
+			if cur.Head == 0 {
+				if !visit(comp) {
+					stop = true
+				}
+			}
+			return
+		}
+		if len(comp.Moves) >= maxSteps {
+			return
+		}
+		for _, ri := range m.Applicable(cur) {
+			next, err := m.Apply(cur, ri)
+			if err != nil {
+				continue // off-segment branches are simply not explored
+			}
+			rec(Computation{
+				Configs: append(append([]Config{}, comp.Configs...), next),
+				Moves:   append(append([]int{}, comp.Moves...), ri),
+			})
+		}
+	}
+	rec(Computation{Configs: []Config{m.Initial(tapeLen)}})
+	return nil
+}
+
+// Language collects the distinct words produced by halting computations
+// within the bounds, sorted lexicographically.
+func (m *Machine) Language(tapeLen, maxSteps int) ([][]string, error) {
+	seen := map[string][]string{}
+	err := m.Enumerate(tapeLen, maxSteps, func(c Computation) bool {
+		w := m.Word(c.Configs[len(c.Configs)-1])
+		seen[strings.Join(w, "\x00")] = w
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}

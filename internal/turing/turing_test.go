@@ -1,0 +1,412 @@
+package turing
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// writeAB deterministically writes "ab" and halts with the head on cell 0;
+// it exercises both right and left moves.
+func writeAB() *Machine {
+	return &Machine{
+		Symbols: []string{"blank", "a", "b"},
+		Blank:   "blank",
+		Start:   "q0",
+		Halt:    "h",
+		Rules: []Rule{
+			{State: "q0", Read: "blank", Write: "a", Move: Right, Next: "q1"},
+			{State: "q1", Read: "blank", Write: "b", Move: Right, Next: "q2"},
+			{State: "q2", Read: "blank", Write: "blank", Move: Left, Next: "q3"},
+			{State: "q3", Read: "b", Write: "b", Move: Left, Next: "h"},
+		},
+	}
+}
+
+// aOrB nondeterministically writes "a" or "b" and halts on cell 0.
+func aOrB() *Machine {
+	return &Machine{
+		Symbols: []string{"blank", "a", "b"},
+		Blank:   "blank",
+		Start:   "q0",
+		Halt:    "h",
+		Rules: []Rule{
+			{State: "q0", Read: "blank", Write: "a", Move: Right, Next: "q1"},
+			{State: "q0", Read: "blank", Write: "b", Move: Right, Next: "q1"},
+			{State: "q1", Read: "blank", Write: "blank", Move: Left, Next: "h"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := writeAB()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := writeAB()
+	bad.Blank = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad blank accepted")
+	}
+	bad2 := writeAB()
+	bad2.Rules = append(bad2.Rules, Rule{State: "h", Read: "a", Write: "a", Move: Right, Next: "q0"})
+	if err := bad2.Validate(); err == nil {
+		t.Error("rule leaving halt accepted")
+	}
+	bad3 := writeAB()
+	bad3.Symbols = append(bad3.Symbols, "BAD")
+	if err := bad3.Validate(); err == nil {
+		t.Error("upper-case symbol accepted")
+	}
+}
+
+func TestDirectSimulation(t *testing.T) {
+	m := writeAB()
+	words, err := m.Language(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 1 || strings.Join(words[0], "") != "ab" {
+		t.Fatalf("Language = %v, want [ab]", words)
+	}
+	m2 := aOrB()
+	words2, err := m2.Language(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(words2))
+	for i, w := range words2 {
+		got[i] = strings.Join(w, "")
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Language = %v, want [a b]", got)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	m := writeAB()
+	c := m.Initial(3)
+	if _, err := m.Apply(c, 3); err == nil {
+		t.Error("inapplicable rule accepted")
+	}
+	if _, err := m.Apply(c, 99); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	// Head falling off the left.
+	c2 := Config{Tape: []string{"b", "blank"}, Head: 0, State: "q3"}
+	if _, err := m.Apply(c2, 3); err == nil {
+		t.Error("left fall-off accepted")
+	}
+}
+
+// firstComputation returns the unique computation of a deterministic
+// machine within the bounds.
+func firstComputation(t *testing.T, m *Machine, tapeLen, maxSteps int) Computation {
+	t.Helper()
+	var comp *Computation
+	if err := m.Enumerate(tapeLen, maxSteps, func(c Computation) bool {
+		comp = &c
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if comp == nil {
+		t.Fatal("no halting computation found")
+	}
+	return *comp
+}
+
+// TestTheorem42HappyPath compiles writeAB, drives a well-formed simulation,
+// and checks the run is error-free and emits exactly "ab" (experiment E11).
+func TestTheorem42HappyPath(t *testing.T) {
+	m := writeAB()
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Kind() != core.KindSpocus {
+		t.Fatalf("compiled machine kind %v", tm.Kind())
+	}
+	comp := firstComputation(t, m, 4, 10)
+	inputs, err := DriveInputs(m, comp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := tm.Execute(relation.NewInstance(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		i := run.ErrorFreePrefix()
+		t.Fatalf("driven run raises error at step %d\ninput: %s", i+1, run.Inputs[i])
+	}
+	word := EmittedWord(m, run.Outputs)
+	if strings.Join(word, "") != "ab" {
+		t.Fatalf("emitted %v, want ab", word)
+	}
+}
+
+// TestTheorem42PrefixEmission: stopping the stage-3 drive early emits a
+// prefix, matching the theorem's prefix-closure.
+func TestTheorem42PrefixEmission(t *testing.T) {
+	m := writeAB()
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := firstComputation(t, m, 4, 10)
+	inputs, err := DriveInputs(m, comp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := tm.Execute(relation.NewInstance(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		t.Fatalf("prefix drive raises error at step %d", run.ErrorFreePrefix()+1)
+	}
+	if got := strings.Join(EmittedWord(m, run.Outputs), ""); got != "a" {
+		t.Fatalf("emitted %q, want a", got)
+	}
+}
+
+// TestTheorem42Nondeterministic drives every computation of the
+// nondeterministic machine and compares the emitted words with the direct
+// simulator's language.
+func TestTheorem42Nondeterministic(t *testing.T) {
+	m := aOrB()
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"a": true, "b": true}
+	got := map[string]bool{}
+	if err := m.Enumerate(3, 10, func(comp Computation) bool {
+		inputs, err := DriveInputs(m, comp, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := tm.Execute(relation.NewInstance(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Valid(core.ErrorFree) {
+			t.Fatalf("driven run raises error at step %d", run.ErrorFreePrefix()+1)
+		}
+		got[strings.Join(EmittedWord(m, run.Outputs), "")] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("emitted words %v, want %v", got, want)
+	}
+}
+
+// mutate returns a copy of the sequence with fn applied to step i.
+func mutate(seq relation.Sequence, i int, fn func(relation.Instance)) relation.Sequence {
+	out := seq.Clone()
+	fn(out[i])
+	return out
+}
+
+// TestTheorem42AdversarialInputs: malformed input sequences must raise
+// error — the construction's whole point is that cheating is detected.
+func TestTheorem42AdversarialInputs(t *testing.T) {
+	m := writeAB()
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := firstComputation(t, m, 4, 10)
+	good, err := DriveInputs(m, comp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage2 := 0
+	for i, st := range good {
+		if st.Has(RelStage, relation.Tuple{"2"}) {
+			stage2 = i
+			break
+		}
+	}
+	cases := []struct {
+		name string
+		seq  relation.Sequence
+	}{
+		{"missing initial tape tuple", mutate(good, 0, func(in relation.Instance) {
+			delete(in, RelTape)
+		})},
+		{"wrong initial state", mutate(good, 0, func(in relation.Instance) {
+			delete(in, RelTape)
+			in.Add(RelTape, relation.Tuple{"0", "0", "1", "blank", "q1"})
+		})},
+		{"stage skip", mutate(good, 0, func(in relation.Instance) {
+			delete(in, RelStage)
+			in.Add(RelStage, relation.Tuple{"2"})
+		})},
+		{"stale index reuse", mutate(good, 1, func(in relation.Instance) {
+			delete(in, RelIndex)
+			in.Add(RelIndex, relation.Tuple{"0"})
+		})},
+		{"wrong move", mutate(good, stage2, func(in relation.Instance) {
+			delete(in, RelMove)
+			in.Add(RelMove, relation.Tuple{"2"})
+		})},
+		{"forged cell write", mutate(good, stage2, func(in relation.Instance) {
+			// Overwrite the configuration's (1,i2) row with a wrong symbol.
+			rel := in.Rel(RelTape)
+			fixed := relation.NewRel(5)
+			for _, tup := range rel.Tuples() {
+				if tup[1] == "1" && tup[2] == "i2" {
+					fixed.Add(relation.Tuple{tup[0], tup[1], tup[2], "b", tup[4]})
+				} else {
+					fixed.Add(tup)
+				}
+			}
+			in[RelTape] = fixed
+		})},
+		{"premature emission", mutate(good, stage2, func(in relation.Instance) {
+			delete(in, RelTape)
+			delete(in, RelMove)
+			delete(in, RelStage)
+			in.Add(RelStage, relation.Tuple{"3"})
+			in.Add(RelCell, relation.Tuple{"0"})
+		})},
+	}
+	for _, c := range cases {
+		run, err := tm.Execute(relation.NewInstance(), c.seq)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", c.name, err)
+		}
+		if run.Valid(core.ErrorFree) {
+			t.Errorf("%s: adversarial run accepted", c.name)
+		}
+	}
+}
+
+// TestPrematureStage3EmitsNothing: switching to stage 3 before the machine
+// halts is error-free only if nothing is emitted (ε is a valid prefix).
+func TestPrematureStage3EmitsNothing(t *testing.T) {
+	m := writeAB()
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := firstComputation(t, m, 4, 10)
+	full, err := DriveInputs(m, comp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep stage 1 and only the first stage-2 step (machine not yet
+	// halted), then jump to stage 3.
+	var seq relation.Sequence
+	stage2Seen := 0
+	for _, st := range full {
+		if st.Has(RelStage, relation.Tuple{"2"}) {
+			stage2Seen++
+			if stage2Seen > 1 {
+				break
+			}
+		}
+		if st.Has(RelStage, relation.Tuple{"3"}) {
+			break
+		}
+		seq = append(seq, st.Clone())
+	}
+	st3 := relation.NewInstance()
+	st3.Add(RelStage, relation.Tuple{"3"})
+	st3.Add(RelCell, relation.Tuple{"0"})
+	seq = append(seq, st3)
+	run, err := tm.Execute(relation.NewInstance(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		t.Fatalf("early stage-3 run raises error at step %d", run.ErrorFreePrefix()+1)
+	}
+	if w := EmittedWord(m, run.Outputs); len(w) != 0 {
+		t.Errorf("premature emission %v before the machine halted", w)
+	}
+}
+
+// writeABA writes "aba" and walks back over the written symbols, exercising
+// consecutive left moves reading non-blank cells.
+func writeABA() *Machine {
+	return &Machine{
+		Symbols: []string{"blank", "a", "b"},
+		Blank:   "blank",
+		Start:   "q0",
+		Halt:    "h",
+		Rules: []Rule{
+			{State: "q0", Read: "blank", Write: "a", Move: Right, Next: "q1"},
+			{State: "q1", Read: "blank", Write: "b", Move: Right, Next: "q2"},
+			{State: "q2", Read: "blank", Write: "a", Move: Right, Next: "q3"},
+			{State: "q3", Read: "blank", Write: "blank", Move: Left, Next: "q4"},
+			{State: "q4", Read: "a", Write: "a", Move: Left, Next: "q5"},
+			{State: "q5", Read: "b", Write: "b", Move: Left, Next: "h"},
+		},
+	}
+}
+
+func TestTheorem42LongerWalkBack(t *testing.T) {
+	m := writeABA()
+	words, err := m.Language(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 1 || strings.Join(words[0], "") != "aba" {
+		t.Fatalf("Language = %v, want [aba]", words)
+	}
+	tm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := firstComputation(t, m, 5, 12)
+	inputs, err := DriveInputs(m, comp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := tm.Execute(relation.NewInstance(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Valid(core.ErrorFree) {
+		i := run.ErrorFreePrefix()
+		t.Fatalf("driven run raises error at step %d\ninput: %s", i+1, run.Inputs[i])
+	}
+	if got := strings.Join(EmittedWord(m, run.Outputs), ""); got != "aba" {
+		t.Fatalf("emitted %q, want aba", got)
+	}
+	// Every strict prefix is emittable as well (Theorem 4.2's prefix
+	// closure).
+	for emitLen := 0; emitLen <= 2; emitLen++ {
+		in2, err := DriveInputs(m, comp, emitLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run2, err := tm.Execute(relation.NewInstance(), in2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run2.Valid(core.ErrorFree) {
+			t.Fatalf("prefix drive %d errors at step %d", emitLen, run2.ErrorFreePrefix()+1)
+		}
+		want := "aba"[:emitLen]
+		if got := strings.Join(EmittedWord(m, run2.Outputs), ""); got != want {
+			t.Errorf("emitLen=%d: emitted %q, want %q", emitLen, got, want)
+		}
+	}
+}
+
+func TestIndexNames(t *testing.T) {
+	got := IndexNames(4)
+	want := []string{"0", "1", "i2", "i3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("IndexNames = %v, want %v", got, want)
+	}
+}

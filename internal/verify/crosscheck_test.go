@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// tinyMachine is a small Spocus transducer over a 3-constant pool, used to
+// cross-check the decision procedures against exhaustive search.
+const tinySrc = `
+transducer tiny2
+schema
+  database: good/1;
+  input: put/1, tag/2;
+  state: past-put/1, past-tag/2;
+  output: hit/1, pairup/2;
+  log: hit, pairup;
+state rules
+  past-put(X) +:- put(X);
+  past-tag(X,Y) +:- tag(X,Y);
+output rules
+  hit(X) :- put(X), good(X), NOT past-put(X);
+  pairup(X,Y) :- tag(X,Y), past-put(X), X <> Y;
+`
+
+func tinyMachine() (*core.Machine, relation.Instance, []relation.Const) {
+	m := core.MustParseProgram(tinySrc)
+	db := relation.NewInstance()
+	db.Add("good", relation.Tuple{"a"})
+	db.Add("good", relation.Tuple{"b"})
+	return m, db, []relation.Const{"a", "b", "c"}
+}
+
+// bruteReachable enumerates all 2-step runs with at most two facts per step
+// over the pool and tests the goal on the last output.
+func bruteReachable(m *core.Machine, db relation.Instance, g *Goal, pool []relation.Const) bool {
+	var universe []relation.Fact
+	for _, d := range m.Schema().In {
+		for _, t := range enumerateTuples(pool, d.Arity) {
+			universe = append(universe, relation.Fact{Rel: d.Name, Args: t})
+		}
+	}
+	var steps []relation.Instance
+	steps = append(steps, relation.NewInstance())
+	for i, f := range universe {
+		s := relation.NewInstance()
+		s.Add(f.Rel, f.Args)
+		steps = append(steps, s)
+		for _, f2 := range universe[i+1:] {
+			s2 := s.Clone()
+			s2.Add(f2.Rel, f2.Args)
+			steps = append(steps, s2)
+		}
+	}
+	for _, s1 := range steps {
+		for _, s2 := range steps {
+			run, err := m.Execute(db, relation.Sequence{s1, s2})
+			if err != nil {
+				continue
+			}
+			if g.Holds(run.LastOutput()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPropReachGoalMatchesBruteForce: the Theorem 3.2 procedure agrees with
+// exhaustive two-step search on random single-literal goals. (Witnesses may
+// use fresh constants outside the pool; for this transducer fresh constants
+// never help — outputs require database membership or equalities over
+// already-known constants — so the pooled brute force is a sound oracle.)
+func TestPropReachGoalMatchesBruteForce(t *testing.T) {
+	m, db, pool := tinyMachine()
+	consts := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var goalSrc string
+		if r.Intn(2) == 0 {
+			goalSrc = "hit(" + pick(r, consts, "X") + ")"
+		} else {
+			goalSrc = "pairup(" + pick(r, consts, "X") + ", " + pick(r, consts, "Y") + ")"
+		}
+		g, err := ParseGoal(goalSrc)
+		if err != nil {
+			return false
+		}
+		res, err := ReachGoal(m, db, g, nil)
+		if err != nil {
+			t.Logf("ReachGoal(%s): %v", goalSrc, err)
+			return false
+		}
+		want := bruteReachable(m, db, g, pool)
+		if res.Reachable != want {
+			t.Logf("goal %s: procedure=%v brute=%v (witness %v)", goalSrc, res.Reachable, want, res.Witness)
+		}
+		return res.Reachable == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pick(r *rand.Rand, consts []string, v string) string {
+	if r.Intn(2) == 0 {
+		return v
+	}
+	return consts[r.Intn(len(consts))]
+}
+
+// TestPropTemporalSoundOnRandomRuns: whenever CheckTemporal says a
+// condition holds, no randomly sampled run may violate it (soundness
+// direction sampled operationally).
+func TestPropTemporalSoundOnRandomRuns(t *testing.T) {
+	m, db, pool := tinyMachine()
+	conds := []string{
+		"hit(X) => good(X)",
+		"pairup(X,Y) => past-put(X)",
+		"hit(X) => past-put(X)",
+		"pairup(X,Y) => good(Y)",
+	}
+	for _, src := range conds {
+		c, err := ParseCondition(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckTemporal(m, db, []*Condition{c}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			continue // counterexamples are replay-verified inside CheckTemporal
+		}
+		// Sample runs and confirm no violation.
+		r := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 150; trial++ {
+			var seq relation.Sequence
+			for j := 0; j < 1+r.Intn(3); j++ {
+				in := relation.NewInstance()
+				for k := 0; k < r.Intn(3); k++ {
+					if r.Intn(2) == 0 {
+						in.Add("put", relation.Tuple{pool[r.Intn(3)]})
+					} else {
+						in.Add("tag", relation.Tuple{pool[r.Intn(3)], pool[r.Intn(3)]})
+					}
+				}
+				seq = append(seq, in)
+			}
+			if len(seq) == 0 {
+				continue
+			}
+			if err := replayTemporalViolation(m, db, seq, c); err == nil {
+				t.Fatalf("condition %q verified but violated by run %v", src, seq)
+			}
+		}
+	}
+}
+
+// TestPropEquivalenceOfIdenticalMachines: any model compared with itself
+// under a full log is equivalent (a sanity fixed point of Theorem 3.5).
+func TestPropEquivalenceOfIdenticalMachines(t *testing.T) {
+	db := models.MagazineDB()
+	for _, mk := range []func() *core.Machine{models.Short, models.Restricted} {
+		m := mk()
+		logSet := append(m.Schema().In.Names(), m.Schema().Out.Names()...)
+		full := models.WithLog(m, logSet...)
+		eq, r1, r2, err := Equivalent(full, full, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("%s not equivalent to itself: %v %v", m.Name(), r1.Counterexample, r2.Counterexample)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A one-conflict budget cannot decide a nontrivial log validity
+	// question; the procedure must surface ErrBudget rather than guess.
+	m := models.Friendly()
+	db := models.MagazineDB()
+	run, err := m.Execute(db, models.Fig2Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LogValidity(m, db, run.Logs, &Options{MaxConflicts: 1})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// With no budget the same question decides fine.
+	res, err := LogValidity(m, db, run.Logs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("genuine friendly log rejected")
+	}
+}
+
+func TestFriendlyLogValidityReconstructsPendingBills(t *testing.T) {
+	// friendly's pending-bills input is unlogged; a log containing only the
+	// final delivery forces the solver to reconstruct a consistent session.
+	m := models.Friendly()
+	db := models.MagazineDB()
+	log := relation.Sequence{
+		models.Step(models.F("sendbill", "time", "855")),
+		models.Step(models.F("pay", "time", "855"), models.F("deliver", "time")),
+	}
+	res, err := LogValidity(m, db, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("valid friendly log rejected")
+	}
+	if !res.Witness[0].Has("order", relation.Tuple{"time"}) {
+		t.Errorf("order not reconstructed: %v", res.Witness)
+	}
+}
+
+func TestReachGoalUnknownDBReplaysAgainstWitnessDB(t *testing.T) {
+	m := models.Short()
+	g, _ := ParseGoal("deliver(exotic)")
+	res, err := ReachGoal(m, nil, g, &Options{UnknownDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("unreachable with free database")
+	}
+	// The witness DB must price the exotic product and the witness inputs
+	// must drive the delivery on that database.
+	run, err := m.Execute(res.WitnessDB, res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Holds(run.LastOutput()) {
+		t.Errorf("witness does not deliver: %s", run.LastOutput())
+	}
+}
+
+func TestCheckTemporalMultipleConditions(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	ok1, _ := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	ok2, _ := ParseCondition("sendbill(X,Y) => price(X,Y)")
+	bad, _ := ParseCondition("sendbill(X,Y) => past-pay(X,Y)")
+	res, err := CheckTemporal(m, db, []*Condition{ok1, ok2, bad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("violated conjunct missed")
+	}
+	if res.Violated == nil || res.Violated.String() != bad.String() {
+		t.Errorf("wrong violated condition: %v", res.Violated)
+	}
+	res2, err := CheckTemporal(m, db, []*Condition{ok1, ok2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Holds {
+		t.Errorf("true conjunction rejected: %v", res2.Counterexample)
+	}
+}
+
+func TestConditionValidation(t *testing.T) {
+	c, _ := ParseCondition("deliver(X) => past-pay(X,Y)")
+	if _, err := CheckTemporal(models.Short(), models.MagazineDB(), []*Condition{c}, nil); err == nil {
+		t.Fatal("unbound Then variable accepted")
+	}
+	if _, err := ParseCondition("no arrow"); err == nil {
+		t.Fatal("missing => accepted")
+	}
+}
+
+func TestGoalWithConstantsOnlyAndInequality(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// Two different deliveries in the same final step.
+	g, err := ParseGoal("deliver(X), deliver(Y), X <> Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReachGoal(m, db, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("double delivery unreachable")
+	}
+	run, err := m.Execute(db, res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.LastOutput().Rel("deliver").Len() < 2 {
+		t.Errorf("witness delivers %s", run.LastOutput())
+	}
+}
+
+func TestGoalRejectsNonOutputRelations(t *testing.T) {
+	g, _ := ParseGoal("order(X)")
+	if _, err := ReachGoal(models.Short(), models.MagazineDB(), g, nil); err == nil {
+		t.Fatal("goal over input relation accepted")
+	}
+}

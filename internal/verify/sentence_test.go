@@ -1,0 +1,8 @@
+package verify
+
+import "repro/internal/tsdi"
+
+// parseSentence builds a one-clause T_sdi sentence for the tests.
+func parseSentence(clause string) (*tsdi.Sentence, error) {
+	return tsdi.Parse(clause)
+}

@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"repro/internal/relation"
+)
+
+// shrinkInputs greedily minimizes a witness input sequence: facts are
+// removed one at a time (and trailing empty steps dropped) as long as the
+// keep predicate — a replay of the property being witnessed — remains true.
+// SAT models leave free predicates full of irrelevant tuples; shrinking
+// turns them into counterexamples a person can read. The result is a local
+// minimum: removing any single remaining fact breaks the property.
+func shrinkInputs(seq relation.Sequence, keep func(relation.Sequence) bool) relation.Sequence {
+	cur := seq.Clone()
+	for {
+		changed := false
+		for step := range cur {
+			for _, name := range cur[step].Names() {
+				rel := cur[step].Rel(name)
+				for _, t := range rel.Tuples() {
+					cand := cur.Clone()
+					// Remove one fact by rebuilding the relation.
+					nr := relation.NewRel(rel.Arity())
+					for _, u := range cand[step].Rel(name).Tuples() {
+						if !u.Equal(t) {
+							nr.Add(u)
+						}
+					}
+					if nr.Len() == 0 {
+						delete(cand[step], name)
+					} else {
+						cand[step][name] = nr
+					}
+					if keep(cand) {
+						cur = cand
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Drop trailing empty steps if the property survives.
+	for len(cur) > 0 && cur[len(cur)-1].Empty() {
+		cand := cur[:len(cur)-1].Clone()
+		if !keep(cand) {
+			break
+		}
+		cur = cand
+	}
+	return cur
+}
+
+// shrinkPair minimizes two witness sequences jointly (used by the two-run
+// determinacy check).
+func shrinkPair(a, b relation.Sequence, keep func(a, b relation.Sequence) bool) (relation.Sequence, relation.Sequence) {
+	a = shrinkInputs(a, func(cand relation.Sequence) bool { return len(cand) == len(a) && keep(cand, b) })
+	b = shrinkInputs(b, func(cand relation.Sequence) bool { return len(cand) == len(b) && keep(a, cand) })
+	return a, b
+}

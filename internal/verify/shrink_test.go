@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func seqOf(steps ...relation.Instance) relation.Sequence { return steps }
+
+func inst(facts ...relation.Fact) relation.Instance {
+	in := relation.NewInstance()
+	for _, f := range facts {
+		in.Add(f.Rel, f.Args)
+	}
+	return in
+}
+
+func fact(rel string, args ...string) relation.Fact {
+	t := make(relation.Tuple, len(args))
+	for i, a := range args {
+		t[i] = relation.Const(a)
+	}
+	return relation.Fact{Rel: rel, Args: t}
+}
+
+func TestShrinkRemovesIrrelevantFacts(t *testing.T) {
+	// keep: sequence must contain fact a(x) somewhere.
+	keep := func(s relation.Sequence) bool {
+		for _, step := range s {
+			if step.Has("a", relation.Tuple{"x"}) {
+				return true
+			}
+		}
+		return false
+	}
+	noisy := seqOf(
+		inst(fact("a", "x"), fact("a", "junk1"), fact("b", "junk2")),
+		inst(fact("c", "junk3")),
+	)
+	got := shrinkInputs(noisy, keep)
+	if len(got) != 1 {
+		t.Fatalf("trailing empty step not dropped: %v", got)
+	}
+	if got[0].Len() != 1 || !got[0].Has("a", relation.Tuple{"x"}) {
+		t.Errorf("shrink left junk: %s", got[0])
+	}
+}
+
+func TestShrinkIsLocalMinimum(t *testing.T) {
+	// keep: both a(x) and a(y) present (in any steps).
+	keep := func(s relation.Sequence) bool {
+		hasX, hasY := false, false
+		for _, step := range s {
+			if step.Has("a", relation.Tuple{"x"}) {
+				hasX = true
+			}
+			if step.Has("a", relation.Tuple{"y"}) {
+				hasY = true
+			}
+		}
+		return hasX && hasY
+	}
+	noisy := seqOf(inst(fact("a", "x"), fact("a", "y"), fact("a", "z")))
+	got := shrinkInputs(noisy, keep)
+	if got[0].Len() != 2 {
+		t.Errorf("expected exactly the two needed facts, got %s", got[0])
+	}
+	if !keep(got) {
+		t.Error("shrink broke the property")
+	}
+}
+
+func TestShrinkKeepsLengthWhenRequired(t *testing.T) {
+	// keep requires exactly 2 steps (like log validity).
+	keep := func(s relation.Sequence) bool { return len(s) == 2 }
+	got := shrinkInputs(seqOf(inst(fact("a", "x")), inst()), keep)
+	if len(got) != 2 {
+		t.Errorf("length-preserving keep violated: %d steps", len(got))
+	}
+	if got[0].Len() != 0 {
+		t.Errorf("facts not removed: %s", got[0])
+	}
+}
+
+func TestShrinkPair(t *testing.T) {
+	// keep: run A contains a(x), run B contains b(y).
+	keep := func(a, b relation.Sequence) bool {
+		okA, okB := false, false
+		for _, s := range a {
+			if s.Has("a", relation.Tuple{"x"}) {
+				okA = true
+			}
+		}
+		for _, s := range b {
+			if s.Has("b", relation.Tuple{"y"}) {
+				okB = true
+			}
+		}
+		return okA && okB
+	}
+	a := seqOf(inst(fact("a", "x"), fact("a", "junk")))
+	b := seqOf(inst(fact("b", "y"), fact("b", "junk")))
+	ga, gb := shrinkPair(a, b, keep)
+	if ga[0].Len() != 1 || gb[0].Len() != 1 {
+		t.Errorf("pair shrink left junk: %s / %s", ga[0], gb[0])
+	}
+}

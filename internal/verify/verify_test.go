@@ -1,0 +1,693 @@
+package verify
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// logOf runs the machine and returns its log sequence — used to build
+// known-valid logs.
+func logOf(t *testing.T, m *core.Machine, db relation.Instance, inputs relation.Sequence) relation.Sequence {
+	t.Helper()
+	run, err := m.Execute(db, inputs)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return run.Logs
+}
+
+func TestLogValidityAcceptsRealLog(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	log := logOf(t, m, db, models.Fig1Inputs())
+	res, err := LogValidity(m, db, log, nil)
+	if err != nil {
+		t.Fatalf("LogValidity: %v", err)
+	}
+	if !res.Valid {
+		t.Fatal("genuine log rejected")
+	}
+	if len(res.Witness) != len(log) {
+		t.Errorf("witness length %d, want %d", len(res.Witness), len(log))
+	}
+}
+
+func TestLogValidityRejectsForgedDelivery(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// A log claiming delivery without any payment: fraud.
+	forged := relation.Sequence{
+		models.Step(models.F("sendbill", "time", "855")),
+		models.Step(models.F("deliver", "time")),
+	}
+	res, err := LogValidity(m, db, forged, nil)
+	if err != nil {
+		t.Fatalf("LogValidity: %v", err)
+	}
+	if res.Valid {
+		t.Fatalf("forged log accepted; witness %v", res.Witness)
+	}
+}
+
+func TestLogValidityRejectsWrongPrice(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// Billing Time at Newsweek's price can never happen.
+	forged := relation.Sequence{
+		models.Step(models.F("sendbill", "time", "845")),
+	}
+	res, err := LogValidity(m, db, forged, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Fatal("wrong-price bill accepted")
+	}
+}
+
+func TestLogValidityPartialLogFillsUnloggedInputs(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// order is unlogged: a log showing a bill at step 1 and delivery at
+	// step 2 forces the solver to invent the order input.
+	log := relation.Sequence{
+		models.Step(models.F("sendbill", "time", "855")),
+		models.Step(models.F("pay", "time", "855"), models.F("deliver", "time")),
+	}
+	res, err := LogValidity(m, db, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("valid partial log rejected")
+	}
+	if !res.Witness[0].Has("order", relation.Tuple{"time"}) {
+		t.Errorf("witness did not reconstruct the order input: %v", res.Witness)
+	}
+}
+
+func TestLogValidityEmptyLogSteps(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	log := relation.Sequence{relation.NewInstance(), relation.NewInstance()}
+	res, err := LogValidity(m, db, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("all-empty log should be valid (empty inputs)")
+	}
+}
+
+func TestLogValidityUnknownDatabase(t *testing.T) {
+	m := models.Short()
+	// No database given: the solver must invent a price making the log
+	// valid.
+	log := relation.Sequence{
+		models.Step(models.F("sendbill", "gadget", "7")),
+	}
+	res, err := LogValidity(m, nil, log, &Options{UnknownDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("log invalid even with free database")
+	}
+	if !res.WitnessDB.Has("price", relation.Tuple{"gadget", "7"}) {
+		t.Errorf("witness database missing price: %s", res.WitnessDB)
+	}
+}
+
+func TestLogValidityRejectsUnloggedRelation(t *testing.T) {
+	m := models.Short()
+	log := relation.Sequence{models.Step(models.F("order", "time"))}
+	if _, err := LogValidity(m, models.MagazineDB(), log, nil); err == nil {
+		t.Fatal("log over unlogged relation accepted")
+	}
+}
+
+func TestLogValidityRequiresSpocus(t *testing.T) {
+	src := `
+transducer ext
+schema
+  input: r/2;
+  state: past-r/2, r2/1;
+  output: o/0;
+  log: o;
+state rules
+  past-r(X,Y) +:- r(X,Y);
+  r2(Y) +:- r(X,Y);
+output rules
+  o :- past-r(X,Y), NOT r2(X);
+`
+	m := core.MustParseProgram(src)
+	if _, err := LogValidity(m, nil, relation.Sequence{relation.NewInstance()}, nil); err == nil {
+		t.Fatal("extended machine accepted by decision procedure")
+	}
+}
+
+// TestPropLogValidityMatchesBruteForce cross-checks the ∃*∀*FO reduction
+// against exhaustive input enumeration on a tiny schema.
+func TestPropLogValidityMatchesBruteForce(t *testing.T) {
+	m := core.MustParseProgram(`
+transducer tiny
+schema
+  database: good/1;
+  input: put/1;
+  state: past-put/1;
+  output: seen/1, fresh/1;
+  log: seen;
+state rules
+  past-put(X) +:- put(X);
+output rules
+  seen(X) :- put(X), good(X);
+  fresh(X) :- put(X), NOT past-put(X);
+`)
+	db := relation.NewInstance()
+	db.Add("good", relation.Tuple{"a"})
+	db.Add("good", relation.Tuple{"b"})
+	pool := []relation.Const{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(2)
+		log := make(relation.Sequence, n)
+		for j := range log {
+			in := relation.NewInstance()
+			for k := 0; k < r.Intn(3); k++ {
+				in.Add("seen", relation.Tuple{pool[r.Intn(len(pool))]})
+			}
+			log[j] = in
+		}
+		res, err := LogValidity(m, db, log, nil)
+		if err != nil {
+			t.Logf("LogValidity error: %v", err)
+			return false
+		}
+		want, _, err := BruteForceLogValidity(m, db, log, pool, 2)
+		if err != nil {
+			t.Logf("brute force error: %v", err)
+			return false
+		}
+		if res.Valid != want {
+			t.Logf("mismatch on log %v: solver=%v brute=%v", log, res.Valid, want)
+		}
+		return res.Valid == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachGoalDeliver(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	g, err := ParseGoal("deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReachGoal(m, db, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("deliver unreachable despite priced products")
+	}
+	if len(res.Witness) != 2 {
+		t.Errorf("witness length %d, want 2", len(res.Witness))
+	}
+}
+
+func TestReachGoalUnreachableWithoutPrice(t *testing.T) {
+	m := models.Short()
+	empty := relation.NewInstance() // no prices at all
+	g, _ := ParseGoal("deliver(X)")
+	res, err := ReachGoal(m, empty, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Fatalf("deliver reachable with empty price relation: %v", res.Witness)
+	}
+}
+
+func TestReachGoalSpecificProduct(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	g, _ := ParseGoal("deliver(le-monde)")
+	res, err := ReachGoal(m, db, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("deliver(le-monde) unreachable")
+	}
+	gBad, _ := ParseGoal("deliver(atlantis)")
+	res2, err := ReachGoal(m, db, gBad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable {
+		t.Fatal("unpriced product deliverable")
+	}
+}
+
+func TestReachGoalNegativeLiterals(t *testing.T) {
+	m := models.Friendly()
+	db := models.MagazineDB()
+	// Deliver without ever having been rebilled in the same step.
+	g, _ := ParseGoal("deliver(X), NOT rejectpay(X)")
+	res, err := ReachGoal(m, db, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("goal with negative literal unreachable")
+	}
+}
+
+func TestReachGoalUnknownDB(t *testing.T) {
+	m := models.Short()
+	g, _ := ParseGoal("deliver(X)")
+	res, err := ReachGoal(m, nil, g, &Options{UnknownDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("deliver unreachable over all databases")
+	}
+	if res.WitnessDB.Rel("price").Len() == 0 {
+		t.Error("witness database has no price")
+	}
+}
+
+func TestReachGoalFromPrefix(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	prefix := relation.Sequence{models.Step(models.F("order", "time"))}
+	g, _ := ParseGoal("deliver(time)")
+	res, err := ReachGoalFrom(m, db, prefix, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("goal unreachable after ordering")
+	}
+	// Already-paid product can no longer be delivered (past-pay blocks).
+	paid := relation.Sequence{
+		models.Step(models.F("order", "time")),
+		models.Step(models.F("pay", "time", "855")),
+	}
+	res2, err := ReachGoalFrom(m, db, paid, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable {
+		t.Fatalf("redelivery after payment should be impossible: %v", res2.Witness)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	prefix := relation.Sequence{models.Step(models.F("order", "time"))}
+	g, _ := ParseGoal("deliver(time)")
+	facts, err := Progress(m, db, prefix, g, []relation.Const{"time", "855", "845"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 || facts[0].String() != "pay(time, 855)" {
+		t.Errorf("Progress = %v, want [pay(time, 855)]", facts)
+	}
+}
+
+func TestTemporalNoDeliveryBeforePayment(t *testing.T) {
+	// The paper's flagship property: ∀x,y (deliver(x) ∧ price(x,y) →
+	// past-pay(x,y)) holds for short and friendly.
+	c, err := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := models.MagazineDB()
+	for _, m := range []*core.Machine{models.Short(), models.Friendly()} {
+		res, err := CheckTemporal(m, db, []*Condition{c}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !res.Holds {
+			t.Errorf("%s: property violated by %v", m.Name(), res.Counterexample)
+		}
+	}
+}
+
+func TestTemporalViolatedProperty(t *testing.T) {
+	// Bills can be sent without payment — this property must fail, with a
+	// replayable counterexample.
+	c, err := ParseCondition("sendbill(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckTemporal(models.Short(), models.MagazineDB(), []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("false property verified")
+	}
+	if len(res.Counterexample) == 0 {
+		t.Fatal("no counterexample returned")
+	}
+}
+
+func TestTemporalBuggyVariant(t *testing.T) {
+	// A buggy short that delivers on order alone violates the payment
+	// property.
+	buggy := core.MustParseProgram(`
+transducer buggy
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- order(X), price(X,Y);
+`)
+	c, _ := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	res, err := CheckTemporal(buggy, models.MagazineDB(), []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("buggy transducer passed the payment property")
+	}
+}
+
+func TestTemporalUnknownDB(t *testing.T) {
+	// A subtlety the unknown-database variant exposes: over unconstrained
+	// databases the payment property FAILS, because a non-functional price
+	// relation lets price(x,y') hold for an amount y' that was never paid
+	// while pay(x,y) triggers the delivery. The counterexample database
+	// must therefore assign some product two prices.
+	c, _ := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	res, err := CheckTemporal(models.Short(), nil, []*Condition{c}, &Options{UnknownDB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("property should fail over databases with non-functional price")
+	}
+	prices := map[relation.Const]int{}
+	for _, tup := range res.CounterexampleDB.Rel("price").Tuples() {
+		prices[tup[0]]++
+	}
+	multi := false
+	for _, n := range prices {
+		if n > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("counterexample database has functional price: %s", res.CounterexampleDB)
+	}
+}
+
+func TestContainsShortFriendlyFullLog(t *testing.T) {
+	// Theorem 3.5's customization check: the reference (short, with its
+	// inputs logged) contains the customized friendly — friendly's extra
+	// input and warning outputs never disturb the logged relations.
+	logSet := []string{"order", "pay", "sendbill", "deliver"}
+	shortFL := models.WithLog(models.Short(), logSet...)
+	friendlyFL := models.WithLog(models.Friendly(), logSet...)
+	db := models.MagazineDB()
+	r, err := Contains(shortFL, friendlyFL, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contained {
+		t.Errorf("short ⊉ friendly: differs at %s on %v", r.DiffersAt, r.Counterexample)
+	}
+}
+
+func TestEquivalentVerboseVariant(t *testing.T) {
+	// Corollary 3.6: same input schema, full log on the shared relations —
+	// both containment directions are decidable. A verbose variant that
+	// only adds an unlogged warning output is equivalent to short.
+	verbose := core.MustParseProgram(`
+transducer verbose
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order/1, past-pay/2;
+  output: sendbill/2, deliver/1, unavailable/1;
+  log: order, pay, sendbill, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  unavailable(X) :- order(X), NOT available(X);
+`)
+	shortFL := models.WithLog(models.Short(), "order", "pay", "sendbill", "deliver")
+	db := models.MagazineDB()
+	eq, r12, r21, err := Equivalent(shortFL, verbose, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("short ≢ verbose: ⊇=%v (%v) ⊆=%v (%v)",
+			r12.Contained, r12.Counterexample, r21.Contained, r21.Counterexample)
+	}
+}
+
+func TestContainsDetectsBehavioralChange(t *testing.T) {
+	// With a full log, a customization that changes logged behaviour —
+	// restricted refuses to bill blocked products — is NOT contained: the
+	// log exposes the missing sendbill. (Under Theorem 3.5's preconditions
+	// containment coincides with log-function equality, so any logged
+	// divergence is detected.)
+	logSet := []string{"order", "pay", "sendbill", "deliver"}
+	shortFL := models.WithLog(models.Short(), logSet...)
+	restrictedFL := models.WithLog(models.Restricted(), logSet...)
+	db := models.MagazineDB()
+	db.Add("blocked", relation.Tuple{"le-monde"})
+	r, err := Contains(shortFL, restrictedFL, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contained {
+		t.Fatal("blocked-product customization reported log-equivalent to short")
+	}
+	if r.DiffersAt == "" || len(r.Counterexample) == 0 {
+		t.Errorf("missing counterexample details: %+v", r)
+	}
+	// Without blocked products the two behave identically.
+	r2, err := Contains(shortFL, restrictedFL, models.MagazineDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Contained {
+		t.Errorf("containment fails even with no blocked products: %v", r2.Counterexample)
+	}
+}
+
+func TestRestrictedPartialLogsValidForShort(t *testing.T) {
+	// With short's original PARTIAL log the restricted customization is
+	// sound in the paper's sense: its logs are valid logs of short. The
+	// partial-log case is outside Theorem 3.5 (order is unlogged), so this
+	// is verified operationally: run restricted, validate the produced log
+	// against short with Theorem 3.1.
+	db := models.MagazineDB()
+	db.Add("blocked", relation.Tuple{"le-monde"})
+	restricted := models.Restricted()
+	short := models.Short()
+	sessions := []relation.Sequence{
+		{models.Step(models.F("order", "le-monde")), models.Step(models.F("pay", "le-monde", "8350"))},
+		{models.Step(models.F("order", "time"), models.F("order", "le-monde")), models.Step(models.F("pay", "time", "855"))},
+	}
+	for _, inputs := range sessions {
+		run, err := restricted.Execute(db, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := LogValidity(short, db, run.Logs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Valid {
+			t.Errorf("restricted log %v not valid for short", run.Logs)
+		}
+	}
+}
+
+func TestContainsPreconditions(t *testing.T) {
+	// short's own (partial) log does not satisfy in₁ ⊆ log.
+	if _, err := Contains(models.Short(), models.Friendly(), models.MagazineDB(), nil); err == nil {
+		t.Fatal("precondition violation accepted")
+	}
+	// Different log sets rejected.
+	a := models.WithLog(models.Short(), "order", "pay", "sendbill", "deliver")
+	b := models.WithLog(models.Friendly(), "order", "pay", "sendbill")
+	if _, err := Contains(a, b, models.MagazineDB(), nil); err == nil {
+		t.Fatal("mismatched log sets accepted")
+	}
+}
+
+func TestErrorFreeVerifyEnforcedProperty(t *testing.T) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	// Enforced directly by an error rule: payments are at listed prices.
+	s, err := parseSentence("pay(X,Y) => price(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckErrorFree(m, db, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("enforced property fails: %v", res.Counterexample)
+	}
+}
+
+func TestErrorFreeVerifyVacuousByErrorRule(t *testing.T) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	// Double orders are errors, so on error-free runs "order(X) ∧
+	// past-order(X) → anything" holds vacuously…
+	s, err := parseSentence("order(X), past-order(X) => pay(X,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckErrorFree(m, db, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("vacuous property fails: %v", res.Counterexample)
+	}
+	// …but the same sentence fails on plain short (no error discipline):
+	// plain short has no error rules, so every run is error-free.
+	res2, err := CheckErrorFree(models.Short(), db, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Holds {
+		t.Error("property holds on short, which allows double orders")
+	}
+}
+
+func TestErrorFreeVerifyViolatedProperty(t *testing.T) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	// Nothing stops ordering unavailable products in strict.
+	s, err := parseSentence("order(X) => available(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckErrorFree(m, db, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("unenforced property verified")
+	}
+	if len(res.Counterexample) == 0 || res.Violated == nil {
+		t.Fatal("missing counterexample details")
+	}
+}
+
+func TestErrorFreeVerifyRejectsNegativeStateLiterals(t *testing.T) {
+	s, _ := parseSentence("pay(X,Y) => price(X,Y)")
+	_, err := CheckErrorFree(models.Guarded(), models.MagazineDB(), s, nil)
+	var nse *ErrNegativeStateLiteral
+	if !errors.As(err, &nse) {
+		t.Fatalf("expected ErrNegativeStateLiteral, got %v", err)
+	}
+}
+
+func TestErrorFreeContainment(t *testing.T) {
+	db := models.MagazineDB()
+	// Every error-free run of stricter is error-free for strict.
+	r, err := ErrorFreeContained(models.Stricter(), models.Strict(), db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contained {
+		t.Errorf("stricter ⊄ strict: %v", r.Counterexample)
+	}
+	// The converse fails: strict allows ordering unavailable products.
+	r2, err := ErrorFreeContained(models.Strict(), models.Stricter(), db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Contained {
+		t.Fatal("strict ⊆ stricter claimed")
+	}
+	if len(r2.Counterexample) == 0 {
+		t.Fatal("no counterexample")
+	}
+}
+
+func TestRemovableDeliverFromShortLog(t *testing.T) {
+	// The paper: "one can remove the relation deliver from the log without
+	// losing any information".
+	m := models.Short()
+	db := models.MagazineDB()
+	res, err := RemovableFromLog(m, db, "deliver", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Removable {
+		t.Errorf("deliver not removable: runs %v vs %v", res.WitnessA, res.WitnessB)
+	}
+}
+
+func TestPayNotRemovableFromShortLog(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	res, err := RemovableFromLog(m, db, "pay", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removable {
+		t.Fatal("pay reported removable; its values are free inputs")
+	}
+	if len(res.WitnessA) == 0 || len(res.WitnessB) == 0 {
+		t.Fatal("missing witness runs")
+	}
+}
+
+func TestMinimalLog(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	keep, err := MinimalLog(m, db, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// deliver must be dropped; pay must be kept.
+	for _, n := range keep {
+		if n == "deliver" {
+			t.Errorf("minimal log still contains deliver: %v", keep)
+		}
+	}
+	hasPay := false
+	for _, n := range keep {
+		if n == "pay" {
+			hasPay = true
+		}
+	}
+	if !hasPay {
+		t.Errorf("minimal log dropped pay: %v", keep)
+	}
+}

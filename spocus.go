@@ -1,0 +1,219 @@
+// Package spocus is the public API of this reproduction of "Relational
+// Transducers for Electronic Commerce" (Abiteboul, Vianu, Fordham, Yesha;
+// PODS 1998 / JCSS 61, 2000).
+//
+// A relational transducer maps a sequence of input relations to a sequence
+// of output relations over a fixed database, remembering state between
+// steps; the designated log relations record the semantically significant
+// part of the exchange. The package builds and runs transducers written in
+// the paper's concrete rule syntax, with the Spocus restriction (cumulative
+// state, semipositive nonrecursive datalog¬,≠ outputs) validated at
+// construction:
+//
+//	m, err := spocus.ParseProgram(spocus.ShortSrc)
+//	run, err := m.Execute(db, inputs)
+//	fmt.Print(run.FormatTrace(false, true))
+//
+// The decision procedures of the paper are exposed directly: LogValidity
+// (Theorem 3.1), ReachGoal (Theorem 3.2), CheckTemporal (Theorem 3.3),
+// Contains/Equivalent (Theorem 3.5 / Corollary 3.6), CheckErrorFree
+// (Theorem 4.4), and ErrorFreeContained (Theorem 4.6), plus the bounded
+// log-minimization check of Section 2.1. Every positive answer returns a
+// witness input sequence that has been replayed against the transducer.
+//
+// Deeper substrates live in the internal packages: internal/dlog (the rule
+// language), internal/fol + internal/sat (the ∃*∀*FO decision procedure
+// over a CDCL SAT solver), internal/automata (the Section 3.1 propositional
+// characterization), internal/turing (the Theorem 4.2 Turing-machine
+// construction), internal/deps (the undecidability reductions), and
+// internal/compose (networks of interacting transducers).
+package spocus
+
+import (
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+	"repro/internal/tsdi"
+	"repro/internal/verify"
+)
+
+// Re-exported data types.
+type (
+	// Const is a constant symbol of the data domain.
+	Const = relation.Const
+	// Tuple is an ordered list of constants.
+	Tuple = relation.Tuple
+	// Fact is a relation name applied to a tuple.
+	Fact = relation.Fact
+	// Instance maps relation names to finite relations.
+	Instance = relation.Instance
+	// Sequence is a finite sequence of instances.
+	Sequence = relation.Sequence
+	// Rel is a finite set of tuples of fixed arity.
+	Rel = relation.Rel
+)
+
+// Re-exported transducer types.
+type (
+	// Machine is a rule-specified relational transducer.
+	Machine = core.Machine
+	// Schema is a transducer schema (in, state, out, db, log).
+	Schema = core.Schema
+	// Run is a transducer execution trace.
+	Run = core.Run
+	// AcceptMode selects an input-control discipline (Section 4).
+	AcceptMode = core.AcceptMode
+	// Kind classifies a machine's restriction class.
+	Kind = core.Kind
+)
+
+// Acceptance modes.
+const (
+	// AcceptAll places no restriction on runs.
+	AcceptAll = core.AcceptAll
+	// ErrorFree accepts runs that never output error.
+	ErrorFree = core.ErrorFree
+	// OKEveryStep accepts runs whose every output contains ok.
+	OKEveryStep = core.OKEveryStep
+	// AcceptAtEnd accepts runs whose last output contains accept.
+	AcceptAtEnd = core.AcceptAtEnd
+)
+
+// Machine kinds.
+const (
+	// KindSpocus is the paper's decidable class.
+	KindSpocus = core.KindSpocus
+	// KindExtended allows projection state rules (Proposition 3.1).
+	KindExtended = core.KindExtended
+	// KindGeneral is unrestricted.
+	KindGeneral = core.KindGeneral
+)
+
+// Verification types.
+type (
+	// Goal is an existential conjunction of output literals (Section 3.2).
+	Goal = verify.Goal
+	// Condition is a T_past-input implication (Theorem 3.3).
+	Condition = verify.Condition
+	// Options tune the decision procedures.
+	Options = verify.Options
+	// Sentence is a T_sdi sentence (Section 4.1).
+	Sentence = tsdi.Sentence
+)
+
+// ParseProgram parses a transducer program in the paper's concrete syntax.
+func ParseProgram(src string) (*Machine, error) { return core.ParseProgram(src) }
+
+// MustParseProgram parses a transducer program, panicking on error.
+func MustParseProgram(src string) *Machine { return core.MustParseProgram(src) }
+
+// NewInstance returns an empty instance.
+func NewInstance() Instance { return relation.NewInstance() }
+
+// F builds a fact from a relation name and constants.
+func F(rel string, args ...string) Fact { return models.F(rel, args...) }
+
+// Step builds a single input instance from facts.
+func Step(facts ...Fact) Instance { return models.Step(facts...) }
+
+// ParseGoal parses a goal such as "deliver(X), NOT rejectpay(X)".
+func ParseGoal(src string) (*Goal, error) { return verify.ParseGoal(src) }
+
+// ParseCondition parses a T_past-input condition such as
+// "deliver(X), price(X,Y) => past-pay(X,Y)".
+func ParseCondition(src string) (*Condition, error) { return verify.ParseCondition(src) }
+
+// ParseSentence parses a T_sdi sentence from clause strings such as
+// "pay(X,Y) => past-order(X)".
+func ParseSentence(clauses ...string) (*Sentence, error) { return tsdi.Parse(clauses...) }
+
+// Enforce grafts a T_sdi sentence onto a machine as error rules
+// (Theorem 4.1): the result's error-free runs accept exactly the input
+// sequences satisfying the sentence (plus the machine's own error rules).
+func Enforce(m *Machine, s *Sentence) (*Machine, error) { return tsdi.Enforce(m, s) }
+
+// LogValidity decides whether a log is generated by some input sequence
+// (Theorem 3.1).
+func LogValidity(m *Machine, db Instance, log Sequence, opts *Options) (*verify.LogValidityResult, error) {
+	return verify.LogValidity(m, db, log, opts)
+}
+
+// ReachGoal decides whether some run's last output satisfies the goal
+// (Theorem 3.2).
+func ReachGoal(m *Machine, db Instance, g *Goal, opts *Options) (*verify.ReachResult, error) {
+	return verify.ReachGoal(m, db, g, opts)
+}
+
+// ReachGoalFrom decides goal reachability after a partial run.
+func ReachGoalFrom(m *Machine, db Instance, prefix Sequence, g *Goal, opts *Options) (*verify.ReachResult, error) {
+	return verify.ReachGoalFrom(m, db, prefix, g, opts)
+}
+
+// Progress suggests next single-fact inputs that immediately achieve the
+// goal (the progress service of Section 2.1).
+func Progress(m *Machine, db Instance, prefix Sequence, g *Goal, pool []Const) ([]Fact, error) {
+	return verify.Progress(m, db, prefix, g, pool)
+}
+
+// CheckTemporal decides whether every run satisfies the T_past-input
+// conditions (Theorem 3.3).
+func CheckTemporal(m *Machine, db Instance, conds []*Condition, opts *Options) (*verify.TemporalResult, error) {
+	return verify.CheckTemporal(m, db, conds, opts)
+}
+
+// Contains decides log containment of a customized transducer in a
+// reference transducer (Theorem 3.5).
+func Contains(reference, candidate *Machine, db Instance, opts *Options) (*verify.ContainResult, error) {
+	return verify.Contains(reference, candidate, db, opts)
+}
+
+// Equivalent decides log equivalence via two containments (Corollary 3.6).
+func Equivalent(a, b *Machine, db Instance, opts *Options) (bool, *verify.ContainResult, *verify.ContainResult, error) {
+	return verify.Equivalent(a, b, db, opts)
+}
+
+// CheckErrorFree decides whether every error-free run satisfies the T_sdi
+// sentence (Theorem 4.4; error rules must have no negative state literal).
+func CheckErrorFree(m *Machine, db Instance, s *Sentence, opts *Options) (*verify.ErrorFreeResult, error) {
+	return verify.CheckErrorFree(m, db, s, opts)
+}
+
+// ErrorFreeContained decides containment of error-free runs (Theorem 4.6).
+func ErrorFreeContained(t1, t2 *Machine, db Instance, opts *Options) (*verify.ErrorFreeContainResult, error) {
+	return verify.ErrorFreeContained(t1, t2, db, opts)
+}
+
+// RemovableFromLog decides (up to a run-length bound) whether a logged
+// relation is determined by the rest of the log (Section 2.1).
+func RemovableFromLog(m *Machine, db Instance, name string, maxLen int, opts *Options) (*verify.MinimizeResult, error) {
+	return verify.RemovableFromLog(m, db, name, maxLen, opts)
+}
+
+// MinimalLog greedily minimizes a machine's log (Section 2.1), up to the
+// run-length bound.
+func MinimalLog(m *Machine, db Instance, maxLen int, opts *Options) ([]string, error) {
+	return verify.MinimalLog(m, db, maxLen, opts)
+}
+
+// The paper's example transducers, re-exported from internal/models.
+var (
+	// ShortSrc is transducer SHORT of Section 2.1.
+	ShortSrc = models.ShortSrc
+	// FriendlySrc is transducer FRIENDLY of Section 2.1.
+	FriendlySrc = models.FriendlySrc
+	// ABCSrc is the ab*c propositional transducer of Section 3.1.
+	ABCSrc = models.ABCSrc
+)
+
+// Short returns the SHORT transducer of Section 2.1.
+func Short() *Machine { return models.Short() }
+
+// Friendly returns the FRIENDLY transducer of Section 2.1.
+func Friendly() *Machine { return models.Friendly() }
+
+// MagazineDB returns the Figure 1 database (Time, Newsweek, Le Monde).
+func MagazineDB() Instance { return models.MagazineDB() }
+
+// WithLog rebuilds a Spocus machine with a different log declaration (e.g.
+// the full-log variants Theorem 3.5's preconditions require).
+func WithLog(m *Machine, logNames ...string) *Machine { return models.WithLog(m, logNames...) }

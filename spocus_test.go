@@ -1,0 +1,162 @@
+package spocus
+
+// End-to-end tests of the public facade: the workflows a library user runs,
+// expressed entirely through the root package.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartWorkflow(t *testing.T) {
+	m, err := ParseProgram(ShortSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Kind() != KindSpocus {
+		t.Fatalf("kind = %v", m.Kind())
+	}
+	db := MagazineDB()
+	run, err := m.Execute(db, Sequence{
+		Step(F("order", "time")),
+		Step(F("pay", "time", "855")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Outputs[1].Has("deliver", Tuple{"time"}) {
+		t.Errorf("no delivery: %s", run.Outputs[1])
+	}
+	if !strings.Contains(run.FormatTrace(false, true), "deliver(time)") {
+		t.Error("trace missing delivery")
+	}
+}
+
+func TestFacadeAuditWorkflow(t *testing.T) {
+	m := Short()
+	db := MagazineDB()
+	run, err := m.Execute(db, Sequence{
+		Step(F("order", "newsweek")),
+		Step(F("pay", "newsweek", "845")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LogValidity(m, db, run.Logs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("honest log rejected")
+	}
+	// The shrunk witness must be exactly the minimal session.
+	if len(res.Witness) != 2 || !res.Witness[0].Has("order", Tuple{"newsweek"}) {
+		t.Errorf("witness not minimal: %v", res.Witness)
+	}
+	forged := Sequence{Step(F("deliver", "time"))}
+	res2, err := LogValidity(m, db, forged, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Valid {
+		t.Fatal("forged log accepted")
+	}
+}
+
+func TestFacadeVerificationWorkflow(t *testing.T) {
+	m := Short()
+	db := MagazineDB()
+	g, err := ParseGoal("deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach, err := ReachGoal(m, db, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach.Reachable {
+		t.Fatal("deliver unreachable")
+	}
+	c, err := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := CheckTemporal(m, db, []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tmp.Holds {
+		t.Fatal("payment property violated")
+	}
+	facts, err := Progress(m, db, Sequence{Step(F("order", "time"))}, mustGoal(t, "deliver(time)"), []Const{"time", "855"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 || facts[0].String() != "pay(time, 855)" {
+		t.Errorf("Progress = %v", facts)
+	}
+}
+
+func mustGoal(t *testing.T, src string) *Goal {
+	t.Helper()
+	g, err := ParseGoal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeEnforceWorkflow(t *testing.T) {
+	m := Friendly()
+	s, err := ParseSentence("pay(X,Y) => price(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf, err := Enforce(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := MagazineDB()
+	bad, err := enf.Execute(db, Sequence{Step(F("pay", "time", "999"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Valid(ErrorFree) {
+		t.Error("wrong-price payment accepted")
+	}
+	res, err := CheckErrorFree(enf, db, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("enforced sentence not verified")
+	}
+}
+
+func TestFacadeCustomizationWorkflow(t *testing.T) {
+	logSet := []string{"order", "pay", "sendbill", "deliver"}
+	short := WithLog(Short(), logSet...)
+	friendly := WithLog(Friendly(), logSet...)
+	db := MagazineDB()
+	res, err := Contains(short, friendly, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("customization unsound: differs at %s", res.DiffersAt)
+	}
+	keep, err := MinimalLog(Short(), db, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 2 {
+		t.Errorf("minimal log = %v", keep)
+	}
+	rem, err := RemovableFromLog(Short(), db, "deliver", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rem.Removable {
+		t.Error("deliver should be removable")
+	}
+}
