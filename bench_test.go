@@ -127,6 +127,97 @@ output rules
 	}
 }
 
+// BenchmarkE3LogValidityParallel times the Theorem 3.1 batch API (one log
+// per customer session) under the sequential and the parallel engine. The
+// verdicts are identical by construction; the par=4 sub-benchmark should
+// show a measurable speedup over par=1 on a multi-core machine.
+func BenchmarkE3LogValidityParallel(b *testing.B) {
+	m := models.Short()
+	db := models.MagazineDB()
+	mags := []string{"time", "newsweek", "le-monde"}
+	prices := map[string]string{"time": "855", "newsweek": "845", "le-monde": "8350"}
+	var logs []relation.Sequence
+	for s := 0; s < 12; s++ {
+		var inputs relation.Sequence
+		n := 2 + s%3
+		for i := 0; i < n; i++ {
+			mag := mags[(s+i)%3]
+			step := relation.NewInstance()
+			if i%2 == 0 {
+				step.Add("order", relation.Tuple{relation.Const(mag)})
+			} else {
+				prev := mags[(s+i-1)%3]
+				step.Add("pay", relation.Tuple{relation.Const(prev), relation.Const(prices[prev])})
+			}
+			inputs = append(inputs, step)
+		}
+		run, err := m.Execute(db, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logs = append(logs, run.Logs)
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.LogValidityBatch(m, db, logs, &verify.Options{SkipReplay: true, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if !r.Valid {
+						b.Fatal("genuine log rejected")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ArityShapeParallel times a batch of one-step arity-3 validity
+// questions (the NEXPTIME grounding shape) under par=1 vs par=4.
+func BenchmarkE4ArityShapeParallel(b *testing.B) {
+	const k = 3
+	src := fmt.Sprintf(`
+transducer echo%d
+schema
+  input: in/%d;
+  output: out/%d;
+  log: out;
+state rules
+  past-in(X1,X2,X3) +:- in(X1,X2,X3);
+output rules
+  out(X1,X2,X3) :- in(X1,X2,X3);
+`, k, k, k)
+	m := core.MustParseProgram(src)
+	var logs []relation.Sequence
+	for s := 0; s < 12; s++ {
+		tup := relation.Tuple{
+			relation.Const(fmt.Sprintf("a%d", s)),
+			relation.Const(fmt.Sprintf("b%d", s%4)),
+			relation.Const(fmt.Sprintf("c%d", s%2)),
+		}
+		step := relation.NewInstance()
+		step.Add("out", tup)
+		logs = append(logs, relation.Sequence{step})
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.LogValidityBatch(m, nil, logs, &verify.Options{SkipReplay: true, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if !r.Valid {
+						b.Fatal("echo log rejected")
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE5ProjectionReduction runs the Proposition 3.1 transducer on the
 // paper's F ⊭ G witness.
 func BenchmarkE5ProjectionReduction(b *testing.B) {
@@ -299,6 +390,30 @@ func BenchmarkE12ErrorFreeVerify(b *testing.B) {
 		if err != nil || !res.Holds {
 			b.Fatal("enforced sentence rejected")
 		}
+	}
+}
+
+// BenchmarkE12ErrorFreeVerifyParallel times Theorem 4.4 on STRICT with a
+// multi-clause sentence, so the per-(clause, run length) subproblems give
+// the engine a genuine intra-procedure fan-out (seven units here).
+func BenchmarkE12ErrorFreeVerifyParallel(b *testing.B) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	s := tsdi.MustParse(
+		"pay(X,Y) => price(X,Y)",
+		"pay(X,Y), past-order(X) => price(X,Y)",
+		"order(X), past-order(X) => pay(X,X)",
+		"pay(X,Y), past-pay(X,Y) => price(X,Y)",
+	)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := verify.CheckErrorFree(m, db, s, &verify.Options{SkipReplay: true, Parallelism: par})
+				if err != nil || !res.Holds {
+					b.Fatal("enforced sentence rejected")
+				}
+			}
+		})
 	}
 }
 

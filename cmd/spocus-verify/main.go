@@ -11,6 +11,12 @@
 //	spocus-verify errorfree-contain -t1 P1 -t2 P2 -db DB.json
 //	spocus-verify minimize   -program P -db DB.json [-maxlen 2]
 //
+// Every subcommand accepts -parallelism N (number of SAT subproblems
+// solved concurrently; 0 or 1 sequential, -1 all CPUs) and -timeout D (a
+// wall-clock bound such as 30s; exceeding it is an input error). The
+// decision is identical under any parallelism; the reported witness or
+// counterexample may differ (see DESIGN.md §3.4).
+//
 // Database and log files are JSON maps from relation name to tuple lists.
 // Exit status 0 means the property holds / the artifact is valid; 1 means
 // it does not (a witness or counterexample is printed); 2 is a usage or
@@ -115,15 +121,28 @@ func verdict(ok bool, yes, no string) {
 	os.Exit(1)
 }
 
+// engineFlags registers the parallel-engine knobs shared by every
+// subcommand and returns a builder for the resulting Options.
+func engineFlags(fs *flag.FlagSet) func() *verify.Options {
+	parallelism := fs.Int("parallelism", 0, "SAT subproblems solved concurrently (0 or 1: sequential, -1: all CPUs)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound per procedure call, e.g. 30s (0: none)")
+	return func() *verify.Options {
+		return &verify.Options{Parallelism: *parallelism, Timeout: *timeout}
+	}
+}
+
 func cmdLog(args []string) {
 	fs := flag.NewFlagSet("log", flag.ExitOnError)
 	program := fs.String("program", "", "transducer program")
 	dbPath := fs.String("db", "", "database JSON")
 	logPath := fs.String("log", "", "log sequence JSON")
 	unknownDB := fs.Bool("unknown-db", false, "search for a database too")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
 	m := loadMachine(*program)
-	res, err := verify.LogValidity(m, loadInstance(*dbPath), loadSequence(*logPath), &verify.Options{UnknownDB: *unknownDB})
+	o := opts()
+	o.UnknownDB = *unknownDB
+	res, err := verify.LogValidity(m, loadInstance(*dbPath), loadSequence(*logPath), o)
 	fatal(err)
 	if res.Valid {
 		printSeq("witness inputs", res.Witness)
@@ -141,6 +160,7 @@ func cmdGoal(args []string) {
 	goalSrc := fs.String("goal", "", "goal, e.g. \"deliver(X)\"")
 	prefixPath := fs.String("prefix", "", "optional partial-run inputs JSON")
 	unknownDB := fs.Bool("unknown-db", false, "search for a database too")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
 	m := loadMachine(*program)
 	g, err := verify.ParseGoal(*goalSrc)
@@ -149,7 +169,9 @@ func cmdGoal(args []string) {
 	if *prefixPath != "" {
 		prefix = loadSequence(*prefixPath)
 	}
-	res, err := verify.ReachGoalFrom(m, loadInstance(*dbPath), prefix, g, &verify.Options{UnknownDB: *unknownDB})
+	o := opts()
+	o.UnknownDB = *unknownDB
+	res, err := verify.ReachGoalFrom(m, loadInstance(*dbPath), prefix, g, o)
 	fatal(err)
 	if res.Reachable {
 		printSeq("witness inputs", res.Witness)
@@ -167,6 +189,7 @@ func cmdTemporal(args []string) {
 	var conds multiFlag
 	fs.Var(&conds, "cond", "condition \"lits => lits\" (repeatable)")
 	unknownDB := fs.Bool("unknown-db", false, "quantify over all databases")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
 	m := loadMachine(*program)
 	var cs []*verify.Condition
@@ -175,7 +198,9 @@ func cmdTemporal(args []string) {
 		fatal(err)
 		cs = append(cs, c)
 	}
-	res, err := verify.CheckTemporal(m, loadInstance(*dbPath), cs, &verify.Options{UnknownDB: *unknownDB})
+	o := opts()
+	o.UnknownDB = *unknownDB
+	res, err := verify.CheckTemporal(m, loadInstance(*dbPath), cs, o)
 	fatal(err)
 	if !res.Holds {
 		fmt.Printf("violated condition: %s\n", res.Violated)
@@ -192,8 +217,9 @@ func cmdContain(args []string) {
 	ref := fs.String("reference", "", "reference transducer program")
 	cand := fs.String("candidate", "", "candidate (customized) transducer program")
 	dbPath := fs.String("db", "", "database JSON")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
-	res, err := verify.Contains(loadMachine(*ref), loadMachine(*cand), loadInstance(*dbPath), nil)
+	res, err := verify.Contains(loadMachine(*ref), loadMachine(*cand), loadInstance(*dbPath), opts())
 	fatal(err)
 	if !res.Contained {
 		fmt.Printf("logs diverge on relation %q\n", res.DiffersAt)
@@ -208,11 +234,12 @@ func cmdErrorFree(args []string) {
 	dbPath := fs.String("db", "", "database JSON")
 	var clauses multiFlag
 	fs.Var(&clauses, "clause", "T_sdi clause \"lits => atoms\" (repeatable)")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
 	m := loadMachine(*program)
 	s, err := tsdi.Parse(clauses...)
 	fatal(err)
-	res, err := verify.CheckErrorFree(m, loadInstance(*dbPath), s, nil)
+	res, err := verify.CheckErrorFree(m, loadInstance(*dbPath), s, opts())
 	fatal(err)
 	if !res.Holds {
 		fmt.Printf("violated clause: %s\n", res.Violated)
@@ -226,8 +253,9 @@ func cmdErrorFreeContain(args []string) {
 	t1 := fs.String("t1", "", "first transducer program")
 	t2 := fs.String("t2", "", "second transducer program")
 	dbPath := fs.String("db", "", "database JSON")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
-	res, err := verify.ErrorFreeContained(loadMachine(*t1), loadMachine(*t2), loadInstance(*dbPath), nil)
+	res, err := verify.ErrorFreeContained(loadMachine(*t1), loadMachine(*t2), loadInstance(*dbPath), opts())
 	fatal(err)
 	if !res.Contained {
 		printSeq("run error-free for t1 but not t2", res.Counterexample)
@@ -240,9 +268,10 @@ func cmdMinimize(args []string) {
 	program := fs.String("program", "", "transducer program")
 	dbPath := fs.String("db", "", "database JSON")
 	maxLen := fs.Int("maxlen", 2, "run-length bound")
+	opts := engineFlags(fs)
 	fatal(fs.Parse(args))
 	m := loadMachine(*program)
-	keep, err := verify.MinimalLog(m, loadInstance(*dbPath), *maxLen, nil)
+	keep, err := verify.MinimalLog(m, loadInstance(*dbPath), *maxLen, opts())
 	fatal(err)
 	fmt.Printf("declared log: %v\n", m.Schema().Log)
 	fmt.Printf("minimal sufficient log (runs ≤ %d): %v\n", *maxLen, keep)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 
 	"repro/internal/relation"
 )
@@ -32,7 +33,35 @@ func V(name string) Term { return Term{Var: true, Name: name} }
 // C constructs a constant term.
 func C(name string) Term { return Term{Var: false, Name: name} }
 
-func (t Term) String() string { return t.Name }
+func (t Term) String() string {
+	if !t.Var && !bareConstant(t.Name) && !strings.ContainsAny(t.Name, "'\n") {
+		return "'" + t.Name + "'"
+	}
+	return t.Name
+}
+
+// bareConstant reports whether a constant symbol re-lexes as itself when
+// printed without quotes: a nonempty lower-case-or-digit-led identifier that
+// is not the NOT keyword. Anything else (quoted constants like 'Time' or
+// 'a b', the empty constant '') must print quoted or it would lex as a
+// variable, a keyword, or not at all.
+func bareConstant(name string) bool {
+	if name == "" || strings.EqualFold(name, "not") {
+		return false
+	}
+	for i, r := range name {
+		if i == 0 {
+			if !(unicode.IsLetter(r) || unicode.IsDigit(r)) || unicode.IsUpper(r) {
+				return false
+			}
+			continue
+		}
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '*' || r == '\'') {
+			return false
+		}
+	}
+	return true
+}
 
 // Atom is a predicate applied to a list of terms.
 type Atom struct {

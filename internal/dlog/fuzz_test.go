@@ -1,0 +1,55 @@
+package dlog
+
+import (
+	"testing"
+)
+
+// fuzzSeedPrograms are paper-style rule programs: the short transducer's
+// output and error rules (Example 2.3), friendly's service rules
+// (Example 2.5), and small programs exercising every surface form the
+// parser accepts (facts, cumulative rules, comparisons, quoted constants,
+// comments, both terminators).
+var fuzzSeedPrograms = []string{
+	`past-order(X) +:- order(X);
+past-pay(X, Y) +:- pay(X, Y);
+past-cancel(X) +:- cancel(X);`,
+	`deliver(X) :- past-order(X), price(X, Y), pay(X, Y), NOT past-pay(X, Y), NOT past-cancel(X);`,
+	`error :- pay(X, Y), pay(X, Z), Y <> Z;
+error :- deliver(X), cancel(X);`,
+	`ship(X) :- order(X), catalog(X, 'Time'), NOT held(X).`,
+	`greet('hello world') :- member(X), X = gold;`,
+	"answer(42).",
+	`a :- ;
+b :- a;
+c(X) :- d(X), X <> e`,
+	"% comment line\nf(X) :- g(X). // trailing comment\n# another",
+	`p(X, Y) +:- q(X), r(Y), X != Y.`,
+	"empty('')",
+}
+
+// FuzzParseProgram checks that the parser never panics and that accepted
+// programs survive a print/re-parse round trip: the printed form must parse,
+// and printing must be a fixed point (so String() is a faithful concrete
+// syntax, quoting included).
+func FuzzParseProgram(f *testing.F) {
+	for _, s := range fuzzSeedPrograms {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("accepted program does not re-parse:\n input:   %q\n printed: %q\n error:   %v", src, printed, err)
+		}
+		if again := p2.String(); again != printed {
+			t.Fatalf("String() is not a fixed point:\n input:  %q\n first:  %q\n second: %q", src, printed, again)
+		}
+		if len(p2) != len(p) {
+			t.Fatalf("re-parse changed rule count from %d to %d:\n input: %q", len(p), len(p2), src)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokKind enumerates token kinds of the rule language (shared with the
@@ -155,7 +156,7 @@ scan:
 		return l.tok
 	}
 	start := l.pos
-	c := rune(l.src[l.pos])
+	c, csize := utf8.DecodeRuneInString(l.src[l.pos:])
 	switch {
 	case c == '(':
 		l.pos++
@@ -207,21 +208,26 @@ scan:
 		l.pos++
 		l.tok = Token{Kind: TokString, Text: text, Line: l.line}
 	case isIdentStart(c):
-		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
-			l.pos++
+		for l.pos < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentRune(r) {
+				break
+			}
+			l.pos += size
 		}
 		text := l.src[start:l.pos]
+		first, _ := utf8.DecodeRuneInString(text)
 		switch {
 		case strings.EqualFold(text, "not"):
 			l.tok = Token{Kind: TokNot, Text: text, Line: l.line}
-		case text[0] == '_' || unicode.IsUpper(rune(text[0])):
+		case first == '_' || unicode.IsUpper(first):
 			l.tok = Token{Kind: TokVar, Text: text, Line: l.line}
 		default:
 			l.tok = Token{Kind: TokIdent, Text: text, Line: l.line}
 		}
 	default:
 		l.Errorf("unexpected character %q", c)
-		l.pos++
+		l.pos += csize
 		l.tok = Token{Kind: TokEOF, Line: l.line}
 	}
 	return l.tok

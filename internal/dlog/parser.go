@@ -126,6 +126,9 @@ func parseLiteral(l *Lexer) (Literal, error) {
 			if t.Kind == TokVar {
 				return Literal{}, l.Errorf("predicate name %q must not begin with an upper-case letter", t.Text)
 			}
+			if t.Kind == TokString {
+				return Literal{}, l.Errorf("quoted constant %q cannot be used as a predicate name", t.Text)
+			}
 			args, err := parseArgs(l)
 			if err != nil {
 				return Literal{}, err
@@ -134,6 +137,9 @@ func parseLiteral(l *Lexer) (Literal, error) {
 		default:
 			if t.Kind == TokVar {
 				return Literal{}, l.Errorf("bare variable %q is not a literal", t.Text)
+			}
+			if t.Kind == TokString {
+				return Literal{}, l.Errorf("quoted constant %q is not a literal", t.Text)
 			}
 			return Pos(Atom{Pred: t.Text}), nil
 		}

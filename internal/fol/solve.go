@@ -1,6 +1,7 @@
 package fol
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,6 +46,12 @@ type Problem struct {
 	// MaxConflicts bounds the SAT search (0 = unlimited); exceeding it
 	// yields Status Unknown.
 	MaxConflicts int64
+	// Context, when non-nil, cancels in-flight work: grounding polls it
+	// periodically (returning the context's error), and the SAT search is
+	// interrupted (returning Status Unknown). Callers distinguish budget
+	// exhaustion from cancellation by checking Context.Err after an Unknown
+	// result.
+	Context context.Context
 }
 
 // Result reports the outcome of Solve.
@@ -65,6 +72,11 @@ type Result struct {
 // Solve decides finite satisfiability of the problem by grounding to CNF
 // and running the CDCL solver. See the package comment for semantics.
 func Solve(p *Problem) (*Result, error) {
+	if p.Context != nil {
+		if err := p.Context.Err(); err != nil {
+			return nil, err
+		}
+	}
 	f := RenameBound(NNF(p.Formula))
 	if fv := FreeVars(f); len(fv) > 0 {
 		return nil, fmt.Errorf("fol: sentence has free variables %v", fv)
@@ -139,6 +151,7 @@ func Solve(p *Problem) (*Result, error) {
 		domIdx: make(map[relation.Const]int, len(domain)),
 		atoms:  make(map[string]int),
 		sels:   make(map[string][]int),
+		ctx:    p.Context,
 	}
 	for i, d := range domain {
 		g.domIdx[d] = i
@@ -155,6 +168,9 @@ func Solve(p *Problem) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Domain: domain, Vars: g.solver.NumVars(), Clauses: g.solver.NumClauses()}
+	if ctx := p.Context; ctx != nil {
+		g.solver.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	if p.MaxConflicts > 0 {
 		res.Status = g.solver.SolveBudget(p.MaxConflicts)
 	} else {
@@ -208,6 +224,26 @@ type grounder struct {
 	// sels maps each existential variable to its selector variables, one
 	// per domain element, under an exactly-one constraint.
 	sels map[string][]int
+	// ctx, when non-nil, is polled every groundPollEvery encoding steps so
+	// that a cancelled caller does not wait out an exponential grounding.
+	ctx context.Context
+	ops uint
+}
+
+// groundPollEvery is the number of encoding steps between context polls
+// during grounding.
+const groundPollEvery = 1024
+
+// poll checks the grounding context every groundPollEvery calls.
+func (g *grounder) poll() error {
+	if g.ctx == nil {
+		return nil
+	}
+	g.ops++
+	if g.ops%groundPollEvery == 0 {
+		return g.ctx.Err()
+	}
+	return nil
 }
 
 func atomKey(pred string, t relation.Tuple) string {
@@ -287,6 +323,9 @@ func (g *grounder) domainIndex(c relation.Const) int {
 // than selector-encoded, since their witness may depend on the universal
 // instantiation.
 func (g *grounder) lit(f Formula, env map[string]gterm, underForall bool) (int, error) {
+	if err := g.poll(); err != nil {
+		return 0, err
+	}
 	switch t := f.(type) {
 	case Atom:
 		return g.atomLit(t, env)
@@ -516,6 +555,9 @@ func (g *grounder) atomLit(a Atom, env map[string]gterm) (int, error) {
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(sels) {
+			if err := g.poll(); err != nil {
+				return err
+			}
 			t := make(relation.Tuple, len(gts))
 			for j, gt := range gts {
 				if gt.sel != "" {

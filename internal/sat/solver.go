@@ -76,6 +76,10 @@ type Solver struct {
 	conflicts    uint64
 	decisions    uint64
 
+	// interrupt, when non-nil, is polled periodically during search; a true
+	// return aborts the current Solve call with Unknown.
+	interrupt func() bool
+
 	model []int8
 }
 
@@ -113,6 +117,18 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 func (s *Solver) Stats() (uint64, uint64, uint64) {
 	return s.propagations, s.conflicts, s.decisions
 }
+
+// SetInterrupt installs a callback polled periodically inside the search
+// loop; when it returns true the in-flight Solve call stops and returns
+// Unknown. The callback must be cheap (it is invoked every few hundred
+// search steps) and safe to call from the solving goroutine. Passing nil
+// removes the hook.
+func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
+
+// interruptEvery is the number of search-loop iterations between interrupt
+// polls: frequent enough for sub-millisecond cancellation latency, rare
+// enough to stay invisible in profiles.
+const interruptEvery = 512
 
 func idx(l int) int {
 	if l > 0 {
@@ -408,7 +424,12 @@ func (s *Solver) SolveBudget(maxConflicts int64, assumptions ...int) Status {
 	restart := 1
 	budget := int64(100) * int64(luby(restart))
 	var spent int64
+	var steps uint
 	for {
+		steps++
+		if steps%interruptEvery == 0 && s.interrupt != nil && s.interrupt() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++

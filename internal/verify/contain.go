@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -55,6 +56,9 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 		}
 	}
 
+	ctx, cancel := opts.begin()
+	defer cancel()
+
 	t1 := newTranslator(reference, "")
 	t2 := newTranslator(candidate, "")
 	// Shared input replicas: in₁ relations use identical predicate names in
@@ -93,7 +97,6 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 			fol.ExistsF(vars, fol.AndF(fol.NotF(f1), f2)),
 		)
 	}
-	sentence := fol.OrF(diffs...)
 
 	fixed := map[string]*relation.Rel{}
 	free := map[string]int{}
@@ -106,42 +109,67 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 		dbPreds(candidate, db, fixed, free)
 	}
 	consts := append(reference.Constants(), candidate.Constants()...)
-	res, err := fol.Solve(&fol.Problem{
-		Formula:      sentence,
-		Fixed:        fixed,
-		Free:         free,
-		ExtraConsts:  consts,
-		MaxConflicts: opts.MaxConflicts,
-	})
+
+	// Each diff disjunct is a closed ∃*∀*FO sentence, and the original
+	// Or-sentence is satisfiable iff some disjunct is — so the disjuncts are
+	// sound independent subproblems. Fan them out; the first satisfiable one
+	// wins. Per-unit grounding stats are folded into the Contained verdict's
+	// Stats (Vars/Clauses summed across units, DomainSize the maximum).
+	subStats := make([]Stats, len(diffs))
+	units := make([]unit[*ContainResult], len(diffs))
+	for i, diff := range diffs {
+		i, diff := i, diff
+		units[i].run = func(ctx context.Context) (*ContainResult, bool, error) {
+			res, err := solveSub(ctx, opts, &fol.Problem{
+				Formula:     diff,
+				Fixed:       fixed,
+				Free:        free,
+				ExtraConsts: consts,
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			subStats[i] = statsOf(res)
+			if res.Status == sat.Unsat {
+				return nil, false, nil
+			}
+			out := &ContainResult{Stats: statsOf(res)}
+			out.Counterexample = t2.extractInputs(res.Model, 2)
+			if !opts.SkipReplay && !opts.UnknownDB {
+				name, err := replayContainmentDiff(reference, candidate, db, out.Counterexample)
+				if err != nil {
+					return nil, false, fmt.Errorf("verify: internal error: %w", err)
+				}
+				out.Counterexample = shrinkInputs(out.Counterexample, func(cand relation.Sequence) bool {
+					if len(cand) != 2 {
+						return false
+					}
+					_, err := replayContainmentDiff(reference, candidate, db, cand)
+					return err == nil
+				})
+				name, err = replayContainmentDiff(reference, candidate, db, out.Counterexample)
+				if err != nil {
+					return nil, false, fmt.Errorf("verify: internal error after shrink: %w", err)
+				}
+				out.DiffersAt = name
+			}
+			return out, true, nil
+		}
+	}
+	found, ok, err := searchFirst(ctx, opts.workers(), units)
 	if err != nil {
 		return nil, err
 	}
-	out := &ContainResult{Stats: statsOf(res)}
-	switch res.Status {
-	case sat.Unknown:
-		return nil, ErrBudget
-	case sat.Unsat:
-		out.Contained = true
-		return out, nil
+	if ok {
+		return found, nil
 	}
-	out.Counterexample = t2.extractInputs(res.Model, 2)
-	if !opts.SkipReplay && !opts.UnknownDB {
-		name, err := replayContainmentDiff(reference, candidate, db, out.Counterexample)
-		if err != nil {
-			return nil, fmt.Errorf("verify: internal error: %w", err)
+	out := &ContainResult{Contained: true}
+	for _, st := range subStats {
+		out.Stats.Vars += st.Vars
+		out.Stats.Clauses += st.Clauses
+		if st.DomainSize > out.Stats.DomainSize {
+			out.Stats.DomainSize = st.DomainSize
 		}
-		out.Counterexample = shrinkInputs(out.Counterexample, func(cand relation.Sequence) bool {
-			if len(cand) != 2 {
-				return false
-			}
-			_, err := replayContainmentDiff(reference, candidate, db, cand)
-			return err == nil
-		})
-		name, err = replayContainmentDiff(reference, candidate, db, out.Counterexample)
-		if err != nil {
-			return nil, fmt.Errorf("verify: internal error after shrink: %w", err)
-		}
-		out.DiffersAt = name
 	}
 	return out, nil
 }
@@ -151,6 +179,29 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 // log; more generally whenever both directions meet Theorem 3.5's
 // preconditions).
 func Equivalent(t1, t2 *core.Machine, db relation.Instance, opts *Options) (bool, *ContainResult, *ContainResult, error) {
+	opts = opts.orDefault()
+	if opts.workers() > 1 {
+		// The two containment directions are independent; run them
+		// concurrently, each with its own internal fan-out sharing the same
+		// worker budget. Both must complete (no early exit: callers inspect
+		// both results), so errors are surfaced after joining.
+		var r12, r21 *ContainResult
+		var err12, err21 error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r21, err21 = Contains(t2, t1, db, opts)
+		}()
+		r12, err12 = Contains(t1, t2, db, opts)
+		<-done
+		if err12 != nil {
+			return false, nil, nil, err12
+		}
+		if err21 != nil {
+			return false, r12, nil, err21
+		}
+		return r12.Contained && r21.Contained, r12, r21, nil
+	}
 	r12, err := Contains(t1, t2, db, opts)
 	if err != nil {
 		return false, nil, nil, err

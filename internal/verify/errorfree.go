@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -53,8 +54,15 @@ type ErrorFreeResult struct {
 // transition. The machine's error rules must contain no negative state
 // literal. For a clause whose If side has k positive state literals,
 // error-free runs of length k+1 suffice to witness a violation.
+// CheckErrorFree fans the per-clause, per-run-length subproblems across
+// Options.Parallelism workers; the first violation found wins. The Holds
+// verdict is parallelism-independent; the reported clause and
+// counterexample may differ from the sequential run when several
+// (clause, length) pairs are violated.
 func CheckErrorFree(m *core.Machine, db relation.Instance, sentence *tsdi.Sentence, opts *Options) (*ErrorFreeResult, error) {
 	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
 	if err := requireSpocus(m); err != nil {
 		return nil, err
 	}
@@ -64,98 +72,95 @@ func CheckErrorFree(m *core.Machine, db relation.Instance, sentence *tsdi.Senten
 	if err := sentence.Validate(m.Schema()); err != nil {
 		return nil, err
 	}
-	out := &ErrorFreeResult{Holds: true}
+	// One unit per (clause, run length) pair, flattened in the sequential
+	// search order. The subsequence argument of Theorem 4.4 bounds a
+	// violating error-free run by k+1 steps (k = positive state literals of
+	// the If side) but does not let shorter witnesses be padded to exactly
+	// k+1 — padding can introduce errors — so every length up to the bound
+	// is searched.
+	var units []unit[*ErrorFreeResult]
 	for ci := range sentence.Clauses {
-		c := sentence.Clauses[ci]
-		// The subsequence argument of Theorem 4.4 bounds a violating
-		// error-free run by k+1 steps (k = positive state literals of the
-		// If side) but does not let shorter witnesses be padded to exactly
-		// k+1 — padding can introduce errors — so every length up to the
-		// bound is searched.
+		c := &sentence.Clauses[ci]
 		maxN := positiveStateLiterals(c.If, m.Schema()) + 1
-		found, err := checkClauseUpTo(m, db, c, maxN, opts, out)
-		if err != nil {
-			return nil, err
-		}
-		if found {
-			out.Violated = &sentence.Clauses[ci]
-			return out, nil
+		for n := 1; n <= maxN; n++ {
+			n := n
+			units = append(units, unit[*ErrorFreeResult]{run: func(ctx context.Context) (*ErrorFreeResult, bool, error) {
+				return checkClauseAt(ctx, m, db, c, n, opts)
+			}})
 		}
 	}
-	return out, nil
+	found, ok, err := searchFirst(ctx, opts.workers(), units)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return found, nil
+	}
+	return &ErrorFreeResult{Holds: true}, nil
 }
 
-// checkClauseUpTo searches for an error-free run of length 1..maxN whose
-// last transition violates the clause; on success it fills the result's
-// counterexample and returns true.
-func checkClauseUpTo(m *core.Machine, db relation.Instance, c tsdi.Clause, maxN int, opts *Options, out *ErrorFreeResult) (bool, error) {
-	for n := 1; n <= maxN; n++ {
-		t := newTranslator(m, "")
-		// Violation of the clause at step n: ∃x̄ (If' ∧ ⋀¬Then').
-		// Violation of the clause at step n: ∃x̄ (If' ∧ ⋀¬Then').
-		var lits []fol.Formula
-		for _, l := range c.If {
-			f, err := t.literal(l, n)
-			if err != nil {
-				return false, err
-			}
-			lits = append(lits, f)
-		}
-		for _, a := range c.Then {
-			f, err := t.literal(dlog.Pos(a), n)
-			if err != nil {
-				return false, err
-			}
-			lits = append(lits, fol.NotF(f))
-		}
-		violation := fol.ExistsF(c.Vars(), fol.AndF(lits...))
-		// Error-freeness at every step 1..n.
-		var noErr []fol.Formula
-		for j := 1; j <= n; j++ {
-			f, err := t.noErrorAt(j)
-			if err != nil {
-				return false, err
-			}
-			noErr = append(noErr, f)
-		}
-		fixed := map[string]*relation.Rel{}
-		free := map[string]int{}
-		t.freePreds(n, free)
-		if opts.UnknownDB {
-			dbPreds(m, nil, fixed, free)
-		} else {
-			dbPreds(m, db, fixed, free)
-		}
-		res, err := fol.Solve(&fol.Problem{
-			Formula:      fol.AndF(append(noErr, violation)...),
-			Fixed:        fixed,
-			Free:         free,
-			ExtraConsts:  m.Constants(),
-			MaxConflicts: opts.MaxConflicts,
-		})
+// checkClauseAt searches for an error-free run of exactly length n whose
+// last transition violates the clause; on success it returns the populated
+// violation result.
+func checkClauseAt(ctx context.Context, m *core.Machine, db relation.Instance, c *tsdi.Clause, n int, opts *Options) (*ErrorFreeResult, bool, error) {
+	t := newTranslator(m, "")
+	// Violation of the clause at step n: ∃x̄ (If' ∧ ⋀¬Then').
+	var lits []fol.Formula
+	for _, l := range c.If {
+		f, err := t.literal(l, n)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
-		out.Stats = statsOf(res)
-		switch res.Status {
-		case sat.Unknown:
-			return false, ErrBudget
-		case sat.Unsat:
-			continue
-		}
-		out.Holds = false
-		out.Counterexample = t.extractInputs(res.Model, n)
-		if !opts.SkipReplay && !opts.UnknownDB {
-			if err := replayErrorFreeViolation(m, db, out.Counterexample, c); err != nil {
-				return false, fmt.Errorf("verify: internal error: %w", err)
-			}
-			out.Counterexample = shrinkInputs(out.Counterexample, func(cand relation.Sequence) bool {
-				return len(cand) > 0 && replayErrorFreeViolation(m, db, cand, c) == nil
-			})
-		}
-		return true, nil
+		lits = append(lits, f)
 	}
-	return false, nil
+	for _, a := range c.Then {
+		f, err := t.literal(dlog.Pos(a), n)
+		if err != nil {
+			return nil, false, err
+		}
+		lits = append(lits, fol.NotF(f))
+	}
+	violation := fol.ExistsF(c.Vars(), fol.AndF(lits...))
+	// Error-freeness at every step 1..n.
+	var noErr []fol.Formula
+	for j := 1; j <= n; j++ {
+		f, err := t.noErrorAt(j)
+		if err != nil {
+			return nil, false, err
+		}
+		noErr = append(noErr, f)
+	}
+	fixed := map[string]*relation.Rel{}
+	free := map[string]int{}
+	t.freePreds(n, free)
+	if opts.UnknownDB {
+		dbPreds(m, nil, fixed, free)
+	} else {
+		dbPreds(m, db, fixed, free)
+	}
+	res, err := solveSub(ctx, opts, &fol.Problem{
+		Formula:     fol.AndF(append(noErr, violation)...),
+		Fixed:       fixed,
+		Free:        free,
+		ExtraConsts: m.Constants(),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status == sat.Unsat {
+		return nil, false, nil
+	}
+	out := &ErrorFreeResult{Stats: statsOf(res), Violated: c}
+	out.Counterexample = t.extractInputs(res.Model, n)
+	if !opts.SkipReplay && !opts.UnknownDB {
+		if err := replayErrorFreeViolation(m, db, out.Counterexample, *c); err != nil {
+			return nil, false, fmt.Errorf("verify: internal error: %w", err)
+		}
+		out.Counterexample = shrinkInputs(out.Counterexample, func(cand relation.Sequence) bool {
+			return len(cand) > 0 && replayErrorFreeViolation(m, db, cand, *c) == nil
+		})
+	}
+	return out, true, nil
 }
 
 // positiveStateLiterals counts the positive state literals of a body — the
@@ -222,6 +227,8 @@ type ErrorFreeContainResult struct {
 // t2 error rule; runs of length (state literals of that rule)+1 suffice.
 func ErrorFreeContained(t1, t2 *core.Machine, db relation.Instance, opts *Options) (*ErrorFreeContainResult, error) {
 	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
 	for _, m := range []*core.Machine{t1, t2} {
 		if err := requireSpocus(m); err != nil {
 			return nil, err
@@ -233,49 +240,55 @@ func ErrorFreeContained(t1, t2 *core.Machine, db relation.Instance, opts *Option
 	if err := sameInputSchema(t1, t2); err != nil {
 		return nil, err
 	}
-	out := &ErrorFreeContainResult{Contained: true}
+	// One unit per (t2 error rule, run length) pair, fanned across workers.
+	// As in CheckErrorFree, every run length up to the bound is searched;
+	// shorter witnesses cannot in general be padded.
+	var units []unit[*ErrorFreeContainResult]
 	for _, r := range t2.ErrorRules() {
+		r := r
 		maxN := positiveStateLiterals(r.Body, t2.Schema()) + 1
-		// As in CheckErrorFree, every run length up to the bound is
-		// searched; shorter witnesses cannot in general be padded.
 		for n := 1; n <= maxN; n++ {
-			found, err := errorFreeContainAt(t1, t2, db, r, n, opts, out)
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				return out, nil
-			}
+			n := n
+			units = append(units, unit[*ErrorFreeContainResult]{run: func(ctx context.Context) (*ErrorFreeContainResult, bool, error) {
+				return errorFreeContainAt(ctx, t1, t2, db, r, n, opts)
+			}})
 		}
 	}
-	return out, nil
+	found, ok, err := searchFirst(ctx, opts.workers(), units)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return found, nil
+	}
+	return &ErrorFreeContainResult{Contained: true}, nil
 }
 
 // errorFreeContainAt searches for a length-n run, error-free for t1
 // throughout and for t2 up to step n-1, whose step n fires the given t2
-// error rule.
-func errorFreeContainAt(t1, t2 *core.Machine, db relation.Instance, r dlog.Rule, n int, opts *Options, out *ErrorFreeContainResult) (bool, error) {
+// error rule; on success it returns the populated counterexample result.
+func errorFreeContainAt(ctx context.Context, t1, t2 *core.Machine, db relation.Instance, r dlog.Rule, n int, opts *Options) (*ErrorFreeContainResult, bool, error) {
 	tr1 := newTranslator(t1, "")
 	tr2 := newTranslator(t2, "")
 	var conj []fol.Formula
 	for j := 1; j <= n; j++ {
 		f, err := tr1.noErrorAt(j)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 		conj = append(conj, f)
 	}
 	for j := 1; j < n; j++ {
 		f, err := tr2.noErrorAt(j)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 		conj = append(conj, f)
 	}
 	// Rule r fires at step n.
 	bf, err := tr2.body(r.Body, n)
 	if err != nil {
-		return false, err
+		return nil, false, err
 	}
 	conj = append(conj, fol.ExistsF(r.Vars(), bf))
 
@@ -289,34 +302,29 @@ func errorFreeContainAt(t1, t2 *core.Machine, db relation.Instance, r dlog.Rule,
 		dbPreds(t1, db, fixed, free)
 		dbPreds(t2, db, fixed, free)
 	}
-	res, err := fol.Solve(&fol.Problem{
-		Formula:      fol.AndF(conj...),
-		Fixed:        fixed,
-		Free:         free,
-		ExtraConsts:  append(t1.Constants(), t2.Constants()...),
-		MaxConflicts: opts.MaxConflicts,
+	res, err := solveSub(ctx, opts, &fol.Problem{
+		Formula:     fol.AndF(conj...),
+		Fixed:       fixed,
+		Free:        free,
+		ExtraConsts: append(t1.Constants(), t2.Constants()...),
 	})
 	if err != nil {
-		return false, err
+		return nil, false, err
 	}
-	out.Stats = statsOf(res)
-	switch res.Status {
-	case sat.Unknown:
-		return false, ErrBudget
-	case sat.Unsat:
-		return false, nil
+	if res.Status == sat.Unsat {
+		return nil, false, nil
 	}
-	out.Contained = false
+	out := &ErrorFreeContainResult{Stats: statsOf(res)}
 	out.Counterexample = tr1.extractInputs(res.Model, n)
 	if !opts.SkipReplay && !opts.UnknownDB {
 		if err := replayErrorFreeContainment(t1, t2, db, out.Counterexample); err != nil {
-			return false, fmt.Errorf("verify: internal error: %w", err)
+			return nil, false, fmt.Errorf("verify: internal error: %w", err)
 		}
 		out.Counterexample = shrinkInputs(out.Counterexample, func(cand relation.Sequence) bool {
 			return len(cand) > 0 && replayErrorFreeContainment(t1, t2, db, cand) == nil
 		})
 	}
-	return true, nil
+	return out, true, nil
 }
 
 func sameInputSchema(t1, t2 *core.Machine) error {

@@ -1,7 +1,9 @@
 package verify
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dlog"
@@ -22,6 +24,26 @@ type Options struct {
 	// SkipReplay disables the operational replay of witnesses (used only by
 	// benchmarks measuring pure decision time).
 	SkipReplay bool
+	// Parallelism is the number of SAT subproblems solved concurrently by
+	// procedures that decompose into independent questions (per-condition,
+	// per-clause, per-run-length, per-candidate). 0 and 1 mean strictly
+	// sequential evaluation in declaration order; negative means
+	// GOMAXPROCS. The decision (and any error under an unlimited budget) is
+	// identical to the sequential one; the witness or counterexample may
+	// differ, since the first subproblem to find one wins and cancels the
+	// rest. See DESIGN.md §3.4.
+	Parallelism int
+	// Timeout bounds the wall-clock time of one procedure call; 0 means no
+	// deadline. An expired deadline surfaces as context.DeadlineExceeded.
+	Timeout time.Duration
+	// Context, when non-nil, cancels in-flight grounding and SAT search; a
+	// cancelled call returns the context's error. Nil means Background.
+	Context context.Context
+	// Cache, when non-nil, memoizes solved subproblems keyed by their full
+	// grounding input, so repeated questions (same transducer, sentence, and
+	// run length across procedures or calls) skip the solver entirely. It
+	// is safe for concurrent use and may be shared between procedures.
+	Cache *Cache
 }
 
 func (o *Options) orDefault() *Options {
@@ -29,6 +51,19 @@ func (o *Options) orDefault() *Options {
 		return &Options{}
 	}
 	return o
+}
+
+// begin derives the call's context from Options.Context and Options.Timeout.
+// The returned cancel func must be called when the procedure finishes.
+func (o *Options) begin() (context.Context, context.CancelFunc) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // ErrBudget is returned when MaxConflicts is exhausted before a decision.
@@ -64,6 +99,12 @@ type LogValidityResult struct {
 // schema, witnessed by the grounding statistics in the result.
 func LogValidity(m *core.Machine, db relation.Instance, log relation.Sequence, opts *Options) (*LogValidityResult, error) {
 	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
+	return logValidity(ctx, m, db, log, opts)
+}
+
+func logValidity(ctx context.Context, m *core.Machine, db relation.Instance, log relation.Sequence, opts *Options) (*LogValidityResult, error) {
 	if err := requireSpocus(m); err != nil {
 		return nil, err
 	}
@@ -136,21 +177,17 @@ func LogValidity(m *core.Machine, db relation.Instance, log relation.Sequence, o
 		dbPreds(m, db, fixed, free)
 	}
 
-	res, err := fol.Solve(&fol.Problem{
-		Formula:      fol.AndF(conjuncts...),
-		Fixed:        fixed,
-		Free:         free,
-		ExtraConsts:  m.Constants(),
-		MaxConflicts: opts.MaxConflicts,
+	res, err := solveSub(ctx, opts, &fol.Problem{
+		Formula:     fol.AndF(conjuncts...),
+		Fixed:       fixed,
+		Free:        free,
+		ExtraConsts: m.Constants(),
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &LogValidityResult{Stats: statsOf(res)}
-	switch res.Status {
-	case sat.Unknown:
-		return nil, ErrBudget
-	case sat.Unsat:
+	if res.Status == sat.Unsat {
 		return out, nil
 	}
 	out.Valid = true
@@ -174,6 +211,23 @@ func LogValidity(m *core.Machine, db relation.Instance, log relation.Sequence, o
 		})
 	}
 	return out, nil
+}
+
+// LogValidityBatch decides Theorem 3.1 for many candidate logs over the
+// same transducer and database, fanning the per-candidate SAT subproblems
+// across Options.Parallelism workers (the production shape: one log per
+// customer session, millions of sessions). Results are positionally aligned
+// with logs. Unlike the single-log procedure, every candidate is decided —
+// there is no early termination — and the first error cancels the
+// remaining work. Sharing an Options.Cache across calls lets repeated
+// sessions skip the solver entirely.
+func LogValidityBatch(m *core.Machine, db relation.Instance, logs []relation.Sequence, opts *Options) ([]*LogValidityResult, error) {
+	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
+	return forEach(ctx, opts.workers(), len(logs), func(ctx context.Context, i int) (*LogValidityResult, error) {
+		return logValidity(ctx, m, db, logs[i], opts)
+	})
 }
 
 // logValueFormula returns a function giving the formula for "tuple ∈ value

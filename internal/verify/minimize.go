@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -41,72 +42,92 @@ func RemovableFromLog(m *core.Machine, db relation.Instance, name string, maxLen
 	if !s.Logged(name) {
 		return nil, fmt.Errorf("verify: %s is not a logged relation", name)
 	}
-	out := &MinimizeResult{Removable: true}
-	for n := 1; n <= maxLen; n++ {
-		ta := newTranslator(m, "a")
-		tb := newTranslator(m, "b")
-		var conj []fol.Formula
-		// Reduced logs equal at steps 1..n.
-		for j := 1; j <= n; j++ {
-			for _, q := range s.Log {
-				if q == name {
-					continue
-				}
-				eq, err := valuesEqual(ta, tb, s, q, j)
-				if err != nil {
-					return nil, err
-				}
-				conj = append(conj, eq)
-			}
-		}
-		// name differs at step n.
-		diff, err := valuesDiffer(ta, tb, s, name, n)
-		if err != nil {
-			return nil, err
-		}
-		conj = append(conj, diff)
+	ctx, cancel := opts.begin()
+	defer cancel()
 
-		fixed := map[string]*relation.Rel{}
-		free := map[string]int{}
-		ta.freePreds(n, free)
-		tb.freePreds(n, free)
-		dbPreds(m, db, fixed, free)
-		// Output-value equivalence between the two runs is a genuine ∀∃
-		// sentence (body variables of output rules sit under the universal
-		// tuple quantifier), outside ∃*∀*FO — consistent with the paper
-		// leaving log minimization open. FiniteDomain expands those inner
-		// existentials over the explicit domain, making this a bounded
-		// check in the domain as well as in the run length.
-		res, err := fol.Solve(&fol.Problem{
-			Formula:      fol.AndF(conj...),
-			Fixed:        fixed,
-			Free:         free,
-			ExtraConsts:  m.Constants(),
-			FiniteDomain: true,
-			MaxConflicts: opts.MaxConflicts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Stats = statsOf(res)
-		switch res.Status {
-		case sat.Unknown:
-			return nil, ErrBudget
-		case sat.Unsat:
-			continue
-		}
-		out.Removable = false
-		out.WitnessA = ta.extractInputs(res.Model, n)
-		out.WitnessB = tb.extractInputs(res.Model, n)
-		if !opts.SkipReplay {
-			if err := replayDeterminacy(m, db, out.WitnessA, out.WitnessB, name); err != nil {
-				return nil, fmt.Errorf("verify: internal error: %w", err)
+	// One independent subproblem per run length: length-n determinacy does
+	// not depend on any other length, so the lengths fan out across the
+	// worker pool with first-witness-wins. Sequentially the shortest
+	// differing length is found first; in parallel any differing length may
+	// win (the witness is replay-shrunk either way), but Removable itself —
+	// all lengths unsatisfiable — is order-independent.
+	subStats := make([]Stats, maxLen)
+	units := make([]unit[*MinimizeResult], 0, maxLen)
+	for n := 1; n <= maxLen; n++ {
+		n := n
+		units = append(units, unit[*MinimizeResult]{run: func(ctx context.Context) (*MinimizeResult, bool, error) {
+			ta := newTranslator(m, "a")
+			tb := newTranslator(m, "b")
+			var conj []fol.Formula
+			// Reduced logs equal at steps 1..n.
+			for j := 1; j <= n; j++ {
+				for _, q := range s.Log {
+					if q == name {
+						continue
+					}
+					eq, err := valuesEqual(ta, tb, s, q, j)
+					if err != nil {
+						return nil, false, err
+					}
+					conj = append(conj, eq)
+				}
 			}
-			out.WitnessA, out.WitnessB = shrinkPair(out.WitnessA, out.WitnessB, func(a, b relation.Sequence) bool {
-				return replayDeterminacy(m, db, a, b, name) == nil
+			// name differs at step n.
+			diff, err := valuesDiffer(ta, tb, s, name, n)
+			if err != nil {
+				return nil, false, err
+			}
+			conj = append(conj, diff)
+
+			fixed := map[string]*relation.Rel{}
+			free := map[string]int{}
+			ta.freePreds(n, free)
+			tb.freePreds(n, free)
+			dbPreds(m, db, fixed, free)
+			// Output-value equivalence between the two runs is a genuine ∀∃
+			// sentence (body variables of output rules sit under the universal
+			// tuple quantifier), outside ∃*∀*FO — consistent with the paper
+			// leaving log minimization open. FiniteDomain expands those inner
+			// existentials over the explicit domain, making this a bounded
+			// check in the domain as well as in the run length.
+			res, err := solveSub(ctx, opts, &fol.Problem{
+				Formula:      fol.AndF(conj...),
+				Fixed:        fixed,
+				Free:         free,
+				ExtraConsts:  m.Constants(),
+				FiniteDomain: true,
 			})
-		}
-		return out, nil
+			if err != nil {
+				return nil, false, err
+			}
+			subStats[n-1] = statsOf(res)
+			if res.Status == sat.Unsat {
+				return nil, false, nil
+			}
+			out := &MinimizeResult{Stats: statsOf(res)}
+			out.WitnessA = ta.extractInputs(res.Model, n)
+			out.WitnessB = tb.extractInputs(res.Model, n)
+			if !opts.SkipReplay {
+				if err := replayDeterminacy(m, db, out.WitnessA, out.WitnessB, name); err != nil {
+					return nil, false, fmt.Errorf("verify: internal error: %w", err)
+				}
+				out.WitnessA, out.WitnessB = shrinkPair(out.WitnessA, out.WitnessB, func(a, b relation.Sequence) bool {
+					return replayDeterminacy(m, db, a, b, name) == nil
+				})
+			}
+			return out, true, nil
+		}})
+	}
+	found, ok, err := searchFirst(ctx, opts.workers(), units)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return found, nil
+	}
+	out := &MinimizeResult{Removable: true}
+	if maxLen > 0 {
+		out.Stats = subStats[maxLen-1]
 	}
 	return out, nil
 }

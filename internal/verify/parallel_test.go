@@ -1,0 +1,451 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// --- pool semantics ---
+
+func TestSearchFirstSequentialStopsAtFirstFound(t *testing.T) {
+	var ran []int
+	units := make([]unit[int], 4)
+	for i := range units {
+		i := i
+		units[i].run = func(context.Context) (int, bool, error) {
+			ran = append(ran, i)
+			return i, i == 1, nil
+		}
+	}
+	v, found, err := searchFirst(context.Background(), 1, units)
+	if err != nil || !found || v != 1 {
+		t.Fatalf("got (%v, %v, %v), want (1, true, nil)", v, found, err)
+	}
+	if len(ran) != 2 || ran[0] != 0 || ran[1] != 1 {
+		t.Errorf("sequential run order %v, want [0 1] (stop at first found)", ran)
+	}
+}
+
+func TestSearchFirstAgreesAcrossWorkerCounts(t *testing.T) {
+	const n, hit = 20, 13
+	for _, workers := range []int{1, 2, 4, 8, 32} {
+		units := make([]unit[int], n)
+		for i := range units {
+			i := i
+			units[i].run = func(context.Context) (int, bool, error) {
+				return i, i == hit, nil
+			}
+		}
+		v, found, err := searchFirst(context.Background(), workers, units)
+		if err != nil || !found || v != hit {
+			t.Errorf("workers=%d: got (%v, %v, %v), want (%d, true, nil)", workers, v, found, err, hit)
+		}
+	}
+}
+
+func TestSearchFirstAllNegative(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		units := make([]unit[int], 9)
+		for i := range units {
+			units[i].run = func(context.Context) (int, bool, error) { return 0, false, nil }
+		}
+		_, found, err := searchFirst(context.Background(), workers, units)
+		if err != nil || found {
+			t.Errorf("workers=%d: got (found=%v, err=%v), want conclusive negative", workers, found, err)
+		}
+	}
+}
+
+func TestSearchFirstWitnessWinsOverSiblingError(t *testing.T) {
+	units := make([]unit[string], 6)
+	for i := range units {
+		i := i
+		units[i].run = func(context.Context) (string, bool, error) {
+			if i == 0 {
+				return "", false, errors.New("boom")
+			}
+			return "witness", i == 5, nil
+		}
+	}
+	v, found, err := searchFirst(context.Background(), 4, units)
+	if err != nil || !found || v != "witness" {
+		t.Fatalf("got (%q, %v, %v); a found witness must win over a sibling error", v, found, err)
+	}
+}
+
+func TestSearchFirstReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		units := make([]unit[int], 8)
+		for i := range units {
+			i := i
+			units[i].run = func(context.Context) (int, bool, error) {
+				if i == 2 || i == 6 {
+					return 0, false, fmt.Errorf("err-%d", i)
+				}
+				return 0, false, nil
+			}
+		}
+		_, _, err := searchFirst(context.Background(), workers, units)
+		if err == nil || err.Error() != "err-2" {
+			// Sequential stops at the first error it meets, which is also
+			// the lowest-indexed one.
+			t.Errorf("workers=%d: got error %v, want err-2", workers, err)
+		}
+	}
+}
+
+func TestSearchFirstParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	units := make([]unit[int], 16)
+	for i := range units {
+		units[i].run = func(ctx context.Context) (int, bool, error) {
+			started.Add(1)
+			<-ctx.Done()
+			return 0, false, nil
+		}
+	}
+	go func() {
+		for started.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, found, err := searchFirst(ctx, 2, units)
+	if found || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (found=%v, err=%v), want context.Canceled: a cancelled run may not claim a negative verdict", found, err)
+	}
+}
+
+func TestForEachPositionalResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := forEach(context.Background(), workers, 17, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	_, err := forEach(context.Background(), 4, 10, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("unit failed")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "unit failed" {
+		t.Fatalf("got %v, want the unit's error", err)
+	}
+}
+
+// --- cancellation and deadlines through the procedures ---
+
+func TestTimeoutSurfacesDeadlineExceeded(t *testing.T) {
+	m := models.Friendly()
+	db := models.MagazineDB()
+	run, err := m.Execute(db, models.Fig2Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LogValidity(m, db, run.Logs, &Options{Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCancelledContextSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := models.Short()
+	db := models.MagazineDB()
+	_, err := CheckTemporal(m, db, []*Condition{mustCond(t, "sendbill(X,Y) => price(X,Y)")}, &Options{Context: ctx, Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func mustCond(t *testing.T, src string) *Condition {
+	t.Helper()
+	c, err := ParseCondition(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// --- memo cache ---
+
+func TestCacheMemoizesAcrossCalls(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	sentence, err := parseSentence("pay(X,Y) => price(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	opts := &Options{Cache: cache, Parallelism: 2}
+	first, err := CheckErrorFree(m, db, sentence, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := cache.Stats()
+	if cache.Len() == 0 {
+		t.Fatal("no subproblems were memoized")
+	}
+	second, err := CheckErrorFree(m, db, sentence, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Holds != second.Holds {
+		t.Fatalf("cached decision differs: %v vs %v", first.Holds, second.Holds)
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Error("second identical call produced no cache hits")
+	}
+	if misses != missesAfterFirst {
+		t.Errorf("second identical call missed the cache %d times", misses-missesAfterFirst)
+	}
+}
+
+// --- parallel/sequential answer equivalence ---
+
+// TestParallelMatchesSequentialOnModels pins the documented determinism
+// policy on the paper's transducers: decisions are identical under any
+// parallelism, and when only one condition is violated the reported witness
+// data must coincide too.
+func TestParallelMatchesSequentialOnModels(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	ok1 := mustCond(t, "deliver(X), price(X,Y) => past-pay(X,Y)")
+	ok2 := mustCond(t, "sendbill(X,Y) => price(X,Y)")
+	bad := mustCond(t, "sendbill(X,Y) => past-pay(X,Y)")
+	seq, err := CheckTemporal(m, db, []*Condition{ok1, ok2, bad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CheckTemporal(m, db, []*Condition{ok1, ok2, bad}, &Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Holds != par.Holds {
+		t.Fatalf("decision differs: sequential %v, parallel %v", seq.Holds, par.Holds)
+	}
+	if par.Violated == nil || par.Violated.String() != bad.String() {
+		// Only one condition fails, so even the parallel run must name it.
+		t.Errorf("parallel run blamed %v, want %v", par.Violated, bad)
+	}
+
+	seqRem, err := RemovableFromLog(models.Short(), db, "deliver", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRem, err := RemovableFromLog(models.Short(), db, "deliver", 3, &Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRem.Removable != parRem.Removable {
+		t.Fatalf("RemovableFromLog decision differs: sequential %v, parallel %v", seqRem.Removable, parRem.Removable)
+	}
+
+	logSet := []string{"order", "pay", "sendbill", "deliver"}
+	shortFL := models.WithLog(models.Short(), logSet...)
+	payFirstFL := models.WithLog(models.PayFirst(), logSet...)
+	seqCont, err := Contains(shortFL, payFirstFL, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCont, err := Contains(shortFL, payFirstFL, db, &Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqCont.Contained != parCont.Contained {
+		t.Fatalf("Contains decision differs: sequential %v, parallel %v", seqCont.Contained, parCont.Contained)
+	}
+}
+
+// randomTransducerSrc builds a small random Spocus transducer from a safe
+// template family: every generated program parses, is range-restricted, and
+// has genuinely different behavior across the random body literals and log
+// sets.
+func randomTransducerSrc(r *rand.Rand) string {
+	hitBody := []string{"put(X)"}
+	if r.Intn(2) == 0 {
+		hitBody = append(hitBody, "good(X)")
+	}
+	if r.Intn(2) == 0 {
+		hitBody = append(hitBody, "NOT past-put(X)")
+	}
+	pairBody := []string{"tag(X,Y)"}
+	if r.Intn(2) == 0 {
+		pairBody = append(pairBody, "past-put(X)")
+	}
+	if r.Intn(2) == 0 {
+		pairBody = append(pairBody, "X <> Y")
+	}
+	if r.Intn(2) == 0 {
+		pairBody = append(pairBody, "good(Y)")
+	}
+	logPool := []string{"hit", "pairup", "put", "tag"}
+	var logs []string
+	for _, name := range logPool {
+		if r.Intn(2) == 0 {
+			logs = append(logs, name)
+		}
+	}
+	if len(logs) == 0 {
+		logs = []string{"hit"}
+	}
+	return `
+transducer rnd
+schema
+  database: good/1;
+  input: put/1, tag/2;
+  state: past-put/1, past-tag/2;
+  output: hit/1, pairup/2;
+  log: ` + strings.Join(logs, ", ") + `;
+state rules
+  past-put(X) +:- put(X);
+  past-tag(X,Y) +:- tag(X,Y);
+output rules
+  hit(X) :- ` + strings.Join(hitBody, ", ") + `;
+  pairup(X,Y) :- ` + strings.Join(pairBody, ", ") + `;
+`
+}
+
+func randomInputs(r *rand.Rand, pool []relation.Const) relation.Sequence {
+	var seq relation.Sequence
+	for j := 0; j < 1+r.Intn(2); j++ {
+		in := relation.NewInstance()
+		for k := 0; k < r.Intn(3); k++ {
+			if r.Intn(2) == 0 {
+				in.Add("put", relation.Tuple{pool[r.Intn(len(pool))]})
+			} else {
+				in.Add("tag", relation.Tuple{pool[r.Intn(len(pool))], pool[r.Intn(len(pool))]})
+			}
+		}
+		seq = append(seq, in)
+	}
+	return seq
+}
+
+// perturbLog flips one random logged fact so roughly half the candidates are
+// invalid logs — the comparison must agree on both answers.
+func perturbLog(r *rand.Rand, m *core.Machine, log relation.Sequence, pool []relation.Const) relation.Sequence {
+	out := log.Clone()
+	if len(out) == 0 {
+		return out
+	}
+	s := m.Schema()
+	name := s.Log[r.Intn(len(s.Log))]
+	arity, _ := s.Arity(name)
+	tup := make(relation.Tuple, arity)
+	for i := range tup {
+		tup[i] = pool[r.Intn(len(pool))]
+	}
+	out[r.Intn(len(out))].Add(name, tup)
+	return out
+}
+
+// TestPropParallelEquivalentToSequential is the answer-equivalence property:
+// on random small Spocus transducers and random (genuine and perturbed)
+// logs, the parallel engine and the sequential engine reach the same
+// decisions, and every parallel witness replays. Witness identity is NOT
+// required — see DESIGN.md §3.4.
+func TestPropParallelEquivalentToSequential(t *testing.T) {
+	pool := []relation.Const{"a", "b", "c"}
+	conds := []string{
+		"hit(X) => good(X)",
+		"pairup(X,Y) => past-put(X)",
+		"hit(X) => past-put(X)",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := core.ParseProgram(randomTransducerSrc(r))
+		if err != nil {
+			t.Logf("generated transducer does not parse: %v", err)
+			return false
+		}
+		db := relation.NewInstance()
+		db.Add("good", relation.Tuple{"a"})
+		db.Add("good", relation.Tuple{"b"})
+
+		// Candidate logs: one genuine, one perturbed.
+		run, err := m.Execute(db, randomInputs(r, pool))
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		logs := []relation.Sequence{run.Logs, perturbLog(r, m, run.Logs, pool)}
+
+		seqRes, err := LogValidityBatch(m, db, logs, &Options{})
+		if err != nil {
+			t.Logf("sequential batch: %v", err)
+			return false
+		}
+		parRes, err := LogValidityBatch(m, db, logs, &Options{Parallelism: 4, Cache: NewCache()})
+		if err != nil {
+			t.Logf("parallel batch: %v", err)
+			return false
+		}
+		for i := range logs {
+			if seqRes[i].Valid != parRes[i].Valid {
+				t.Logf("log %d: sequential Valid=%v, parallel Valid=%v\nmachine:\n%s", i, seqRes[i].Valid, parRes[i].Valid, randomTransducerSrc(rand.New(rand.NewSource(seed))))
+				return false
+			}
+			if parRes[i].Valid {
+				if err := replayLogCheck(m, db, parRes[i].Witness, logs[i]); err != nil {
+					t.Logf("log %d: parallel witness fails replay: %v", i, err)
+					return false
+				}
+			}
+		}
+
+		// Temporal conditions: decisions must agree; counterexamples are
+		// replay-verified inside CheckTemporal itself.
+		var cs []*Condition
+		for _, src := range conds {
+			c, err := ParseCondition(src)
+			if err != nil {
+				return false
+			}
+			cs = append(cs, c)
+		}
+		seqT, err := CheckTemporal(m, db, cs, nil)
+		if err != nil {
+			t.Logf("sequential temporal: %v", err)
+			return false
+		}
+		parT, err := CheckTemporal(m, db, cs, &Options{Parallelism: 4})
+		if err != nil {
+			t.Logf("parallel temporal: %v", err)
+			return false
+		}
+		if seqT.Holds != parT.Holds {
+			t.Logf("temporal decision differs: sequential %v, parallel %v", seqT.Holds, parT.Holds)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

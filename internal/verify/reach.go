@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -112,6 +113,8 @@ func ReachGoalFrom(m *core.Machine, db relation.Instance, prefix relation.Sequen
 
 func reachGoal(m *core.Machine, db relation.Instance, prefix relation.Sequence, g *Goal, opts *Options) (*ReachResult, error) {
 	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
 	if err := requireSpocus(m); err != nil {
 		return nil, err
 	}
@@ -150,21 +153,17 @@ func reachGoal(m *core.Machine, db relation.Instance, prefix relation.Sequence, 
 	} else {
 		dbPreds(m, db, fixed, free)
 	}
-	res, err := fol.Solve(&fol.Problem{
-		Formula:      sentence,
-		Fixed:        fixed,
-		Free:         free,
-		ExtraConsts:  append(m.Constants(), prefixConsts(prefix)...),
-		MaxConflicts: opts.MaxConflicts,
+	res, err := solveSub(ctx, opts, &fol.Problem{
+		Formula:     sentence,
+		Fixed:       fixed,
+		Free:        free,
+		ExtraConsts: append(m.Constants(), prefixConsts(prefix)...),
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &ReachResult{Stats: statsOf(res)}
-	switch res.Status {
-	case sat.Unknown:
-		return nil, ErrBudget
-	case sat.Unsat:
+	if res.Status == sat.Unsat {
 		return out, nil
 	}
 	out.Reachable = true
@@ -360,92 +359,113 @@ type TemporalResult struct {
 // satisfies all the given T_past-input conditions at every step. Literals
 // range over output, database, and state relations; a state atom past-R(ū)
 // holds iff R(ū) was input at some earlier step.
+//
+// The per-condition subproblems are independent and run across
+// Options.Parallelism workers; the first violation found wins and cancels
+// the rest. The Holds verdict is independent of parallelism, but which
+// condition is reported Violated (and its counterexample) may differ from
+// the sequential run when several conditions fail.
 func CheckTemporal(m *core.Machine, db relation.Instance, conds []*Condition, opts *Options) (*TemporalResult, error) {
 	opts = opts.orDefault()
+	ctx, cancel := opts.begin()
+	defer cancel()
 	if err := requireSpocus(m); err != nil {
 		return nil, err
 	}
-	s := m.Schema()
-	t := newTranslator(m, "")
-	total := &TemporalResult{Holds: true}
 	for _, c := range conds {
 		if err := c.validate(); err != nil {
 			return nil, err
 		}
-		// Violation sentence: ∃x̄ (⋀If ∧ ⋀¬Then) at the last step of a
-		// two-step run (Theorem 3.2's locality argument).
-		var lits []fol.Formula
-		add := func(l dlog.Literal, negate bool) error {
-			f, err := temporalLiteral(t, s, l, 2)
-			if err != nil {
-				return err
-			}
-			if negate {
-				f = fol.NotF(f)
-			}
-			lits = append(lits, f)
-			return nil
-		}
-		for _, l := range c.If {
-			if err := add(l, false); err != nil {
-				return nil, err
-			}
-		}
-		for _, l := range c.Then {
-			if err := add(l, true); err != nil {
-				return nil, err
-			}
-		}
-		sentence := fol.ExistsF(c.Vars(), fol.AndF(lits...))
-		fixed := map[string]*relation.Rel{}
-		free := map[string]int{}
-		t.freePreds(2, free)
-		if opts.UnknownDB {
-			dbPreds(m, nil, fixed, free)
-		} else {
-			dbPreds(m, db, fixed, free)
-		}
-		res, err := fol.Solve(&fol.Problem{
-			Formula:      sentence,
-			Fixed:        fixed,
-			Free:         free,
-			ExtraConsts:  m.Constants(),
-			MaxConflicts: opts.MaxConflicts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		total.Stats = statsOf(res)
-		switch res.Status {
-		case sat.Unknown:
-			return nil, ErrBudget
-		case sat.Unsat:
-			continue
-		}
-		total.Holds = false
-		total.Violated = c
-		total.Counterexample = t.extractInputs(res.Model, 2)
-		replayDB := db
-		if opts.UnknownDB {
-			total.CounterexampleDB = relation.NewInstance()
-			for _, d := range s.DB {
-				if r, ok := res.Model[d.Name]; ok {
-					total.CounterexampleDB[d.Name] = r.Clone()
-				}
-			}
-			replayDB = total.CounterexampleDB
-		}
-		if !opts.SkipReplay {
-			if err := replayTemporalViolation(m, replayDB, total.Counterexample, c); err != nil {
-				return nil, fmt.Errorf("verify: internal error: %w", err)
-			}
-			total.Counterexample = shrinkInputs(total.Counterexample, func(cand relation.Sequence) bool {
-				return len(cand) > 0 && replayTemporalViolation(m, replayDB, cand, c) == nil
-			})
-		}
-		return total, nil
 	}
-	return total, nil
+	units := make([]unit[*TemporalResult], len(conds))
+	for i := range conds {
+		c := conds[i]
+		units[i] = unit[*TemporalResult]{run: func(ctx context.Context) (*TemporalResult, bool, error) {
+			return checkOneCondition(ctx, m, db, c, opts)
+		}}
+	}
+	found, ok, err := searchFirst(ctx, opts.workers(), units)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return found, nil
+	}
+	return &TemporalResult{Holds: true}, nil
+}
+
+// checkOneCondition decides a single T_past-input condition; it returns the
+// populated violation result when the condition fails on some run.
+func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instance, c *Condition, opts *Options) (*TemporalResult, bool, error) {
+	s := m.Schema()
+	t := newTranslator(m, "")
+	// Violation sentence: ∃x̄ (⋀If ∧ ⋀¬Then) at the last step of a
+	// two-step run (Theorem 3.2's locality argument).
+	var lits []fol.Formula
+	add := func(l dlog.Literal, negate bool) error {
+		f, err := temporalLiteral(t, s, l, 2)
+		if err != nil {
+			return err
+		}
+		if negate {
+			f = fol.NotF(f)
+		}
+		lits = append(lits, f)
+		return nil
+	}
+	for _, l := range c.If {
+		if err := add(l, false); err != nil {
+			return nil, false, err
+		}
+	}
+	for _, l := range c.Then {
+		if err := add(l, true); err != nil {
+			return nil, false, err
+		}
+	}
+	sentence := fol.ExistsF(c.Vars(), fol.AndF(lits...))
+	fixed := map[string]*relation.Rel{}
+	free := map[string]int{}
+	t.freePreds(2, free)
+	if opts.UnknownDB {
+		dbPreds(m, nil, fixed, free)
+	} else {
+		dbPreds(m, db, fixed, free)
+	}
+	res, err := solveSub(ctx, opts, &fol.Problem{
+		Formula:     sentence,
+		Fixed:       fixed,
+		Free:        free,
+		ExtraConsts: m.Constants(),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status == sat.Unsat {
+		return nil, false, nil
+	}
+	total := &TemporalResult{Stats: statsOf(res)}
+	total.Violated = c
+	total.Counterexample = t.extractInputs(res.Model, 2)
+	replayDB := db
+	if opts.UnknownDB {
+		total.CounterexampleDB = relation.NewInstance()
+		for _, d := range s.DB {
+			if r, ok := res.Model[d.Name]; ok {
+				total.CounterexampleDB[d.Name] = r.Clone()
+			}
+		}
+		replayDB = total.CounterexampleDB
+	}
+	if !opts.SkipReplay {
+		if err := replayTemporalViolation(m, replayDB, total.Counterexample, c); err != nil {
+			return nil, false, fmt.Errorf("verify: internal error: %w", err)
+		}
+		total.Counterexample = shrinkInputs(total.Counterexample, func(cand relation.Sequence) bool {
+			return len(cand) > 0 && replayTemporalViolation(m, replayDB, cand, c) == nil
+		})
+	}
+	return total, true, nil
 }
 
 // temporalLiteral translates a T_past-input literal at step j (literals over

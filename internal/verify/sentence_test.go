@@ -1,8 +1,261 @@
 package verify
 
-import "repro/internal/tsdi"
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/relation"
+	"repro/internal/tsdi"
+)
 
 // parseSentence builds a one-clause T_sdi sentence for the tests.
 func parseSentence(clause string) (*tsdi.Sentence, error) {
 	return tsdi.Parse(clause)
+}
+
+// --- condition parsing ---
+
+func TestParseConditionShapes(t *testing.T) {
+	c, err := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.If) != 2 || len(c.Then) != 1 {
+		t.Fatalf("condition shape %d=>%d, want 2=>1", len(c.If), len(c.Then))
+	}
+
+	// Empty If: the disjunction is asserted unconditionally.
+	c, err = ParseCondition("=> deliver(time)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.If) != 0 || len(c.Then) != 1 {
+		t.Fatalf("empty-If condition parsed as %d=>%d", len(c.If), len(c.Then))
+	}
+
+	// Empty Then: the If conjunction may never hold.
+	c, err = ParseCondition("deliver(time) =>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.If) != 1 || len(c.Then) != 0 {
+		t.Fatalf("empty-Then condition parsed as %d=>%d", len(c.If), len(c.Then))
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	for _, src := range []string{
+		"no arrow",
+		"deliver(X => past-pay(X,Y)",  // unbalanced paren
+		"deliver(X)) => past-pay(X)",  // trailing garbage
+		"X => deliver(X)",             // bare variable is not a literal
+		"'quoted' => deliver(X)",      // quoted constant is not a literal
+		"deliver(X) => NOT, sendbill", // malformed negation
+	} {
+		if _, err := ParseCondition(src); err == nil {
+			t.Errorf("ParseCondition(%q) accepted", src)
+		}
+	}
+}
+
+func TestConditionStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"deliver(X), price(X,Y) => past-pay(X,Y)",
+		"sendbill(X,Y), NOT past-pay(X,Y) => price(X,Y)",
+		"deliver(X), deliver(Y) => X = Y",
+	} {
+		c, err := ParseCondition(src)
+		if err != nil {
+			t.Fatalf("ParseCondition(%q): %v", src, err)
+		}
+		c2, err := ParseCondition(c.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", c.String(), err)
+		}
+		if c2.String() != c.String() {
+			t.Errorf("round trip changed %q to %q", c.String(), c2.String())
+		}
+	}
+}
+
+func TestConditionRangeRestriction(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// A variable occurring only in a NEGATED If literal is not range
+	// restricted: counterexamples could not be replayed.
+	c, err := ParseCondition("deliver(X), NOT sendbill(X,Y) => price(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckTemporal(m, db, []*Condition{c}, nil); err == nil {
+		t.Error("variable bound only by a negated If literal accepted")
+	}
+	// The same variable in a positive If literal is fine.
+	c, err = ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckTemporal(m, db, []*Condition{c}, nil); err != nil {
+		t.Errorf("range-restricted condition rejected: %v", err)
+	}
+}
+
+func TestCheckTemporalUnknownRelation(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	c, err := ParseCondition("teleport(X) => past-pay(X,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckTemporal(m, db, []*Condition{c}, nil); err == nil {
+		t.Error("condition over unknown relation accepted")
+	}
+}
+
+// --- evaluation edge cases ---
+
+func TestCheckTemporalEmptyConditionList(t *testing.T) {
+	res, err := CheckTemporal(models.Short(), models.MagazineDB(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("empty conjunction of conditions must hold vacuously")
+	}
+}
+
+func TestLogValidityEmptyLog(t *testing.T) {
+	res, err := LogValidity(models.Short(), models.MagazineDB(), relation.Sequence{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || len(res.Witness) != 0 {
+		t.Errorf("zero-length log must be valid with the empty witness, got Valid=%v |Witness|=%d", res.Valid, len(res.Witness))
+	}
+}
+
+// TestTheorem33PostStateReading pins reproduction finding 1 of DESIGN §3.2a:
+// a T_past-input condition reads the POST-transition state, so the payment
+// input of the very step that fires the delivery already counts as
+// past-pay. Under the pre-state reading the paper's flagship "no delivery
+// before payment" property would be violated by short itself.
+func TestTheorem33PostStateReading(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+
+	// Operational setup: in Fig. 1 the delivery fires in the same step as
+	// the pay input — confirm that before relying on it.
+	run, err := m.Execute(db, models.Fig1Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payStep := -1
+	for j := range run.Inputs {
+		if r := run.Inputs[j].Rel("pay"); r != nil && r.Len() > 0 {
+			payStep = j
+		}
+	}
+	if payStep < 0 || run.Outputs[payStep].Rel("deliver") == nil || run.Outputs[payStep].Rel("deliver").Len() == 0 {
+		t.Fatalf("fixture drift: delivery no longer fires in the pay step (step %d)", payStep)
+	}
+
+	c, err := ParseCondition("deliver(X), price(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckTemporal(m, db, []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("post-state reading violated: counterexample %v", res.Counterexample)
+	}
+}
+
+func TestCheckTemporalNegatedStateLiteral(t *testing.T) {
+	m := models.Short()
+	db := models.MagazineDB()
+	// Negated state literal in the If side: a bill for an unpaid product
+	// must carry the database price. Holds by sendbill's rule.
+	c, err := ParseCondition("sendbill(X,Y), NOT past-pay(X,Y) => price(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckTemporal(m, db, []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("condition with negated state literal failed: %v", res.Counterexample)
+	}
+	// And a violated one: short never checks past billing, so a first bill
+	// can precede any payment — expect a counterexample (replay-verified
+	// inside CheckTemporal).
+	c, err = ParseCondition("sendbill(X,Y) => past-pay(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckTemporal(m, db, []*Condition{c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("unpaid first bill cannot satisfy past-pay")
+	}
+	if len(res.Counterexample) == 0 {
+		t.Fatal("violation reported without a counterexample")
+	}
+}
+
+// --- goal parsing ---
+
+func TestParseGoalShapesAndErrors(t *testing.T) {
+	g, err := ParseGoal("deliver(X), NOT rejectpay(X), X <> time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Lits) != 3 {
+		t.Fatalf("goal has %d literals, want 3", len(g.Lits))
+	}
+	if got := g.Vars(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("goal vars %v, want [X]", got)
+	}
+	for _, src := range []string{"", "deliver(X", "deliver(X),"} {
+		if _, err := ParseGoal(src); err == nil {
+			t.Errorf("ParseGoal(%q) accepted", src)
+		}
+	}
+}
+
+func TestGoalArityMismatchRejected(t *testing.T) {
+	g, err := ParseGoal("deliver(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReachGoal(models.Short(), models.MagazineDB(), g, nil)
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("wrong-arity goal gave %v", err)
+	}
+}
+
+// --- T_sdi sentence edges ---
+
+func TestParseSentenceErrors(t *testing.T) {
+	if _, err := parseSentence("no arrow at all"); err == nil {
+		t.Error("clause without => accepted")
+	}
+	if _, err := parseSentence("pay(X,Y) => NOT price(X,Y)"); err == nil {
+		t.Error("negated Then literal accepted (T_sdi clauses are positive)")
+	}
+}
+
+func TestCheckErrorFreeUnknownRelationRejected(t *testing.T) {
+	s, err := parseSentence("teleport(X) => price(X,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckErrorFree(models.Short(), models.MagazineDB(), s, nil); err == nil {
+		t.Error("sentence over unknown relation accepted")
+	}
 }

@@ -97,9 +97,14 @@ type (
 	Condition = verify.Condition
 	// Options tune the decision procedures.
 	Options = verify.Options
+	// Cache memoizes decisive SAT subproblem results across calls.
+	Cache = verify.Cache
 	// Sentence is a T_sdi sentence (Section 4.1).
 	Sentence = tsdi.Sentence
 )
+
+// NewCache returns an empty verification cache, safe for concurrent use.
+func NewCache() *Cache { return verify.NewCache() }
 
 // ParseProgram parses a transducer program in the paper's concrete syntax.
 func ParseProgram(src string) (*Machine, error) { return core.ParseProgram(src) }
