@@ -1,0 +1,158 @@
+package spocus
+
+// Serving-layer benchmarks, companions to the E1–E17 experiment benches:
+// single-session step latency under each durability policy, and aggregate
+// throughput across many concurrent sessions. Baselines are committed in
+// BENCH_server.json.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/session"
+)
+
+// shopStep is the Figure 1 loop: order an item on even steps, pay for it on
+// odd ones, cycling through the magazine catalogue.
+func shopStep(i, j int) relation.Instance {
+	products := []string{"time", "newsweek", "le-monde"}
+	prices := []string{"855", "845", "8350"}
+	p := (i + j/2) % len(products)
+	in := relation.NewInstance()
+	if j%2 == 0 {
+		in.Add("order", relation.Tuple{relation.Const(products[p])})
+	} else {
+		in.Add("pay", relation.Tuple{relation.Const(products[p]), relation.Const(prices[p])})
+	}
+	return in
+}
+
+// BenchmarkSessionStep measures one session's step latency through the
+// engine under each durability policy.
+func BenchmarkSessionStep(b *testing.B) {
+	cases := []struct {
+		name    string
+		durable bool
+		policy  session.FsyncPolicy
+	}{
+		{"mem", false, session.FsyncNever},
+		{"wal-never", true, session.FsyncNever},
+		{"wal-always", true, session.FsyncAlways},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := session.Config{Shards: 1, Fsync: c.policy}
+			if c.durable {
+				cfg.Dir = b.TempDir()
+			}
+			e, err := session.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Shutdown()
+			if _, err := e.Open(&session.OpenRequest{ID: "bench", Model: "short"}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Input("bench", shopStep(0, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionThroughput measures aggregate steps/sec across many
+// concurrent sessions (in-memory engine, default shards).
+func BenchmarkSessionThroughput(b *testing.B) {
+	const nSessions = 256
+	e, err := session.NewEngine(session.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Shutdown()
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s-%03d", i)
+		if _, err := e.Open(&session.OpenRequest{ID: ids[i], Model: "short"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := next.Add(1)
+			i := int(n) % nSessions
+			if _, err := e.Input(ids[i], shopStep(i, int(n)/nSessions)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if e.Stats().StepsTotal < int64(b.N) {
+		b.Fatalf("stats lost steps: %d < %d", e.Stats().StepsTotal, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkSessionRecovery measures startup replay: time to rebuild an
+// engine from a WAL holding many sessions' worth of steps (the crash-
+// recovery path, with no snapshot to shortcut it).
+func BenchmarkSessionRecovery(b *testing.B) {
+	dir := b.TempDir()
+	e, err := session.NewEngine(session.Config{Dir: dir, Shards: 1, Fsync: session.FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nSessions, nSteps = 32, 16
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("r-%03d", i)
+		if _, err := e.Open(&session.OpenRequest{ID: id, Model: "short"}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < nSteps; j++ {
+			if _, err := e.Input(id, shopStep(i, j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Capture the pure-WAL fixture before Shutdown compacts it into a
+	// snapshot, then restore it for every iteration: each NewEngine below
+	// replays the full (nSessions × nSteps)-record WAL, as after kill -9.
+	walPath := filepath.Join(dir, "shard-000.wal")
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+	restore := func() {
+		os.Remove(filepath.Join(dir, "shard-000.snap"))
+		if err := os.WriteFile(walPath, walBytes, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore()
+		b.StartTimer()
+		e2, err := session.NewEngine(session.Config{Dir: dir, Shards: 1, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if open := e2.Stats().SessionsOpen; open != nSessions {
+			b.Fatalf("recovered %d sessions, want %d", open, nSessions)
+		}
+		b.StopTimer()
+		e2.Shutdown()
+		b.StartTimer()
+	}
+}

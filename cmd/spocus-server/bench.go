@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/session"
+)
+
+// benchResult is the bench subcommand's JSON report.
+type benchResult struct {
+	Model        string  `json:"model"`
+	Sessions     int     `json:"sessions"`
+	StepsPerSess int     `json:"steps_per_session"`
+	StepsTotal   int     `json:"steps_total"`
+	Shards       int     `json:"shards"`
+	Fsync        string  `json:"fsync"`
+	Durable      bool    `json:"durable"`
+	ElapsedSec   float64 `json:"elapsed_s"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	OpenSec      float64 `json:"open_s"`
+	Latency      struct {
+		P50Micros float64 `json:"p50_us"`
+		P90Micros float64 `json:"p90_us"`
+		P99Micros float64 `json:"p99_us"`
+		MaxMicros float64 `json:"max_us"`
+	} `json:"step_latency"`
+	Engine session.Stats `json:"engine"`
+}
+
+func bench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		nSessions = fs.Int("sessions", 1000, "concurrent sessions to drive")
+		nSteps    = fs.Int("steps", 30, "steps per session")
+		model     = fs.String("model", "short", "scripted run: short | friendly")
+	)
+	build := engineFlags(fs, "never")
+	fs.Parse(args)
+
+	script, db, err := scriptFor(*model)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Shutdown()
+
+	// Open all sessions first so the timed region measures pure stepping.
+	openStart := time.Now()
+	ids := make([]string, *nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%06d", i)
+		if _, err := eng.Open(&session.OpenRequest{ID: ids[i], Model: *model, DB: db}); err != nil {
+			fatal(err)
+		}
+	}
+	openElapsed := time.Since(openStart)
+
+	// One goroutine per session: M concurrent customers, each stepping its
+	// own session sequentially — the paper's exchange loop at scale.
+	lats := make([][]time.Duration, *nSessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, *nSessions)
+	start := time.Now()
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, *nSteps)
+			for j := 0; j < *nSteps; j++ {
+				in := script(i, j)
+				t0 := time.Now()
+				if _, err := eng.Input(ids[i], in); err != nil {
+					errs <- fmt.Errorf("session %s step %d: %w", ids[i], j+1, err)
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[i] = lat
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i]) / 1e3
+	}
+
+	res := benchResult{
+		Model:        *model,
+		Sessions:     *nSessions,
+		StepsPerSess: *nSteps,
+		StepsTotal:   len(all),
+		Shards:       eng.Shards(),
+		ElapsedSec:   elapsed.Seconds(),
+		StepsPerSec:  float64(len(all)) / elapsed.Seconds(),
+		OpenSec:      openElapsed.Seconds(),
+		Engine:       eng.Stats(),
+	}
+	res.Fsync = fs.Lookup("fsync").Value.String()
+	res.Durable = fs.Lookup("dir").Value.String() != ""
+	res.Latency.P50Micros = pct(0.50)
+	res.Latency.P90Micros = pct(0.90)
+	res.Latency.P99Micros = pct(0.99)
+	res.Latency.MaxMicros = float64(all[len(all)-1]) / 1e3
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(res); err != nil {
+		fatal(err)
+	}
+}
+
+// scriptFor returns the per-session input script and a database sized for
+// it. Scripts are deterministic in (session index, step index) so repeated
+// bench runs are comparable.
+func scriptFor(model string) (func(i, j int) relation.Instance, relation.Instance, error) {
+	const nProducts = 16
+	db := relation.NewInstance()
+	products := make([]string, nProducts)
+	prices := make([]string, nProducts)
+	for p := 0; p < nProducts; p++ {
+		products[p] = fmt.Sprintf("item-%02d", p)
+		prices[p] = fmt.Sprintf("%d", 100+p)
+		db.Add("price", relation.Tuple{relation.Const(products[p]), relation.Const(prices[p])})
+		db.Add("available", relation.Tuple{relation.Const(products[p])})
+	}
+	// The shopping loop of Figure 1: order an item, pay for it on the next
+	// step (triggering sendbill then deliver), moving through the catalogue.
+	shop := func(i, j int) relation.Instance {
+		p := (i + j/2) % nProducts
+		in := relation.NewInstance()
+		if j%2 == 0 {
+			in.Add("order", relation.Tuple{relation.Const(products[p])})
+		} else {
+			in.Add("pay", relation.Tuple{relation.Const(products[p]), relation.Const(prices[p])})
+		}
+		return in
+	}
+	switch model {
+	case "short":
+		return shop, db, nil
+	case "friendly":
+		// Same loop, with a pending-bills reminder sweep every fifth step —
+		// FRIENDLY's extra outputs (rebill, warnings) exercised under load.
+		return func(i, j int) relation.Instance {
+			if j%5 == 4 {
+				in := relation.NewInstance()
+				in.Ensure("pending-bills", 0).Add(relation.Tuple{})
+				return in
+			}
+			return shop(i, j)
+		}, db, nil
+	}
+	return nil, nil, fmt.Errorf("bench: unknown model %q (want short or friendly)", model)
+}

@@ -1,0 +1,207 @@
+package main
+
+// The acceptance test of the serving layer: a real spocus-server process is
+// killed with SIGKILL mid-session and restarted over the same durability
+// directory; the recovered log must be byte-identical to an uncrashed run.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/relation"
+	"repro/internal/session"
+)
+
+// buildServer compiles the server binary once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	bin := filepath.Join(t.TempDir(), "spocus-server")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches the binary and returns its base URL and process.
+func startServer(t *testing.T, bin, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-dir", dir, "-fsync", "always")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	// The serve subcommand prints "spocus-server listening on http://ADDR".
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("server exited before listening")
+			}
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				url := strings.TrimSpace(line[i+len("listening on "):])
+				go func() { // keep draining so the child never blocks on stdout
+					for range lines {
+					}
+				}()
+				return cmd, url
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for server to listen")
+		}
+	}
+}
+
+func post(t *testing.T, url string, body any, out any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func getLog(t *testing.T, base, id string) *session.LogResult {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/sessions/%s/log", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET log: status %d", resp.StatusCode)
+	}
+	var lr session.LogResult
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	return &lr
+}
+
+// TestCrashRecovery drives the Figure 1 session of SHORT over HTTP, kills
+// the server with SIGKILL after step 2, restarts it on the same directory,
+// and checks the log is identical to the uncrashed reference run — then
+// finishes the session and checks the complete log too.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	bin := buildServer(t)
+	dir := t.TempDir()
+
+	ref, err := models.Short().Execute(models.MagazineDB(), models.Fig1Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := models.Fig1Inputs()
+
+	cmd, base := startServer(t, bin, dir)
+	var info session.Info
+	post(t, base+"/sessions", map[string]string{"model": "short", "id": "fig1"}, &info)
+	for _, in := range inputs[:2] {
+		var res session.StepResult
+		post(t, fmt.Sprintf("%s/sessions/%s/input", base, info.ID), map[string]any{"input": in}, &res)
+	}
+
+	// kill -9 mid-run: no shutdown hook runs, no snapshot is taken.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	_, base2 := startServer(t, bin, dir)
+	lr := getLog(t, base2, "fig1")
+	if lr.Steps != 2 || !lr.Log.Equal(ref.Logs[:2]) {
+		t.Fatalf("recovered log differs from uncrashed run:\n got %s\nwant %s", lr.Log, relation.Sequence(ref.Logs[:2]))
+	}
+
+	// The revived session keeps serving: finish the Figure 1 run and
+	// compare the complete log.
+	var res session.StepResult
+	post(t, fmt.Sprintf("%s/sessions/fig1/input", base2), map[string]any{"input": inputs[2]}, &res)
+	if res.Seq != 3 || !res.Output.Equal(ref.Outputs[2]) {
+		t.Errorf("step 3 after recovery diverged: %+v", res)
+	}
+	lr = getLog(t, base2, "fig1")
+	if !lr.Log.Equal(ref.Logs) {
+		t.Errorf("final log differs from uncrashed run:\n got %s\nwant %s", lr.Log, ref.Logs)
+	}
+}
+
+// TestServeGracefulShutdown checks SIGTERM snapshots state and a restart
+// serves it back with an empty WAL replay.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	bin := buildServer(t)
+	dir := t.TempDir()
+
+	cmd, base := startServer(t, bin, dir)
+	var info session.Info
+	post(t, base+"/sessions", map[string]string{"model": "auction", "id": "a1"}, &info)
+	var res session.StepResult
+	in := relation.NewInstance()
+	in.Add("list", relation.Tuple{"clock"})
+	post(t, base+"/sessions/a1/input", map[string]any{"input": in}, &res)
+	if !res.Output.Has("ack", relation.Tuple{"clock"}) {
+		t.Fatalf("auction ack missing: %s", res.Output)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v", err)
+	}
+
+	_, base2 := startServer(t, bin, dir)
+	lr := getLog(t, base2, "a1")
+	if lr.Steps != 1 || !lr.Log[0].Has("list", relation.Tuple{"clock"}) {
+		t.Fatalf("restored auction log: %+v", lr)
+	}
+}

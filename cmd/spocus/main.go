@@ -87,16 +87,9 @@ func main() {
 	}
 
 	if *acceptance != "" {
-		var mode core.AcceptMode
-		switch *acceptance {
-		case "error-free":
-			mode = core.ErrorFree
-		case "ok":
-			mode = core.OKEveryStep
-		case "accept":
-			mode = core.AcceptAtEnd
-		default:
-			fatal(fmt.Errorf("unknown acceptance mode %q", *acceptance))
+		mode, err := core.ParseAcceptMode(*acceptance)
+		if err != nil {
+			fatal(err)
 		}
 		ok := run.Valid(mode)
 		fmt.Printf("run valid under %s: %v\n", mode, ok)

@@ -1,0 +1,63 @@
+package spocus_test
+
+// The examples/ directory holds runnable main packages; this test builds
+// and runs each one, asserting success, and golden-checks the quickstart's
+// replay of the Figure 1 run of SHORT.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+var examplePrograms = []string{
+	"quickstart",
+	"store",
+	"fraud",
+	"customization",
+	"marketplace",
+	"turing",
+}
+
+// fig1Trace is the Figure 1 run of SHORT exactly as the quickstart prints
+// it: two orders billed, payment and a third order, then the remaining
+// payments and deliveries — with the log recording bills, payments, and
+// deliveries.
+const fig1Trace = `step 1
+  input:  {order(newsweek), order(time)}
+  output: {sendbill(newsweek, 845), sendbill(time, 855)}
+  log:    {sendbill(newsweek, 845), sendbill(time, 855)}
+step 2
+  input:  {order(le-monde), pay(time, 855)}
+  output: {deliver(time), sendbill(le-monde, 8350)}
+  log:    {deliver(time), pay(time, 855), sendbill(le-monde, 8350)}
+step 3
+  input:  {pay(le-monde, 8350), pay(newsweek, 845)}
+  output: {deliver(le-monde), deliver(newsweek)}
+  log:    {deliver(le-monde), deliver(newsweek), pay(le-monde, 8350), pay(newsweek, 845)}
+`
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs example binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	for _, name := range examplePrograms {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+			if name == "quickstart" && !strings.Contains(string(out), fig1Trace) {
+				t.Errorf("quickstart trace does not match Figure 1:\n%s", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+func TestParseAcceptMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AcceptMode
+		err  bool
+	}{
+		{"", AcceptAll, false},
+		{"all", AcceptAll, false},
+		{"error-free", ErrorFree, false},
+		{"ok", OKEveryStep, false},
+		{"ok-every-step", OKEveryStep, false},
+		{"accept", AcceptAtEnd, false},
+		{"accept-at-end", AcceptAtEnd, false},
+		{"bogus", AcceptAll, true},
+	}
+	for _, c := range cases {
+		got, err := ParseAcceptMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseAcceptMode(%q) error = %v, want error %v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseAcceptMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Round-trip: every mode's String parses back to itself.
+	for _, m := range []AcceptMode{AcceptAll, ErrorFree, OKEveryStep, AcceptAtEnd} {
+		got, err := ParseAcceptMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseAcceptMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+}

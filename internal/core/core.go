@@ -108,6 +108,17 @@ func (s *Schema) LogSchema() relation.Schema {
 	return all.Restrict(s.Log)
 }
 
+// LogDelta computes the logged part of one step's exchange: the restriction
+// of the input and output instances to the log relations, combined into a
+// fresh instance. This is the per-step increment of the run's log sequence
+// (Definition 2.2) and the durable object the session engine persists.
+func (s *Schema) LogDelta(input, output relation.Instance) relation.Instance {
+	combined := relation.NewInstance()
+	combined.UnionWith(input.Restrict(s.Log))
+	combined.UnionWith(output.Restrict(s.Log))
+	return combined
+}
+
 // Logged reports whether the named relation is in the log.
 func (s *Schema) Logged(name string) bool {
 	for _, n := range s.Log {
@@ -525,10 +536,7 @@ func (m *Machine) Execute(db relation.Instance, inputs relation.Sequence) (*Run,
 		}
 		run.Outputs = append(run.Outputs, out)
 		run.States = append(run.States, next)
-		combined := relation.NewInstance()
-		combined.UnionWith(in.Restrict(m.schema.Log))
-		combined.UnionWith(out.Restrict(m.schema.Log))
-		run.Logs = append(run.Logs, combined)
+		run.Logs = append(run.Logs, m.schema.LogDelta(in, out))
 		state = next
 	}
 	return run, nil
@@ -560,6 +568,23 @@ func (a AcceptMode) String() string {
 		return "accept-at-end"
 	}
 	return "unknown"
+}
+
+// ParseAcceptMode parses an acceptance-mode name as produced by
+// AcceptMode.String, accepting the short aliases "ok" and "accept" used by
+// the command-line tools. The empty string parses as AcceptAll.
+func ParseAcceptMode(s string) (AcceptMode, error) {
+	switch s {
+	case "", "all":
+		return AcceptAll, nil
+	case "error-free":
+		return ErrorFree, nil
+	case "ok", "ok-every-step":
+		return OKEveryStep, nil
+	case "accept", "accept-at-end":
+		return AcceptAtEnd, nil
+	}
+	return AcceptAll, fmt.Errorf("unknown acceptance mode %q", s)
 }
 
 // Valid reports whether the run is valid under the given acceptance mode.

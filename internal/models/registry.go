@@ -1,0 +1,83 @@
+package models
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// entry pairs a model constructor with a demo database matching its schema,
+// so callers (the session engine, the server) can open a named model without
+// knowing its database schema.
+type entry struct {
+	build func() *core.Machine
+	db    func() relation.Instance
+}
+
+// registry is the library of named business models servable by name. Every
+// constructor in this package appears here under the transducer's own name.
+var registry = map[string]entry{
+	"short":        {Short, MagazineDB},
+	"friendly":     {Friendly, MagazineDB},
+	"restricted":   {Restricted, MagazineDB},
+	"abstar":       {ABC, emptyDB},
+	"guarded":      {Guarded, MagazineDB},
+	"payfirst":     {PayFirst, MagazineDB},
+	"strict":       {Strict, MagazineDB},
+	"stricter":     {Stricter, MagazineDB},
+	"auction":      {Auction, AuctionDB},
+	"subscription": {Subscription, SubscriptionDB},
+}
+
+func emptyDB() relation.Instance { return relation.NewInstance() }
+
+// Names returns the sorted names of the registered models.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a fresh instance of the named model, or nil if the name is
+// not registered. Each call parses the source anew, so the returned machine
+// is not shared with any other caller.
+func Get(name string) *core.Machine {
+	e, ok := registry[name]
+	if !ok {
+		return nil
+	}
+	return e.build()
+}
+
+// DefaultDB returns a fresh demo database suited to the named model (the
+// Figure 1 magazine database for the SHORT family), or nil if the name is
+// not registered.
+func DefaultDB(name string) relation.Instance {
+	e, ok := registry[name]
+	if !ok {
+		return nil
+	}
+	return e.db()
+}
+
+// AuctionDB returns a demo database for the auction model: two registered
+// bidders.
+func AuctionDB() relation.Instance {
+	db := relation.NewInstance()
+	db.Add("registered", relation.Tuple{"alice"})
+	db.Add("registered", relation.Tuple{"bob"})
+	return db
+}
+
+// SubscriptionDB returns a demo database for the subscription model: rates
+// for two periodicals.
+func SubscriptionDB() relation.Instance {
+	db := relation.NewInstance()
+	db.Add("rate", relation.Tuple{"economist", "120"})
+	db.Add("rate", relation.Tuple{"nature", "199"})
+	return db
+}

@@ -1,0 +1,57 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestRegistryComplete checks every named model builds and runs on its
+// default database.
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names returned %d names, registry has %d", len(names), len(registry))
+	}
+	for _, name := range names {
+		m := Get(name)
+		if m == nil {
+			t.Fatalf("Get(%q) = nil for registered name", name)
+		}
+		if m.Name() != name {
+			t.Errorf("Get(%q) built transducer named %q", name, m.Name())
+		}
+		db := DefaultDB(name)
+		if db == nil {
+			t.Fatalf("DefaultDB(%q) = nil for registered name", name)
+		}
+		// The empty run must execute cleanly, and one empty input step too.
+		if _, err := m.Execute(db, relation.Sequence{relation.NewInstance()}); err != nil {
+			t.Errorf("%s: empty-input step failed: %v", name, err)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if Get("no-such-model") != nil {
+		t.Error("Get of unknown name should be nil")
+	}
+	if DefaultDB("no-such-model") != nil {
+		t.Error("DefaultDB of unknown name should be nil")
+	}
+}
+
+// TestRegistryIsolation checks that Get returns independent machines and
+// DefaultDB independent instances (mutating one caller's copy must not leak
+// into another session).
+func TestRegistryIsolation(t *testing.T) {
+	db1 := DefaultDB("short")
+	db2 := DefaultDB("short")
+	db1.Add("price", relation.Tuple{"extra", "1"})
+	if db2.Has("price", relation.Tuple{"extra", "1"}) {
+		t.Error("DefaultDB instances are shared")
+	}
+	if Get("short") == Get("short") {
+		t.Error("Get returned a shared *Machine")
+	}
+}

@@ -1,0 +1,503 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Dir is the durability directory holding per-shard WAL and snapshot
+	// files. Empty means in-memory only: nothing survives the process.
+	Dir string
+	// Shards is the number of goroutine-owned shards sessions are hashed
+	// across. Defaults to GOMAXPROCS. Changing the shard count of an
+	// existing Dir is safe only through a clean Shutdown (which snapshots):
+	// replay routes each persisted session by its own ID hash.
+	Shards int
+	// Fsync selects the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts a shard's WAL into a snapshot after this many
+	// applied steps (default 4096; negative disables snapshots).
+	SnapshotEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4096
+	} else if c.SnapshotEvery < 0 {
+		c.SnapshotEvery = 0
+	}
+	return c
+}
+
+// Engine hosts many concurrent sessions, sharded by session ID. All methods
+// are safe for concurrent use by any number of goroutines; operations on
+// the same session are applied in the order they arrive at its shard (FIFO
+// per session), and operations on different shards never contend.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	m      *metricsSet
+
+	mu     sync.RWMutex // guards closed against in-flight senders
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// request is one unit of work executed inside a shard's goroutine.
+type request struct {
+	do    func(*shard) (any, error)
+	reply chan reply
+}
+
+type reply struct {
+	v   any
+	err error
+}
+
+// shard owns a disjoint set of sessions and their WAL. Only its goroutine
+// touches these fields after startup, so no locks appear anywhere below.
+type shard struct {
+	idx      int
+	cfg      *Config
+	m        *metricsSet
+	ch       chan request
+	sessions map[string]*Session
+	wal      *wal // nil in memory-only mode
+	snapPath string
+	sinceSnap int
+	broken   error // set on a WAL write failure; fail-stop for mutations
+}
+
+// NewEngine creates an engine, replaying any existing snapshot and WAL
+// under cfg.Dir so previously-acknowledged sessions and logs are live
+// again before the first request is accepted.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, m: &metricsSet{start: time.Now()}}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			idx:      i,
+			cfg:      &e.cfg,
+			m:        e.m,
+			ch:       make(chan request, 128),
+			sessions: make(map[string]*Session),
+		}
+		if cfg.Dir != "" {
+			sh.snapPath = filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d.snap", i))
+			walPath := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d.wal", i))
+			if err := sh.recover(walPath); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		e.shards = append(e.shards, sh)
+	}
+	e.m.replayNanos.Store(int64(time.Since(start)))
+	for _, sh := range e.shards {
+		e.m.sessionsOpen.Add(int64(len(sh.sessions)))
+		e.wg.Add(1)
+		go func(sh *shard) {
+			defer e.wg.Done()
+			sh.loop()
+		}(sh)
+	}
+	registerEngine(e)
+	return e, nil
+}
+
+// recover loads the shard's snapshot, replays its WAL on top, and leaves
+// the WAL open for appending. Replay is idempotent: records already covered
+// by the snapshot are skipped, so a crash between "snapshot durable" and
+// "WAL rotated" is harmless.
+func (sh *shard) recover(walPath string) error {
+	snap, err := readSnapshot(sh.snapPath)
+	if err != nil {
+		return err
+	}
+	for i := range snap.Sessions {
+		s, err := snap.Sessions[i].restore()
+		if err != nil {
+			return err
+		}
+		sh.sessions[s.id] = s
+	}
+	n, err := replayWAL(walPath, func(rec *walRecord) error {
+		switch rec.T {
+		case recOpen:
+			if _, ok := sh.sessions[rec.SID]; ok {
+				return nil // covered by snapshot
+			}
+			s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB})
+			if err != nil {
+				return err
+			}
+			sh.sessions[rec.SID] = s
+			return nil
+		case recStep:
+			s, ok := sh.sessions[rec.SID]
+			if !ok {
+				return fmt.Errorf("step for unknown session %s", rec.SID)
+			}
+			if rec.Seq <= s.steps {
+				return nil // covered by snapshot
+			}
+			if rec.Seq != s.steps+1 {
+				return fmt.Errorf("session %s: step %d after %d", rec.SID, rec.Seq, s.steps)
+			}
+			_, err := s.apply(rec.Input)
+			return err
+		case recClose:
+			delete(sh.sessions, rec.SID)
+			return nil
+		}
+		return fmt.Errorf("unknown record type %q", rec.T)
+	})
+	if err != nil {
+		return err
+	}
+	sh.m.replayRecords.Add(int64(n))
+	sh.wal, err = openWAL(walPath, sh.cfg.Fsync, sh.cfg.FsyncInterval)
+	return err
+}
+
+// loop is the shard's actor loop: it owns the sessions map and WAL until
+// the channel closes, then flushes and closes the WAL.
+func (sh *shard) loop() {
+	var flush <-chan time.Time
+	if sh.wal != nil && sh.cfg.Fsync == FsyncInterval {
+		t := time.NewTicker(sh.cfg.FsyncInterval)
+		defer t.Stop()
+		flush = t.C
+	}
+	for {
+		select {
+		case req, ok := <-sh.ch:
+			if !ok {
+				if sh.wal != nil {
+					sh.wal.close()
+				}
+				return
+			}
+			v, err := req.do(sh)
+			req.reply <- reply{v, err}
+		case <-flush:
+			if sh.broken == nil {
+				if err := sh.wal.sync(); err != nil {
+					sh.broken = err
+				}
+			}
+		}
+	}
+}
+
+// appendWAL writes one record under the fail-stop discipline: after a write
+// error the shard refuses further mutations rather than diverging from its
+// log.
+func (sh *shard) appendWAL(rec *walRecord) error {
+	if sh.wal == nil {
+		return nil
+	}
+	if sh.broken != nil {
+		return fmt.Errorf("shard %d wal failed: %w", sh.idx, sh.broken)
+	}
+	n, err := sh.wal.append(rec)
+	if err != nil {
+		sh.broken = err
+		return fmt.Errorf("shard %d wal failed: %w", sh.idx, err)
+	}
+	sh.m.walBytes.Add(int64(n))
+	return nil
+}
+
+// maybeSnapshot compacts WAL into a snapshot once enough steps accumulated.
+func (sh *shard) maybeSnapshot(force bool) error {
+	if sh.wal == nil || sh.broken != nil {
+		return nil
+	}
+	if !force && (sh.cfg.SnapshotEvery == 0 || sh.sinceSnap < sh.cfg.SnapshotEvery) {
+		return nil
+	}
+	snap := &snapshot{Version: snapVersion, Shard: sh.idx}
+	ids := make([]string, 0, len(sh.sessions))
+	for id := range sh.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		snap.Sessions = append(snap.Sessions, snapOf(sh.sessions[id]))
+	}
+	if err := writeSnapshot(sh.snapPath, snap); err != nil {
+		return err
+	}
+	if err := sh.wal.rotate(); err != nil {
+		sh.broken = err
+		return err
+	}
+	sh.m.walBytes.Store(0)
+	sh.m.snapshots.Add(1)
+	sh.sinceSnap = 0
+	return nil
+}
+
+// shardFor routes a session ID to its owning shard.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// send runs do inside the shard goroutine owning id and waits for the
+// result.
+func (e *Engine) send(sh *shard, do func(*shard) (any, error)) (any, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("engine is shut down")
+	}
+	req := request{do: do, reply: make(chan reply, 1)}
+	sh.ch <- req
+	e.mu.RUnlock()
+	r := <-req.reply
+	return r.v, r.err
+}
+
+// NewID returns a fresh 128-bit random session ID.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("session: id entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Open creates a session and durably records its creation. If req.ID is
+// empty a random ID is assigned.
+func (e *Engine) Open(req *OpenRequest) (*Info, error) {
+	id := req.ID
+	if id == "" {
+		id = NewID()
+	}
+	s, err := newSession(id, req)
+	if err != nil {
+		return nil, &BadInputError{Err: err}
+	}
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		if _, ok := sh.sessions[id]; ok {
+			return nil, &ConflictError{ID: id}
+		}
+		if err := sh.appendWAL(s.openRecord()); err != nil {
+			return nil, err
+		}
+		sh.sessions[id] = s
+		sh.m.sessionsOpen.Add(1)
+		sh.m.sessionsOpened.Add(1)
+		return s.info(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Info), nil
+}
+
+// Input feeds one input-relation set to the session and returns the step's
+// outputs and log delta, exactly the exchange of Figure 1. The step is
+// durable (per the fsync policy) before it is acknowledged.
+func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
+	start := time.Now()
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		if err := s.validateInput(in); err != nil {
+			return nil, &BadInputError{Err: err}
+		}
+		if err := sh.appendWAL(&walRecord{T: recStep, SID: id, Seq: s.steps + 1, Input: in}); err != nil {
+			return nil, err
+		}
+		res, err := s.apply(in)
+		if err != nil {
+			// Deterministic evaluation failure: replay fails identically, so
+			// memory and log stay consistent. Surface it as a client error.
+			return nil, &BadInputError{Err: err}
+		}
+		sh.m.stepsTotal.Add(1)
+		sh.sinceSnap++
+		if err := sh.maybeSnapshot(false); err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.m.stepLatency.observe(time.Since(start))
+	return v.(*StepResult), nil
+}
+
+// Log returns the session's full durable log.
+func (e *Engine) Log(id string) (*LogResult, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		return s.logResult(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*LogResult), nil
+}
+
+// Info returns the session's description.
+func (e *Engine) Info(id string) (*Info, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		return s.info(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Info), nil
+}
+
+// CloseResult reports the final disposition of a closed session.
+type CloseResult struct {
+	ID    string `json:"id"`
+	Steps int    `json:"steps"`
+	// Valid is the run's final validity under the session's acceptance
+	// mode; for accept-at-end this is the definitive answer.
+	Valid bool              `json:"valid"`
+	Log   relation.Sequence `json:"log"`
+}
+
+// Close ends the session, durably records the close, and returns the final
+// log (the complete business exchange, per Figure 1).
+func (e *Engine) Close(id string) (*CloseResult, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		if err := sh.appendWAL(&walRecord{T: recClose, SID: id}); err != nil {
+			return nil, err
+		}
+		delete(sh.sessions, id)
+		sh.m.sessionsOpen.Add(-1)
+		sh.m.sessionsClosed.Add(1)
+		return &CloseResult{ID: id, Steps: s.steps, Valid: s.valid(), Log: s.logs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CloseResult), nil
+}
+
+// List returns Info for every open session, sorted by ID.
+func (e *Engine) List() ([]*Info, error) {
+	var all []*Info
+	for _, sh := range e.shards {
+		v, err := e.send(sh, func(sh *shard) (any, error) {
+			infos := make([]*Info, 0, len(sh.sessions))
+			for _, s := range sh.sessions {
+				infos = append(infos, s.info())
+			}
+			return infos, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, v.([]*Info)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all, nil
+}
+
+// Snapshot forces every shard to compact its WAL into a snapshot now.
+func (e *Engine) Snapshot() error {
+	for _, sh := range e.shards {
+		if _, err := e.send(sh, func(sh *shard) (any, error) {
+			return nil, sh.maybeSnapshot(true)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the engine's metrics snapshot.
+func (e *Engine) Stats() Stats { return e.m.stats() }
+
+// Shards returns the number of shards (for reporting).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shutdown stops the engine cleanly: in-flight requests drain, each shard
+// takes a final snapshot (when durable), and WAL files are flushed and
+// closed. The engine rejects requests afterwards.
+func (e *Engine) Shutdown() error {
+	if e.cfg.Dir != "" {
+		if err := e.Snapshot(); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	unregisterEngine(e)
+	return nil
+}
+
+// NotFoundError reports an operation on a session that does not exist.
+type NotFoundError struct{ ID string }
+
+func (err *NotFoundError) Error() string { return fmt.Sprintf("no session %s", err.ID) }
+
+// ConflictError reports an attempt to open a session under an ID that is
+// already in use.
+type ConflictError struct{ ID string }
+
+func (err *ConflictError) Error() string { return fmt.Sprintf("session %s already exists", err.ID) }
+
+// BadInputError reports a client-side input problem (unknown relation,
+// wrong arity).
+type BadInputError struct{ Err error }
+
+func (err *BadInputError) Error() string { return err.Err.Error() }
+func (err *BadInputError) Unwrap() error { return err.Err }

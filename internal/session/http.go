@@ -1,0 +1,140 @@
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// Handler serves the engine over HTTP/JSON:
+//
+//	GET    /models                 list servable model names
+//	GET    /sessions               list open sessions
+//	POST   /sessions               open a session        {"model":"short","mode":"error-free","db":{...},"id":"..."}
+//	GET    /sessions/{id}          session info
+//	POST   /sessions/{id}/input    apply one step        {"input":{"order":[["time"]]}}
+//	GET    /sessions/{id}/log      the session's durable log
+//	DELETE /sessions/{id}          close the session, returning the final log
+//	GET    /healthz                liveness
+//	GET    /debug/vars             expvar (engine metrics under "spocus")
+//	GET    /debug/pprof/...        pprof profiles
+//
+// Instances use the repo-wide JSON wire form: relation name → list of
+// tuples of constant strings.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": models.Names()})
+	})
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		info, err := e.Open(&req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := e.List()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := e.Info(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /sessions/{id}/input", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Input relation.Instance `json:"input"`
+		}
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.Input == nil {
+			req.Input = relation.NewInstance()
+		}
+		res, err := e.Input(r.PathValue("id"), req.Input)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /sessions/{id}/log", func(w http.ResponseWriter, r *http.Request) {
+		lr, err := e.Log(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, lr)
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Close(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps engine errors onto HTTP statuses: unknown session → 404,
+// client input problems → 400, everything else → 500.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var nf *NotFoundError
+	var bad *BadInputError
+	var conflict *ConflictError
+	switch {
+	case errors.As(err, &nf):
+		status = http.StatusNotFound
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.As(err, &conflict):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

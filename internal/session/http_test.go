@@ -1,0 +1,145 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func httpServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e, err := NewEngine(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Shutdown()
+	})
+	return e, srv
+}
+
+// call makes a JSON request and decodes the response into out.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPFig1 replays the Figure 1 shopping session of SHORT entirely over
+// HTTP and checks outputs, per-step log deltas, and the final durable log
+// against the offline executor.
+func TestHTTPFig1(t *testing.T) {
+	_, srv := httpServer(t)
+	wantOut, wantLogs := fig1Reference(t)
+
+	var info Info
+	if st := call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "short"}, &info); st != http.StatusCreated {
+		t.Fatalf("open: status %d", st)
+	}
+	for i, in := range models.Fig1Inputs() {
+		var res StepResult
+		st := call(t, "POST", fmt.Sprintf("%s/sessions/%s/input", srv.URL, info.ID), map[string]any{"input": in}, &res)
+		if st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i+1, st)
+		}
+		if res.Seq != i+1 || !res.Output.Equal(wantOut[i]) || !res.Log.Equal(wantLogs[i]) {
+			t.Errorf("step %d over HTTP diverged: %+v", i+1, res)
+		}
+	}
+	var lr LogResult
+	if st := call(t, "GET", fmt.Sprintf("%s/sessions/%s/log", srv.URL, info.ID), nil, &lr); st != http.StatusOK {
+		t.Fatalf("log: status %d", st)
+	}
+	if !lr.Log.Equal(wantLogs) {
+		t.Errorf("log over HTTP:\n got %s\nwant %s", lr.Log, wantLogs)
+	}
+	var cr CloseResult
+	if st := call(t, "DELETE", srv.URL+"/sessions/"+info.ID, nil, &cr); st != http.StatusOK {
+		t.Fatalf("close: status %d", st)
+	}
+	if cr.Steps != 3 || !cr.Valid || !cr.Log.Equal(wantLogs) {
+		t.Errorf("close result: %+v", cr)
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	_, srv := httpServer(t)
+	if st := call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "nope"}, nil); st != http.StatusBadRequest {
+		t.Errorf("unknown model: status %d", st)
+	}
+	if st := call(t, "GET", srv.URL+"/sessions/zzz/log", nil, nil); st != http.StatusNotFound {
+		t.Errorf("missing session: status %d", st)
+	}
+	var info Info
+	call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "short", "id": "dup"}, &info)
+	if st := call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "short", "id": "dup"}, nil); st != http.StatusConflict {
+		t.Errorf("duplicate id: status %d", st)
+	}
+	if st := call(t, "POST", srv.URL+"/sessions/dup/input", map[string]any{"input": map[string][][]string{"bogus": {{"x"}}}}, nil); st != http.StatusBadRequest {
+		t.Errorf("bad input relation: status %d", st)
+	}
+	if st := call(t, "GET", srv.URL+"/healthz", nil, nil); st != http.StatusOK {
+		t.Errorf("healthz: status %d", st)
+	}
+}
+
+func TestHTTPModelsAndSessions(t *testing.T) {
+	_, srv := httpServer(t)
+	var ms struct {
+		Models []string `json:"models"`
+	}
+	if st := call(t, "GET", srv.URL+"/models", nil, &ms); st != http.StatusOK {
+		t.Fatalf("models: status %d", st)
+	}
+	if len(ms.Models) != len(models.Names()) {
+		t.Errorf("models list: %v", ms.Models)
+	}
+	call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "auction"}, nil)
+	call(t, "POST", srv.URL+"/sessions", map[string]string{"model": "short"}, nil)
+	var ls struct {
+		Sessions []*Info `json:"sessions"`
+	}
+	if st := call(t, "GET", srv.URL+"/sessions", nil, &ls); st != http.StatusOK || len(ls.Sessions) != 2 {
+		t.Errorf("sessions list: status %d, %d sessions", st, len(ls.Sessions))
+	}
+}
+
+func TestHTTPDebugSurfaces(t *testing.T) {
+	_, srv := httpServer(t)
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

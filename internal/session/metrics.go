@@ -1,0 +1,143 @@
+package session
+
+import (
+	"expvar"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricsSet is one engine's counters. All fields are updated with atomics
+// so shard goroutines never contend on a lock for bookkeeping.
+type metricsSet struct {
+	start          time.Time
+	sessionsOpen   atomic.Int64
+	sessionsOpened atomic.Int64
+	sessionsClosed atomic.Int64
+	stepsTotal     atomic.Int64
+	walBytes       atomic.Int64
+	snapshots      atomic.Int64
+	replayNanos    atomic.Int64
+	replayRecords  atomic.Int64
+	stepLatency    latencyHist
+}
+
+// Stats is a point-in-time snapshot of an engine's metrics, also served at
+// /debug/vars under the key "spocus".
+type Stats struct {
+	SessionsOpen   int64   `json:"sessions_open"`
+	SessionsOpened int64   `json:"sessions_opened_total"`
+	SessionsClosed int64   `json:"sessions_closed_total"`
+	StepsTotal     int64   `json:"steps_total"`
+	StepsPerSec    float64 `json:"steps_per_sec"` // over the engine's lifetime
+	WALBytes       int64   `json:"wal_bytes"`
+	Snapshots      int64   `json:"snapshots_total"`
+	ReplayMillis   float64 `json:"replay_ms"`
+	ReplayRecords  int64   `json:"replay_records"`
+	StepP50Micros  float64 `json:"step_latency_p50_us"`
+	StepP90Micros  float64 `json:"step_latency_p90_us"`
+	StepP99Micros  float64 `json:"step_latency_p99_us"`
+	StepMaxMicros  float64 `json:"step_latency_max_us"`
+}
+
+func (m *metricsSet) stats() Stats {
+	elapsed := time.Since(m.start).Seconds()
+	steps := m.stepsTotal.Load()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(steps) / elapsed
+	}
+	return Stats{
+		SessionsOpen:   m.sessionsOpen.Load(),
+		SessionsOpened: m.sessionsOpened.Load(),
+		SessionsClosed: m.sessionsClosed.Load(),
+		StepsTotal:     steps,
+		StepsPerSec:    rate,
+		WALBytes:       m.walBytes.Load(),
+		Snapshots:      m.snapshots.Load(),
+		ReplayMillis:   float64(m.replayNanos.Load()) / 1e6,
+		ReplayRecords:  m.replayRecords.Load(),
+		StepP50Micros:  float64(m.stepLatency.quantile(0.50)) / 1e3,
+		StepP90Micros:  float64(m.stepLatency.quantile(0.90)) / 1e3,
+		StepP99Micros:  float64(m.stepLatency.quantile(0.99)) / 1e3,
+		StepMaxMicros:  float64(m.stepLatency.max.Load()) / 1e3,
+	}
+}
+
+// latencyHist is a lock-free histogram with power-of-two nanosecond
+// buckets: bucket i counts durations d with 2^(i-1) ≤ d < 2^i ns. Quantiles
+// are read off the bucket boundaries, which is plenty for serving metrics.
+type latencyHist struct {
+	buckets [48]atomic.Int64
+	count   atomic.Int64
+	max     atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// quantile returns an upper bound on the q-quantile observation in
+// nanoseconds (0 when nothing has been observed).
+func (h *latencyHist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return 1 << uint(i) // upper bound of bucket i
+		}
+	}
+	return h.max.Load()
+}
+
+// engines tracks live engines so the process-wide expvar export can
+// aggregate across them (a server normally has exactly one).
+var (
+	enginesMu sync.Mutex
+	engines   = make(map[*Engine]bool)
+	expvarOne sync.Once
+)
+
+func registerEngine(e *Engine) {
+	enginesMu.Lock()
+	engines[e] = true
+	enginesMu.Unlock()
+	expvarOne.Do(func() {
+		expvar.Publish("spocus", expvar.Func(func() any {
+			enginesMu.Lock()
+			defer enginesMu.Unlock()
+			agg := make([]Stats, 0, len(engines))
+			for e := range engines {
+				agg = append(agg, e.m.stats())
+			}
+			return agg
+		}))
+	})
+}
+
+func unregisterEngine(e *Engine) {
+	enginesMu.Lock()
+	delete(engines, e)
+	enginesMu.Unlock()
+}

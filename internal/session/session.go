@@ -1,0 +1,219 @@
+// Package session is the serving runtime of this reproduction: an engine
+// hosting many concurrent live runs of Spocus transducers — one session per
+// customer, exactly the paper's picture of a business model as a machine
+// mapping a customer's input-relation sequence to outputs and a durable log
+// (Section 2.1, Figures 1–2).
+//
+// Sessions are sharded across goroutine-owned shards by session ID, so
+// steps on different sessions never contend while steps on one session are
+// applied in FIFO order. Every applied event is appended to a per-shard
+// write-ahead log of length-prefixed JSON records and periodically compacted
+// into snapshots; on startup the engine replays snapshot + WAL, so the log —
+// the paper's semantically significant object — survives crashes. Package
+// core does the actual stepping; this package adds lifecycle, durability,
+// concurrency, metrics, and the HTTP surface (see Handler).
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// Session is one live run of a transducer: the paper's (database, input
+// sequence) run unrolled over time, holding only the cumulative state and
+// the log — outputs are returned to the client at each step and not
+// retained.
+type Session struct {
+	id    string
+	model string // registry name, "" when built from inline source
+	src   string // inline program source, "" when built from the registry
+	mode  core.AcceptMode
+	mach  *core.Machine
+	db    relation.Instance
+	state relation.Instance
+	logs  relation.Sequence // per-step log deltas, the durable object
+	steps int
+
+	// Acceptance bookkeeping under the three disciplines of Section 4.
+	errorFree  bool // no output so far contained an error fact
+	okEvery    bool // every output so far contained ok
+	lastAccept bool // the most recent output contained accept
+}
+
+// OpenRequest describes a session to open. Exactly one of Model (a name
+// from internal/models' registry) or Src (an inline transducer program)
+// must be set. DB defaults to the model's demo database (registry models)
+// or empty (inline programs). Mode defaults to AcceptAll.
+type OpenRequest struct {
+	ID    string            `json:"id,omitempty"`
+	Model string            `json:"model,omitempty"`
+	Src   string            `json:"src,omitempty"`
+	Mode  string            `json:"mode,omitempty"`
+	DB    relation.Instance `json:"db,omitempty"`
+}
+
+// getModel resolves a registry name to a fresh machine (nil if unknown);
+// shared by open and snapshot restore.
+func getModel(name string) *core.Machine { return models.Get(name) }
+
+// newSession validates req and builds the session in its initial state
+// (empty state instance, empty log). It is pure: no I/O, no registration.
+func newSession(id string, req *OpenRequest) (*Session, error) {
+	if req.Model == "" && req.Src == "" {
+		return nil, fmt.Errorf("open: one of model or src is required")
+	}
+	if req.Model != "" && req.Src != "" {
+		return nil, fmt.Errorf("open: model and src are mutually exclusive")
+	}
+	mode, err := core.ParseAcceptMode(req.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	var mach *core.Machine
+	if req.Model != "" {
+		if mach = getModel(req.Model); mach == nil {
+			return nil, fmt.Errorf("open: unknown model %q", req.Model)
+		}
+	} else {
+		if mach, err = core.ParseProgram(req.Src); err != nil {
+			return nil, fmt.Errorf("open: %w", err)
+		}
+	}
+	db := req.DB
+	if db == nil {
+		if req.Model != "" {
+			db = models.DefaultDB(req.Model)
+		} else {
+			db = relation.NewInstance()
+		}
+	} else {
+		db = db.Clone() // decouple from the caller (and from other sessions)
+	}
+	s := &Session{
+		id:        id,
+		model:     req.Model,
+		src:       req.Src,
+		mode:      mode,
+		mach:      mach,
+		db:        db,
+		state:     relation.NewInstance(),
+		errorFree: true,
+		okEvery:   true,
+	}
+	for _, d := range mach.Schema().State {
+		s.state.Ensure(d.Name, d.Arity)
+	}
+	return s, nil
+}
+
+// StepResult is what one transition returns to the client: the step's
+// outputs and log delta exactly as in Figure 1, plus acceptance flags.
+type StepResult struct {
+	ID     string            `json:"id"`
+	Seq    int               `json:"seq"` // 1-based step number
+	Output relation.Instance `json:"output"`
+	Log    relation.Instance `json:"log"`
+	// Valid reports whether the run so far is valid under the session's
+	// acceptance mode (for accept-at-end: whether it would be valid if it
+	// ended now).
+	Valid bool `json:"valid"`
+}
+
+// validateInput rejects unknown or wrongly-typed input relations before
+// anything is logged, mirroring core.Execute's checks.
+func (s *Session) validateInput(in relation.Instance) error {
+	for name, rel := range in {
+		a, ok := s.mach.Schema().In.Arity(name)
+		if !ok {
+			return fmt.Errorf("step %d: %s is not an input relation", s.steps+1, name)
+		}
+		if rel.Len() > 0 && rel.Arity() != a {
+			return fmt.Errorf("step %d: input %s has arity %d, schema says %d", s.steps+1, name, rel.Arity(), a)
+		}
+	}
+	return nil
+}
+
+// apply performs one validated transition: Sᵢ = σ(Iᵢ, Sᵢ₋₁, D),
+// Oᵢ = ω(Iᵢ, Sᵢ₋₁, D), appends the log delta, and updates acceptance
+// flags. Stepping is deterministic, which is what lets the WAL store only
+// inputs.
+func (s *Session) apply(in relation.Instance) (*StepResult, error) {
+	next, out, err := s.mach.Step(in, s.state, s.db)
+	if err != nil {
+		return nil, err
+	}
+	s.state = next
+	delta := s.mach.Schema().LogDelta(in, out)
+	s.logs = append(s.logs, delta)
+	s.steps++
+	if out.Rel(core.ErrorRel).Len() > 0 {
+		s.errorFree = false
+	}
+	if out.Rel(core.OKRel).Len() == 0 {
+		s.okEvery = false
+	}
+	s.lastAccept = out.Rel(core.AcceptRel).Len() > 0
+	return &StepResult{
+		ID:     s.id,
+		Seq:    s.steps,
+		Output: out,
+		Log:    delta,
+		Valid:  s.valid(),
+	}, nil
+}
+
+// valid reports validity of the run so far under the session's mode.
+func (s *Session) valid() bool {
+	switch s.mode {
+	case core.ErrorFree:
+		return s.errorFree
+	case core.OKEveryStep:
+		return s.okEvery
+	case core.AcceptAtEnd:
+		return s.steps > 0 && s.lastAccept
+	}
+	return true
+}
+
+// Info is the client-visible description of a session.
+type Info struct {
+	ID    string `json:"id"`
+	Model string `json:"model,omitempty"`
+	Name  string `json:"transducer"`
+	Mode  string `json:"mode"`
+	Steps int    `json:"steps"`
+	Valid bool   `json:"valid"`
+}
+
+func (s *Session) info() *Info {
+	return &Info{
+		ID:    s.id,
+		Model: s.model,
+		Name:  s.mach.Name(),
+		Mode:  s.mode.String(),
+		Steps: s.steps,
+		Valid: s.valid(),
+	}
+}
+
+// LogResult is the full durable log of a session: the sequence of per-step
+// log deltas of Definition 2.2.
+type LogResult struct {
+	ID    string            `json:"id"`
+	Model string            `json:"model,omitempty"`
+	Steps int               `json:"steps"`
+	Log   relation.Sequence `json:"log"`
+}
+
+func (s *Session) logResult() *LogResult {
+	return &LogResult{ID: s.id, Model: s.model, Steps: s.steps, Log: s.logs.Clone()}
+}
+
+// openRecord renders the session's creation as a WAL record.
+func (s *Session) openRecord() *walRecord {
+	return &walRecord{T: recOpen, SID: s.id, Model: s.model, Src: s.src, Mode: s.mode.String(), DB: s.db}
+}

@@ -1,0 +1,156 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Snapshots exist to bound WAL replay time. Because Spocus state is
+// cumulative (a set of past-R relations) and the log is an append-only
+// sequence of deltas, a session's entire identity is a handful of relation
+// instances — a snapshot is a plain JSON dump, with no tree walking or
+// copy-on-write machinery.
+
+// snapVersion guards the on-disk snapshot format.
+const snapVersion = 1
+
+// snapSession is one session's full durable state.
+type snapSession struct {
+	ID         string            `json:"id"`
+	Model      string            `json:"model,omitempty"`
+	Src        string            `json:"src,omitempty"`
+	Mode       string            `json:"mode"`
+	DB         relation.Instance `json:"db"`
+	State      relation.Instance `json:"state"`
+	Logs       relation.Sequence `json:"logs"`
+	Steps      int               `json:"steps"`
+	ErrorFree  bool              `json:"errorFree"`
+	OkEvery    bool              `json:"okEvery"`
+	LastAccept bool              `json:"lastAccept"`
+}
+
+// snapshot is the whole of one shard's state at a point in time.
+type snapshot struct {
+	Version  int           `json:"version"`
+	Shard    int           `json:"shard"`
+	Sessions []snapSession `json:"sessions"`
+}
+
+func snapOf(s *Session) snapSession {
+	return snapSession{
+		ID:         s.id,
+		Model:      s.model,
+		Src:        s.src,
+		Mode:       s.mode.String(),
+		DB:         s.db,
+		State:      s.state,
+		Logs:       s.logs,
+		Steps:      s.steps,
+		ErrorFree:  s.errorFree,
+		OkEvery:    s.okEvery,
+		LastAccept: s.lastAccept,
+	}
+}
+
+// restore rebuilds a live session from its snapshot image.
+func (ss *snapSession) restore() (*Session, error) {
+	mode, err := core.ParseAcceptMode(ss.Mode)
+	if err != nil {
+		return nil, err
+	}
+	var mach *core.Machine
+	if ss.Model != "" {
+		if mach = getModel(ss.Model); mach == nil {
+			return nil, fmt.Errorf("snapshot: unknown model %q", ss.Model)
+		}
+	} else {
+		if mach, err = core.ParseProgram(ss.Src); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	db := ss.DB
+	if db == nil {
+		db = relation.NewInstance()
+	}
+	state := ss.State
+	if state == nil {
+		state = relation.NewInstance()
+	}
+	return &Session{
+		id:         ss.ID,
+		model:      ss.Model,
+		src:        ss.Src,
+		mode:       mode,
+		mach:       mach,
+		db:         db,
+		state:      state,
+		logs:       ss.Logs,
+		steps:      ss.Steps,
+		errorFree:  ss.ErrorFree,
+		okEvery:    ss.OkEvery,
+		lastAccept: ss.LastAccept,
+	}, nil
+}
+
+// writeSnapshot durably writes snap to path: write a temporary file, fsync
+// it, rename over the target, fsync the directory. A crash at any point
+// leaves either the old snapshot or the new one, never a mix.
+func writeSnapshot(path string, snap *snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshot loads a snapshot; a missing file yields an empty snapshot.
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &snapshot{Version: snapVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapVersion {
+		return nil, fmt.Errorf("snapshot %s: version %d, want %d", path, snap.Version, snapVersion)
+	}
+	return &snap, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

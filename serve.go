@@ -1,0 +1,58 @@
+package spocus
+
+// The serving layer: a concurrent, durable runtime hosting many live
+// transducer sessions — one per customer — behind an HTTP/JSON API. See
+// internal/session for the engine and cmd/spocus-server for the binary.
+
+import (
+	"net/http"
+
+	"repro/internal/models"
+	"repro/internal/session"
+)
+
+// Re-exported session-engine types.
+type (
+	// Engine hosts many concurrent transducer sessions, sharded by session
+	// ID, with write-ahead logging and snapshots under Config.Dir.
+	Engine = session.Engine
+	// EngineConfig tunes an Engine (durability dir, shards, fsync policy,
+	// snapshot cadence).
+	EngineConfig = session.Config
+	// OpenRequest describes a session to open: a named model or an inline
+	// program, an optional database, and an acceptance mode.
+	OpenRequest = session.OpenRequest
+	// SessionInfo describes an open session.
+	SessionInfo = session.Info
+	// StepResult is one transition's outputs and log delta (Figure 1).
+	StepResult = session.StepResult
+	// LogResult is a session's full durable log.
+	LogResult = session.LogResult
+	// CloseResult is a closed session's final disposition.
+	CloseResult = session.CloseResult
+	// EngineStats is a point-in-time metrics snapshot.
+	EngineStats = session.Stats
+	// FsyncPolicy selects WAL durability (always, interval, never).
+	FsyncPolicy = session.FsyncPolicy
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways makes every acknowledged step durable before replying.
+	FsyncAlways = session.FsyncAlways
+	// FsyncInterval flushes at most once per configured interval.
+	FsyncInterval = session.FsyncInterval
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever = session.FsyncNever
+)
+
+// NewEngine creates a session engine, replaying any WAL and snapshots
+// under cfg.Dir before accepting requests.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return session.NewEngine(cfg) }
+
+// ServerHandler serves the engine over HTTP/JSON (see internal/session's
+// Handler for the endpoint list).
+func ServerHandler(e *Engine) http.Handler { return session.Handler(e) }
+
+// ModelNames lists the named business models servable by an Engine.
+func ModelNames() []string { return models.Names() }

@@ -1,0 +1,38 @@
+package spocus_test
+
+import (
+	"testing"
+
+	spocus "repro"
+)
+
+// TestFacadeEngine drives the serving layer through the public facade: a
+// session opened against a named model reproduces a Figure 1 step.
+func TestFacadeEngine(t *testing.T) {
+	e, err := spocus.NewEngine(spocus.EngineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	info, err := e.Open(&spocus.OpenRequest{Model: "short"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Input(info.ID, spocus.Step(spocus.F("order", "time")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Has("sendbill", spocus.Tuple{"time", "855"}) {
+		t.Errorf("output: %s", res.Output)
+	}
+	if !res.Log.Has("sendbill", spocus.Tuple{"time", "855"}) {
+		t.Errorf("log delta: %s", res.Log)
+	}
+	if h := spocus.ServerHandler(e); h == nil {
+		t.Error("nil handler")
+	}
+	names := spocus.ModelNames()
+	if len(names) == 0 {
+		t.Error("no model names")
+	}
+}
