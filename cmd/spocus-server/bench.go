@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,12 +19,15 @@ import (
 // benchResult is the bench subcommand's JSON report.
 type benchResult struct {
 	Model        string  `json:"model"`
+	Mode         string  `json:"mode"` // "inproc" or "http"
+	URL          string  `json:"url,omitempty"`
 	Sessions     int     `json:"sessions"`
 	StepsPerSess int     `json:"steps_per_session"`
 	StepsTotal   int     `json:"steps_total"`
-	Shards       int     `json:"shards"`
-	Fsync        string  `json:"fsync"`
+	Shards       int     `json:"shards,omitempty"`
+	Fsync        string  `json:"fsync,omitempty"`
 	Durable      bool    `json:"durable"`
+	Retried429   int64   `json:"retried_429,omitempty"`
 	ElapsedSec   float64 `json:"elapsed_s"`
 	StepsPerSec  float64 `json:"steps_per_sec"`
 	OpenSec      float64 `json:"open_s"`
@@ -31,7 +37,106 @@ type benchResult struct {
 		P99Micros float64 `json:"p99_us"`
 		MaxMicros float64 `json:"max_us"`
 	} `json:"step_latency"`
-	Engine session.Stats `json:"engine"`
+	Engine *session.Stats `json:"engine,omitempty"`
+}
+
+// benchTarget abstracts where the load goes: the in-process engine, or an
+// HTTP base URL (a spocus-server — or a spocus-router fronting many).
+type benchTarget interface {
+	open(id, model string, db relation.Instance) error
+	step(id string, in relation.Instance) error
+	finish(res *benchResult)
+}
+
+type engineTarget struct{ eng *session.Engine }
+
+func (t *engineTarget) open(id, model string, db relation.Instance) error {
+	_, err := t.eng.Open(&session.OpenRequest{ID: id, Model: model, DB: db})
+	return err
+}
+
+func (t *engineTarget) step(id string, in relation.Instance) error {
+	_, err := t.eng.Input(id, in)
+	return err
+}
+
+func (t *engineTarget) finish(res *benchResult) {
+	res.Mode = "inproc"
+	res.Shards = t.eng.Shards()
+	st := t.eng.Stats()
+	res.Engine = &st
+	t.eng.Shutdown()
+}
+
+// httpTarget drives the wire API. 429 backpressure responses are retried
+// with backoff (and counted): under overload the bench measures goodput,
+// not error throughput.
+type httpTarget struct {
+	base    string
+	client  *http.Client
+	mu      sync.Mutex
+	retries int64
+}
+
+func (t *httpTarget) post(url string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode, nil
+}
+
+// withRetry retries 429 (mailbox full) and 503 (handoff freeze) with
+// backoff; other failures are final.
+func (t *httpTarget) withRetry(f func() (int, error)) error {
+	var err error
+	var status int
+	for attempt := 0; attempt < 8; attempt++ {
+		if status, err = f(); err == nil {
+			return nil
+		}
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return err
+		}
+		t.mu.Lock()
+		t.retries++
+		t.mu.Unlock()
+		time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
+	}
+	return err
+}
+
+func (t *httpTarget) open(id, model string, db relation.Instance) error {
+	return t.withRetry(func() (int, error) {
+		return t.post(t.base+"/sessions", &session.OpenRequest{ID: id, Model: model, DB: db}, nil)
+	})
+}
+
+func (t *httpTarget) step(id string, in relation.Instance) error {
+	return t.withRetry(func() (int, error) {
+		return t.post(t.base+"/sessions/"+id+"/input", map[string]any{"input": in}, nil)
+	})
+}
+
+func (t *httpTarget) finish(res *benchResult) {
+	res.Mode = "http"
+	res.URL = t.base
+	res.Retried429 = t.retries
 }
 
 func bench(args []string) {
@@ -40,6 +145,7 @@ func bench(args []string) {
 		nSessions = fs.Int("sessions", 1000, "concurrent sessions to drive")
 		nSteps    = fs.Int("steps", 30, "steps per session")
 		model     = fs.String("model", "short", "scripted run: short | friendly")
+		url       = fs.String("url", "", "drive load over HTTP against this base URL (a spocus-server or spocus-router) instead of in-process")
 	)
 	build := engineFlags(fs, "never")
 	fs.Parse(args)
@@ -48,18 +154,36 @@ func bench(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := build()
-	if err != nil {
-		fatal(err)
+	var target benchTarget
+	if *url != "" {
+		target = &httpTarget{
+			base: strings.TrimRight(*url, "/"),
+			// One keep-alive connection per concurrent session: the
+			// default transport's 2-per-host idle cap would serialize
+			// the load through constant reconnects.
+			client: &http.Client{
+				Timeout: 30 * time.Second,
+				Transport: &http.Transport{
+					MaxIdleConns:        *nSessions + 16,
+					MaxIdleConnsPerHost: *nSessions + 16,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			},
+		}
+	} else {
+		eng, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		target = &engineTarget{eng: eng}
 	}
-	defer eng.Shutdown()
 
 	// Open all sessions first so the timed region measures pure stepping.
 	openStart := time.Now()
 	ids := make([]string, *nSessions)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("bench-%06d", i)
-		if _, err := eng.Open(&session.OpenRequest{ID: ids[i], Model: *model, DB: db}); err != nil {
+		if err := target.open(ids[i], *model, db); err != nil {
 			fatal(err)
 		}
 	}
@@ -79,7 +203,7 @@ func bench(args []string) {
 			for j := 0; j < *nSteps; j++ {
 				in := script(i, j)
 				t0 := time.Now()
-				if _, err := eng.Input(ids[i], in); err != nil {
+				if err := target.step(ids[i], in); err != nil {
 					errs <- fmt.Errorf("session %s step %d: %w", ids[i], j+1, err)
 					return
 				}
@@ -113,14 +237,15 @@ func bench(args []string) {
 		Sessions:     *nSessions,
 		StepsPerSess: *nSteps,
 		StepsTotal:   len(all),
-		Shards:       eng.Shards(),
 		ElapsedSec:   elapsed.Seconds(),
 		StepsPerSec:  float64(len(all)) / elapsed.Seconds(),
 		OpenSec:      openElapsed.Seconds(),
-		Engine:       eng.Stats(),
 	}
-	res.Fsync = fs.Lookup("fsync").Value.String()
-	res.Durable = fs.Lookup("dir").Value.String() != ""
+	if *url == "" {
+		res.Fsync = fs.Lookup("fsync").Value.String()
+		res.Durable = fs.Lookup("dir").Value.String() != ""
+	}
+	target.finish(&res)
 	res.Latency.P50Micros = pct(0.50)
 	res.Latency.P90Micros = pct(0.90)
 	res.Latency.P99Micros = pct(0.99)

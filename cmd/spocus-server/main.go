@@ -7,9 +7,10 @@
 //
 //	spocus-server serve [-addr :8080] [-dir data] [-shards N]
 //	                    [-fsync always|interval|never] [-fsync-interval 100ms]
-//	                    [-snapshot-every 4096]
+//	                    [-snapshot-every 4096] [-mailbox 1024]
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
-//	                    [-shards N] [-dir DIR] [-fsync never] [-v]
+//	                    [-shards N] [-dir DIR] [-fsync never]
+//	                    [-url http://router:8090]
 //
 // serve exposes:
 //
@@ -29,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -74,6 +76,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine,
 		fsync         = fs.String("fsync", defaultFsync, "WAL fsync policy: always | interval | never")
 		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 		snapEvery     = fs.Int("snapshot-every", 4096, "steps per shard between snapshots (-1: disable)")
+		mailbox       = fs.Int("mailbox", 1024, "per-shard mailbox depth; overflow is rejected with 429")
 	)
 	return func() (*session.Engine, error) {
 		policy, err := session.ParseFsyncPolicy(*fsync)
@@ -86,6 +89,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine,
 			Fsync:         policy,
 			FsyncInterval: *fsyncInterval,
 			SnapshotEvery: *snapEvery,
+			MailboxDepth:  *mailbox,
 		})
 	}
 }
@@ -121,8 +125,15 @@ func serve(args []string) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("received %v, shutting down\n", s)
-		srv.Close()
+		// Graceful: stop accepting, drain in-flight requests (bounded),
+		// then shut the engine down — which snapshots every shard, so the
+		// next start replays nothing.
+		fmt.Printf("received %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() // drain timed out: cut the stragglers loose
+		}
 		if err := eng.Shutdown(); err != nil {
 			fatal(err)
 		}

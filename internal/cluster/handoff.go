@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/session"
+)
+
+// Handoff moves one session between backends by deterministic replay:
+//
+//  1. export: the source freezes the session (draining it — further inputs
+//     get 503 there) and returns its input history,
+//  2. replay: the router opens the same session on the target and feeds it
+//     the history through the ordinary input path, so the target's own WAL
+//     records every step,
+//  3. verify: the replayed step count must equal the exported one,
+//  4. retire: the source forgets its copy (logged, so replay does not
+//     resurrect it), and the ring pins the session to the target.
+//
+// Determinism (state and log are a function of database + inputs alone)
+// makes step 2 reconstruct the log bit-for-bit, and the freeze makes the
+// move exactly-once at the log level: no input can land on both copies.
+// On any failure before step 4 the target copy is deleted and the source
+// is unfrozen — the session never stops being served by exactly one owner.
+
+// HandoffResult reports a completed handoff.
+type HandoffResult struct {
+	Session string `json:"session"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Steps   int    `json:"steps"`
+}
+
+// handleHandoff serves POST /admin/handoff?session=ID&to=BACKEND.
+func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	to := r.URL.Query().Get("to")
+	if id == "" || to == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "handoff needs ?session= and ?to="})
+		return
+	}
+	res, err := rt.Handoff(id, to)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// Handoff drains session id on its current owner, replays it on backend
+// to, and flips the ring entry. Handing a session to the backend that
+// already owns it is a no-op.
+func (rt *Router) Handoff(id, to string) (*HandoffResult, error) {
+	known := false
+	for _, m := range rt.ring.Members() {
+		if m == to {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("handoff: unknown backend %s", to)
+	}
+	if !rt.ring.Up(to) {
+		return nil, &BackendDownError{Addr: to}
+	}
+	from, err := rt.ring.Lookup(id)
+	if err != nil {
+		return nil, fmt.Errorf("handoff: %w", err)
+	}
+	if from == to {
+		return &HandoffResult{Session: id, From: from, To: to}, nil
+	}
+
+	// 1. Freeze + export on the source.
+	var exp session.Export
+	if err := rt.postJSON(from+"/admin/sessions/"+id+"/export", nil, &exp); err != nil {
+		return nil, fmt.Errorf("handoff: export from %s: %w", from, err)
+	}
+
+	// 2–3. Replay on the target; on any failure, roll back to the source.
+	if err := rt.replay(to, &exp); err != nil {
+		rt.deleteSession(to, id)
+		if uerr := rt.postJSON(from+"/admin/sessions/"+id+"/unfreeze", nil, nil); uerr != nil {
+			return nil, fmt.Errorf("handoff: replay on %s failed (%v) AND unfreeze on %s failed (%v): session %s needs manual thaw", to, err, from, uerr, id)
+		}
+		return nil, fmt.Errorf("handoff: replay on %s: %w (source unfrozen)", to, err)
+	}
+
+	// 4. Retire the source copy and flip the ring.
+	if err := rt.postJSON(from+"/admin/sessions/"+id+"/forget", nil, nil); err != nil {
+		// The target already serves the session; routing there anyway is
+		// correct, the frozen source copy is inert. Report but proceed.
+		rt.ring.Pin(id, to)
+		rt.m.handoffs.Add(1)
+		return &HandoffResult{Session: id, From: from, To: to, Steps: exp.Steps},
+			fmt.Errorf("handoff: forget on %s: %w (ring flipped; frozen source copy remains)", from, err)
+	}
+	rt.ring.Pin(id, to)
+	rt.m.handoffs.Add(1)
+	return &HandoffResult{Session: id, From: from, To: to, Steps: exp.Steps}, nil
+}
+
+// replay reconstructs the exported session on backend addr through the
+// ordinary open/input path, retrying individual steps on 429 backpressure.
+func (rt *Router) replay(addr string, exp *session.Export) error {
+	open := map[string]any{"id": exp.ID, "mode": exp.Mode, "db": exp.DB}
+	if exp.Model != "" {
+		open["model"] = exp.Model
+	}
+	if exp.Src != "" {
+		open["src"] = exp.Src
+	}
+	if err := rt.postJSON(addr+"/sessions", open, nil); err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for i, in := range exp.Inputs {
+		var res session.StepResult
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			err = rt.postJSON(addr+"/sessions/"+exp.ID+"/input", map[string]any{"input": in}, &res)
+			var retry *retryableError
+			if err == nil || !errors.As(err, &retry) {
+				break
+			}
+			time.Sleep(time.Duration(50<<attempt) * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("replay step %d: %w", i+1, err)
+		}
+		if res.Seq != i+1 {
+			return fmt.Errorf("replay step %d: target reports seq %d", i+1, res.Seq)
+		}
+	}
+	if len(exp.Inputs) != exp.Steps {
+		return fmt.Errorf("export is inconsistent: %d inputs for %d steps", len(exp.Inputs), exp.Steps)
+	}
+	return nil
+}
+
+// deleteSession best-effort removes a partially replayed session.
+func (rt *Router) deleteSession(addr, id string) {
+	req, err := http.NewRequest(http.MethodDelete, addr+"/sessions/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := rt.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// retryableError marks a transient backend refusal (429) worth retrying.
+type retryableError struct{ status int }
+
+func (err *retryableError) Error() string { return fmt.Sprintf("backend status %d", err.status) }
+
+// postJSON posts body (nil for empty) to url and decodes the 2xx response
+// into out (when non-nil). Non-2xx responses become errors carrying the
+// backend's error message; 429 is marked retryable.
+func (rt *Router) postJSON(url string, body any, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	resp, err := rt.client.Post(url, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("%s: %w", e.Error, &retryableError{status: resp.StatusCode})
+		}
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestRingDistribution: with ≥128 vnodes, key distribution across N
+// backends stays within 15% of uniform.
+func TestRingDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		for _, vnodes := range []int{128, 256} {
+			r := NewRing(vnodes)
+			for b := 0; b < n; b++ {
+				r.Add(fmt.Sprintf("http://backend-%d:8080", b))
+			}
+			const keys = 30000
+			counts := make(map[string]int)
+			for k := 0; k < keys; k++ {
+				addr, err := r.Lookup(fmt.Sprintf("session-%08x", k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[addr]++
+			}
+			ideal := float64(keys) / float64(n)
+			for addr, c := range counts {
+				dev := (float64(c) - ideal) / ideal
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("n=%d vnodes=%d: %s owns %d keys, %.1f%% from uniform (limit 15%%)",
+						n, vnodes, addr, c, dev*100)
+				}
+			}
+			if len(counts) != n {
+				t.Errorf("n=%d vnodes=%d: only %d backends received keys", n, vnodes, len(counts))
+			}
+		}
+	}
+}
+
+// TestRingKeyspaceShares: the /debug/shards share computation agrees with
+// the empirical key distribution.
+func TestRingKeyspaceShares(t *testing.T) {
+	r := NewRing(128)
+	for b := 0; b < 3; b++ {
+		r.Add(fmt.Sprintf("http://backend-%d:8080", b))
+	}
+	info := r.Snapshot()
+	var total float64
+	for _, m := range info.Members {
+		if m.Share < 0.20 || m.Share > 0.47 {
+			t.Errorf("%s share %.3f outside sane band", m.Addr, m.Share)
+		}
+		total += m.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("shares sum to %.6f, want 1", total)
+	}
+}
+
+// TestRingMinimalDisruption: removing one backend remaps only the keys it
+// owned; every other key keeps its backend.
+func TestRingMinimalDisruption(t *testing.T) {
+	const keys = 20000
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(128)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	before := make(map[string]string, keys)
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("session-%08x", k)
+		addr, err := r.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[key] = addr
+	}
+
+	victim := backends[2]
+	r.Remove(victim)
+	moved := 0
+	for key, owner := range before {
+		addr, err := r.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == victim {
+			moved++
+			if addr == victim {
+				t.Fatalf("key %s still maps to removed backend", key)
+			}
+			continue
+		}
+		if addr != owner {
+			t.Fatalf("key %s moved %s → %s although its backend survived", key, owner, addr)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; test is vacuous")
+	}
+
+	// The same invariant holds for a health flip instead of a removal.
+	r2 := NewRing(128)
+	for _, b := range backends {
+		r2.Add(b)
+	}
+	r2.SetUp(victim, false)
+	for key, owner := range before {
+		addr, err := r2.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != victim && addr != owner {
+			t.Fatalf("down-flip moved surviving key %s: %s → %s", key, owner, addr)
+		}
+	}
+}
+
+// TestRingPins: pins override the hash, survive other members' health
+// flips, resolve to down backends with BackendDownError, and are dropped
+// when their target is removed.
+func TestRingPins(t *testing.T) {
+	r := NewRing(128)
+	r.Add("http://a:1")
+	r.Add("http://b:1")
+
+	r.Pin("sess", "http://b:1")
+	addr, err := r.Lookup("sess")
+	if err != nil || addr != "http://b:1" {
+		t.Fatalf("pinned lookup: %s, %v", addr, err)
+	}
+	r.SetUp("http://a:1", false) // unrelated flip: pin unaffected
+	if addr, err = r.Lookup("sess"); err != nil || addr != "http://b:1" {
+		t.Fatalf("pinned lookup after unrelated flip: %s, %v", addr, err)
+	}
+	r.SetUp("http://a:1", true)
+
+	r.SetUp("http://b:1", false)
+	var down *BackendDownError
+	if addr, err = r.Lookup("sess"); !errors.As(err, &down) || addr != "http://b:1" {
+		t.Fatalf("pin to down backend: %s, %v (want BackendDownError)", addr, err)
+	}
+
+	r.Remove("http://b:1")
+	if addr, err = r.Lookup("sess"); err != nil || addr != "http://a:1" {
+		t.Fatalf("after pin target removed, lookup should rehash: %s, %v", addr, err)
+	}
+
+	r.Pin("sess", "http://a:1")
+	r.Pin("sess", "")
+	if info := r.Snapshot(); len(info.Pins) != 0 {
+		t.Fatalf("cleared pin still in snapshot: %v", info.Pins)
+	}
+}
+
+// TestRingEmpty: lookups against an empty or fully-down ring fail cleanly.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(128)
+	if _, err := r.Lookup("x"); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("empty ring: %v, want ErrNoBackends", err)
+	}
+	r.Add("http://a:1")
+	r.SetUp("http://a:1", false)
+	if _, err := r.Lookup("x"); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("all-down ring: %v, want ErrNoBackends", err)
+	}
+}

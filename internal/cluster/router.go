@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/session"
+)
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Backends are the spocus-server base URLs fronted by this router.
+	Backends []string
+	// Vnodes per backend on the consistent-hash ring (default 128).
+	Vnodes int
+	// Health tunes backend probing.
+	Health HealthConfig
+	// Client is the HTTP client used for proxying, probing, and handoff
+	// (default: dedicated client with a 30s timeout).
+	Client *http.Client
+}
+
+// Router fronts N spocus-server backends: it owns the consistent-hash ring
+// mapping sessionID → backend, proxies the session API, health-checks
+// backends, and serves handoff. See Handler for the HTTP surface.
+type Router struct {
+	ring    *Ring
+	client  *http.Client
+	checker *checker
+	m       routerMetrics
+}
+
+// routerMetrics counts the router's data plane, exported under the expvar
+// key "spocus_router".
+type routerMetrics struct {
+	proxied       atomic.Int64 // requests forwarded to a backend
+	backendErrors atomic.Int64 // forwards that failed at the transport
+	rejected      atomic.Int64 // 429s passed through from backends
+	unroutable    atomic.Int64 // requests refused: backend down / ring empty
+	handoffs      atomic.Int64 // completed session handoffs
+}
+
+func (m *routerMetrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"proxied_total":        m.proxied.Load(),
+		"backend_errors_total": m.backendErrors.Load(),
+		"rejected_total":       m.rejected.Load(),
+		"unroutable_total":     m.unroutable.Load(),
+		"handoffs_total":       m.handoffs.Load(),
+	}
+}
+
+// NewRouter builds the ring from cfg.Backends (all initially up) and
+// starts health checking. Call Close to stop the checker.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	client := cfg.Client
+	if client == nil {
+		// The default transport keeps only 2 idle connections per host —
+		// a router funnelling hundreds of concurrent sessions into a few
+		// backends would open and tear down connections constantly.
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	rt := &Router{ring: NewRing(cfg.Vnodes), client: client}
+	for _, b := range cfg.Backends {
+		rt.ring.Add(b)
+	}
+	rt.checker = startChecker(rt.ring, cfg.Health, client, nil)
+	return rt, nil
+}
+
+// Ring exposes the router's ring (for tests and for serving /debug/shards).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Close stops health checking. In-flight proxied requests are unaffected.
+func (rt *Router) Close() { rt.checker.stop() }
+
+// Handler serves the router's HTTP surface — the session API of
+// internal/session's Handler, proxied per-session to the owning backend,
+// plus the cluster plane:
+//
+//	GET  /debug/shards                 live ring: members, health, shares, pins
+//	POST /admin/handoff?session=&to=   move one session to backend `to`
+//	GET  /healthz                      router liveness
+//	GET  /debug/vars                   expvar ("spocus_router" metrics)
+//
+// Session-scoped routes are routed by hashing the session ID; POST
+// /sessions assigns an ID before routing so the created session has a home
+// the moment it exists. GET /sessions fans out to all up backends and
+// merges. GET /models is answered by any up backend.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", rt.handleOpen)
+	mux.HandleFunc("GET /sessions", rt.handleList)
+	mux.HandleFunc("/sessions/{id}", rt.handleSession)
+	mux.HandleFunc("/sessions/{id}/{rest...}", rt.handleSession)
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		addrs := rt.ring.UpMembers()
+		if len(addrs) == 0 {
+			rt.refuse(w, ErrNoBackends)
+			return
+		}
+		rt.forward(w, r, addrs[0], nil)
+	})
+	mux.HandleFunc("GET /debug/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.ring.Snapshot())
+	})
+	mux.HandleFunc("POST /admin/handoff", rt.handleHandoff)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "backends_up": len(rt.ring.UpMembers())})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	registerRouterExpvar(rt)
+	return mux
+}
+
+// handleOpen assigns the session its ID (when the client did not) so it
+// can be routed, then forwards the rewritten body to the owning backend.
+func (rt *Router) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req session.OpenRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if req.ID == "" {
+		req.ID = session.NewID()
+		if body, err = json.Marshal(&req); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	addr, err := rt.ring.Lookup(req.ID)
+	if err != nil {
+		rt.refuse(w, err)
+		return
+	}
+	rt.forward(w, r, addr, body)
+}
+
+// handleSession routes everything under /sessions/{id} by the ID hash.
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	addr, err := rt.ring.Lookup(r.PathValue("id"))
+	if err != nil {
+		rt.refuse(w, err)
+		return
+	}
+	rt.forward(w, r, addr, nil)
+}
+
+// handleList fans GET /sessions out to every up backend and merges the
+// results, sorted by session ID.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	addrs := rt.ring.UpMembers()
+	if len(addrs) == 0 {
+		rt.refuse(w, ErrNoBackends)
+		return
+	}
+	var all []*session.Info
+	for _, addr := range addrs {
+		resp, err := rt.client.Get(addr + "/sessions")
+		if err != nil {
+			rt.m.backendErrors.Add(1)
+			rt.checker.markDown(addr)
+			continue
+		}
+		var page struct {
+			Sessions []*session.Info `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			rt.m.backendErrors.Add(1)
+			continue
+		}
+		all = append(all, page.Sessions...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": all})
+}
+
+// forward proxies one request to addr, preserving method, path, query,
+// and body. A transport failure marks the backend down immediately — the
+// client sees 502 now, and hashed keys remap on the next lookup.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, body []byte) {
+	if !rt.ring.Up(addr) {
+		rt.refuse(w, &BackendDownError{Addr: addr})
+		return
+	}
+	var rd io.Reader = r.Body
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	url := addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.m.backendErrors.Add(1)
+		rt.checker.markDown(addr)
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("backend %s: %v", addr, err)})
+		return
+	}
+	defer resp.Body.Close()
+	rt.m.proxied.Add(1)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		rt.m.rejected.Add(1)
+	}
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// refuse maps routing failures onto statuses: no backend or a down
+// backend is 503 (retryable once health or handoff heals the ring).
+func (rt *Router) refuse(w http.ResponseWriter, err error) {
+	rt.m.unroutable.Add(1)
+	var down *BackendDownError
+	if errors.Is(err, ErrNoBackends) || errors.As(err, &down) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// routers tracks live routers so the process-wide expvar export can
+// aggregate across them (a process normally has exactly one).
+var (
+	routersMu        sync.Mutex
+	routers          = make(map[*Router]bool)
+	routerExpvarOnce sync.Once
+)
+
+func registerRouterExpvar(rt *Router) {
+	routersMu.Lock()
+	routers[rt] = true
+	routersMu.Unlock()
+	routerExpvarOnce.Do(func() {
+		expvar.Publish("spocus_router", expvar.Func(func() any {
+			routersMu.Lock()
+			defer routersMu.Unlock()
+			agg := make([]map[string]int64, 0, len(routers))
+			for rt := range routers {
+				agg = append(agg, rt.m.snapshot())
+			}
+			return agg
+		}))
+	})
+}

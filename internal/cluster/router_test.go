@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+)
+
+// testCluster is 3 in-memory backends behind one router, all in-process.
+type testCluster struct {
+	engines  []*session.Engine
+	backends []*httptest.Server
+	router   *Router
+	front    *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		e, err := session.NewEngine(session.Config{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(session.Handler(e))
+		tc.engines = append(tc.engines, e)
+		tc.backends = append(tc.backends, srv)
+	}
+	addrs := make([]string, n)
+	for i, b := range tc.backends {
+		addrs[i] = b.URL
+	}
+	rt, err := NewRouter(RouterConfig{
+		Backends: addrs,
+		Vnodes:   128,
+		Health:   HealthConfig{Interval: 20 * time.Millisecond, Timeout: 200 * time.Millisecond, FailAfter: 2, MaxBackoff: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = rt
+	tc.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		tc.front.Close()
+		rt.Close()
+		for i := range tc.backends {
+			tc.backends[i].Close()
+			tc.engines[i].Shutdown()
+		}
+	})
+	return tc
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func orderInput(item string) map[string]any {
+	return map[string]any{"input": map[string][][]string{"order": {{item}}}}
+}
+
+// TestRouterRoutesConsistently: a session opened through the router lands
+// on exactly one backend, and every subsequent request reaches it.
+func TestRouterRoutesConsistently(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	const sessions = 24
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("route-%02d", i)
+		var info session.Info
+		if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, &info); st != http.StatusCreated {
+			t.Fatalf("open %s: status %d", id, st)
+		}
+		var res session.StepResult
+		if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), &res); st != http.StatusOK {
+			t.Fatalf("input %s: status %d", id, st)
+		}
+		if res.Seq != 1 {
+			t.Fatalf("input %s: seq %d", id, res.Seq)
+		}
+		// The session exists on exactly one backend — the ring's choice.
+		want, err := tc.router.Ring().Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes := 0
+		for _, b := range tc.backends {
+			st := getJSON(t, b.URL+"/sessions/"+id, nil)
+			if st == http.StatusOK {
+				homes++
+				if b.URL != want {
+					t.Fatalf("%s lives on %s, ring says %s", id, b.URL, want)
+				}
+			}
+		}
+		if homes != 1 {
+			t.Fatalf("%s has %d homes", id, homes)
+		}
+	}
+
+	// The merged list sees every session exactly once.
+	var list struct {
+		Sessions []session.Info `json:"sessions"`
+	}
+	if st := getJSON(t, tc.front.URL+"/sessions", &list); st != http.StatusOK {
+		t.Fatalf("list: status %d", st)
+	}
+	if len(list.Sessions) != sessions {
+		t.Fatalf("merged list has %d sessions, want %d", len(list.Sessions), sessions)
+	}
+}
+
+// TestRouterAssignsID: POST /sessions without an ID still routes — the
+// router must mint the ID itself to know the owner.
+func TestRouterAssignsID(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	var info session.Info
+	if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"model": "short"}, &info); st != http.StatusCreated {
+		t.Fatalf("open: status %d", st)
+	}
+	if info.ID == "" {
+		t.Fatal("router did not assign an ID")
+	}
+	if st := postJSON(t, tc.front.URL+"/sessions/"+info.ID+"/input", orderInput("time"), nil); st != http.StatusOK {
+		t.Fatalf("input on assigned ID: status %d", st)
+	}
+}
+
+// TestRouterHandoff moves a session between backends mid-run and checks
+// the log through the router is unbroken, the ring is pinned, and the
+// session keeps stepping on the new owner.
+func TestRouterHandoff(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	id := "handoff-1"
+	postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil)
+	postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), nil)
+	var before session.LogResult
+	getJSON(t, tc.front.URL+"/sessions/"+id+"/log", &before)
+
+	from, err := tc.router.Ring().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var to string
+	for _, b := range tc.backends {
+		if b.URL != from {
+			to = b.URL
+			break
+		}
+	}
+
+	var res HandoffResult
+	url := fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, to)
+	if st := postJSON(t, url, nil, &res); st != http.StatusOK {
+		t.Fatalf("handoff: status %d", st)
+	}
+	if res.From != from || res.To != to || res.Steps != 1 {
+		t.Fatalf("handoff result %+v", res)
+	}
+
+	// Ring reflects the move.
+	var shards Info
+	getJSON(t, tc.front.URL+"/debug/shards", &shards)
+	if shards.Pins[id] != to {
+		t.Fatalf("pin missing from /debug/shards: %v", shards.Pins)
+	}
+
+	// Gone at the source, serving at the target, log intact via router.
+	if st := getJSON(t, from+"/sessions/"+id, nil); st != http.StatusNotFound {
+		t.Fatalf("source still has the session: status %d", st)
+	}
+	var after session.LogResult
+	if st := getJSON(t, tc.front.URL+"/sessions/"+id+"/log", &after); st != http.StatusOK {
+		t.Fatalf("log after handoff: status %d", st)
+	}
+	if after.Steps != before.Steps || !after.Log.Equal(before.Log) {
+		t.Fatalf("handoff changed the log:\n got %s\nwant %s", after.Log, before.Log)
+	}
+	var step session.StepResult
+	if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("time"), &step); st != http.StatusOK || step.Seq != 2 {
+		t.Fatalf("step after handoff: status %d, %+v", st, step)
+	}
+
+	// Handing off to the current owner is a no-op.
+	if st := postJSON(t, fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, to), nil, &res); st != http.StatusOK {
+		t.Fatalf("no-op handoff: status %d", st)
+	}
+
+	// Unknown target is refused.
+	if st := postJSON(t, fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, "http://nope:1"), nil, nil); st != http.StatusBadGateway {
+		t.Fatalf("handoff to unknown backend: status %d", st)
+	}
+}
+
+// TestRouterFailoverMarksDown kills one backend and checks the router
+// ejects it from the ring, refuses its sessions with 5xx, and keeps
+// serving sessions on the survivors; hashed keys remap only off the dead
+// backend.
+func TestRouterFailoverMarksDown(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	// Open enough sessions that every backend owns some.
+	ids := make([]string, 30)
+	owner := make(map[string]string)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("fo-%02d", i)
+		postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": ids[i], "model": "short"}, nil)
+		addr, err := tc.router.Ring().Lookup(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner[ids[i]] = addr
+	}
+
+	victim := tc.backends[0].URL
+	tc.backends[0].Close() // SIGKILL equivalent for an in-process backend
+
+	// The health checker notices within a few probe intervals.
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.router.Ring().Up(victim) {
+		if time.Now().After(deadline) {
+			t.Fatal("router never marked the dead backend down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var shards Info
+	getJSON(t, tc.front.URL+"/debug/shards", &shards)
+	for _, m := range shards.Members {
+		if m.Addr == victim && m.Up {
+			t.Fatal("/debug/shards still shows the dead backend up")
+		}
+	}
+
+	survivorsServed, deadRefused := 0, 0
+	for _, id := range ids {
+		st := getJSON(t, tc.front.URL+"/sessions/"+id, nil)
+		if owner[id] == victim {
+			// Remapped to a survivor that has no such session (its state
+			// died with the victim's engine): 404 — or, in the window
+			// before remap, 502/503. Never a success.
+			if st == http.StatusOK {
+				t.Fatalf("session %s served after its backend died", id)
+			}
+			deadRefused++
+			continue
+		}
+		if st != http.StatusOK {
+			t.Fatalf("surviving session %s: status %d", id, st)
+		}
+		if addr, _ := tc.router.Ring().Lookup(id); addr != owner[id] {
+			t.Fatalf("surviving session %s remapped %s → %s", id, owner[id], addr)
+		}
+		survivorsServed++
+	}
+	if survivorsServed == 0 || deadRefused == 0 {
+		t.Fatalf("vacuous failover test: %d survivors, %d dead", survivorsServed, deadRefused)
+	}
+}

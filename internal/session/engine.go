@@ -32,6 +32,11 @@ type Config struct {
 	// SnapshotEvery compacts a shard's WAL into a snapshot after this many
 	// applied steps (default 4096; negative disables snapshots).
 	SnapshotEvery int
+	// MailboxDepth bounds each shard's request mailbox (default 1024).
+	// Open and Input requests arriving while the mailbox is full are
+	// rejected with OverloadedError instead of queueing without bound —
+	// the engine's backpressure signal, surfaced as HTTP 429.
+	MailboxDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +50,9 @@ func (c Config) withDefaults() Config {
 		c.SnapshotEvery = 4096
 	} else if c.SnapshotEvery < 0 {
 		c.SnapshotEvery = 0
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 1024
 	}
 	return c
 }
@@ -77,15 +85,15 @@ type reply struct {
 // shard owns a disjoint set of sessions and their WAL. Only its goroutine
 // touches these fields after startup, so no locks appear anywhere below.
 type shard struct {
-	idx      int
-	cfg      *Config
-	m        *metricsSet
-	ch       chan request
-	sessions map[string]*Session
-	wal      *wal // nil in memory-only mode
-	snapPath string
+	idx       int
+	cfg       *Config
+	m         *metricsSet
+	ch        chan request
+	sessions  map[string]*Session
+	wal       *wal // nil in memory-only mode
+	snapPath  string
 	sinceSnap int
-	broken   error // set on a WAL write failure; fail-stop for mutations
+	broken    error // set on a WAL write failure; fail-stop for mutations
 }
 
 // NewEngine creates an engine, replaying any existing snapshot and WAL
@@ -105,7 +113,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			idx:      i,
 			cfg:      &e.cfg,
 			m:        e.m,
-			ch:       make(chan request, 128),
+			ch:       make(chan request, cfg.MailboxDepth),
 			sessions: make(map[string]*Session),
 		}
 		if cfg.Dir != "" {
@@ -272,7 +280,9 @@ func (e *Engine) shardFor(id string) *shard {
 }
 
 // send runs do inside the shard goroutine owning id and waits for the
-// result.
+// result, blocking while the shard's mailbox is full. Control-plane
+// operations (Log, Close, List, Snapshot, Export) use it: they are rare
+// enough that queueing is preferable to spurious rejection.
 func (e *Engine) send(sh *shard, do func(*shard) (any, error)) (any, error) {
 	e.mu.RLock()
 	if e.closed {
@@ -282,6 +292,29 @@ func (e *Engine) send(sh *shard, do func(*shard) (any, error)) (any, error) {
 	req := request{do: do, reply: make(chan reply, 1)}
 	sh.ch <- req
 	e.mu.RUnlock()
+	r := <-req.reply
+	return r.v, r.err
+}
+
+// trySend is send for the high-rate data plane (Open, Input): when the
+// shard's mailbox is full the request is rejected immediately with
+// OverloadedError rather than queued, bounding both memory and latency
+// under overload.
+func (e *Engine) trySend(sh *shard, do func(*shard) (any, error)) (any, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("engine is shut down")
+	}
+	req := request{do: do, reply: make(chan reply, 1)}
+	select {
+	case sh.ch <- req:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.m.rejected.Add(1)
+		return nil, &OverloadedError{Shard: sh.idx}
+	}
 	r := <-req.reply
 	return r.v, r.err
 }
@@ -306,7 +339,7 @@ func (e *Engine) Open(req *OpenRequest) (*Info, error) {
 	if err != nil {
 		return nil, &BadInputError{Err: err}
 	}
-	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {
 		if _, ok := sh.sessions[id]; ok {
 			return nil, &ConflictError{ID: id}
 		}
@@ -329,10 +362,13 @@ func (e *Engine) Open(req *OpenRequest) (*Info, error) {
 // durable (per the fsync policy) before it is acknowledged.
 func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 	start := time.Now()
-	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, &NotFoundError{ID: id}
+		}
+		if s.frozen {
+			return nil, &FrozenError{ID: id}
 		}
 		if err := s.validateInput(in); err != nil {
 			return nil, &BadInputError{Err: err}
@@ -407,6 +443,9 @@ func (e *Engine) Close(id string) (*CloseResult, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, &NotFoundError{ID: id}
+		}
+		if s.frozen {
+			return nil, &FrozenError{ID: id}
 		}
 		if err := sh.appendWAL(&walRecord{T: recClose, SID: id}); err != nil {
 			return nil, err
@@ -501,3 +540,12 @@ type BadInputError struct{ Err error }
 
 func (err *BadInputError) Error() string { return err.Err.Error() }
 func (err *BadInputError) Unwrap() error { return err.Err }
+
+// OverloadedError reports a request rejected because its shard's mailbox
+// was full. The HTTP layer maps it to 429 Too Many Requests; clients
+// should back off and retry.
+type OverloadedError struct{ Shard int }
+
+func (err *OverloadedError) Error() string {
+	return fmt.Sprintf("overloaded: shard %d mailbox full", err.Shard)
+}

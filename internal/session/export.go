@@ -1,0 +1,114 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Session handoff, the cluster layer's rebalancing primitive.
+//
+// Because stepping is deterministic (§2 Spocus semantics: state and log are
+// a function of the database and the input sequence alone), a session's
+// portable identity is exactly its open parameters plus the sequence of
+// input instances it has absorbed — the same records the WAL stores. Export
+// freezes a session and returns that history; replaying it through the
+// ordinary Open/Input path on another engine reconstructs state and log
+// bit-for-bit. Forget then retires the source copy, and Unfreeze aborts a
+// handoff that could not complete.
+//
+// The freeze mark is deliberately not persisted: a crash mid-handoff
+// restarts the source with the session live and unfrozen, which is safe
+// because the router only retires the source copy (Forget) after the
+// target has acknowledged the full replay.
+
+// Export is a session's replayable history: everything needed to
+// reconstruct it on another engine by deterministic replay.
+type Export struct {
+	ID    string `json:"id"`
+	Model string `json:"model,omitempty"`
+	Src   string `json:"src,omitempty"`
+	Mode  string `json:"mode"`
+	// DB is always present (never omitted), so an explicitly empty database
+	// survives the trip and is not mistaken for "use the model default".
+	DB     relation.Instance `json:"db"`
+	Steps  int               `json:"steps"`
+	Inputs relation.Sequence `json:"inputs"`
+}
+
+// Export freezes the session against further mutation and returns its
+// replayable history. Export is idempotent: re-exporting a frozen session
+// returns the same history again. Reads (Info, Log) keep working on a
+// frozen session; Input and Close fail with FrozenError until Unfreeze or
+// Forget.
+func (e *Engine) Export(id string) (*Export, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		s.frozen = true
+		sh.m.exports.Add(1)
+		return &Export{
+			ID:     s.id,
+			Model:  s.model,
+			Src:    s.src,
+			Mode:   s.mode.String(),
+			DB:     s.db.Clone(),
+			Steps:  s.steps,
+			Inputs: s.inputs.Clone(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Export), nil
+}
+
+// Unfreeze lifts a freeze set by Export, aborting a handoff. It is a no-op
+// on a session that is not frozen.
+func (e *Engine) Unfreeze(id string) error {
+	_, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		s.frozen = false
+		return nil, nil
+	})
+	return err
+}
+
+// Forget retires a handed-off session: it is removed from the engine and a
+// close record is logged so replay does not resurrect it, but no final-log
+// semantics apply — the session lives on wherever its export was replayed.
+// Forget refuses sessions that were never frozen, so a stray call cannot
+// drop live state.
+func (e *Engine) Forget(id string) error {
+	_, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		if !s.frozen {
+			return nil, &BadInputError{Err: fmt.Errorf("session %s: forget requires a prior export", id)}
+		}
+		if err := sh.appendWAL(&walRecord{T: recClose, SID: id}); err != nil {
+			return nil, err
+		}
+		delete(sh.sessions, id)
+		sh.m.sessionsOpen.Add(-1)
+		sh.m.handoffs.Add(1)
+		return nil, nil
+	})
+	return err
+}
+
+// FrozenError reports a mutation attempted on a session frozen for handoff.
+// The HTTP layer maps it to 503 with Retry-After: the session is about to
+// be served elsewhere, and the router will route there once the ring flips.
+type FrozenError struct{ ID string }
+
+func (err *FrozenError) Error() string {
+	return fmt.Sprintf("session %s is frozen for handoff", err.ID)
+}

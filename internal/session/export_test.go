@@ -1,0 +1,227 @@
+package session
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// step feeds one order/pay input to the session, failing the test on error.
+func stepInput(t *testing.T, e *Engine, id string, rel string, args ...string) *StepResult {
+	t.Helper()
+	in := relation.NewInstance()
+	tup := make(relation.Tuple, len(args))
+	for i, a := range args {
+		tup[i] = relation.Const(a)
+	}
+	in.Add(rel, tup)
+	res, err := e.Input(id, in)
+	if err != nil {
+		t.Fatalf("input %s%v: %v", rel, args, err)
+	}
+	return res
+}
+
+// TestExportReplayRoundtrip hands a session from one engine to another by
+// deterministic replay and checks the reconstructed log is identical.
+func TestExportReplayRoundtrip(t *testing.T) {
+	src, err := NewEngine(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Shutdown()
+	if _, err := src.Open(&OpenRequest{ID: "h1", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	stepInput(t, src, "h1", "order", "newsweek")
+	stepInput(t, src, "h1", "pay", "newsweek", "20")
+	want, err := src.Log("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := src.Export("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Steps != 2 || len(exp.Inputs) != 2 {
+		t.Fatalf("export: steps=%d inputs=%d, want 2/2", exp.Steps, len(exp.Inputs))
+	}
+
+	// Frozen: mutations fail, reads keep working, export is idempotent.
+	in := relation.NewInstance()
+	in.Add("order", relation.Tuple{"time"})
+	var frozen *FrozenError
+	if _, err := src.Input("h1", in); !errors.As(err, &frozen) {
+		t.Fatalf("input on frozen session: %v, want FrozenError", err)
+	}
+	if _, err := src.Close("h1"); !errors.As(err, &frozen) {
+		t.Fatalf("close on frozen session: %v, want FrozenError", err)
+	}
+	if _, err := src.Log("h1"); err != nil {
+		t.Fatalf("log on frozen session: %v", err)
+	}
+	if _, err := src.Export("h1"); err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+
+	// Replay on the target through the ordinary open/input path.
+	dst, err := NewEngine(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Shutdown()
+	if _, err := dst.Open(&OpenRequest{ID: exp.ID, Model: exp.Model, Src: exp.Src, Mode: exp.Mode, DB: exp.DB}); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range exp.Inputs {
+		if _, err := dst.Input(exp.ID, in); err != nil {
+			t.Fatalf("replay step %d: %v", i+1, err)
+		}
+	}
+	got, err := dst.Log("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != want.Steps || !got.Log.Equal(want.Log) {
+		t.Fatalf("replayed log differs:\n got %s\nwant %s", got.Log, want.Log)
+	}
+
+	// Retire the source copy; it is gone there, alive on the target.
+	if err := src.Forget("h1"); err != nil {
+		t.Fatal(err)
+	}
+	var nf *NotFoundError
+	if _, err := src.Log("h1"); !errors.As(err, &nf) {
+		t.Fatalf("log after forget: %v, want NotFoundError", err)
+	}
+	stepInput(t, dst, "h1", "order", "time") // the moved session keeps serving
+}
+
+// TestForgetRequiresFreeze checks a stray forget cannot drop a live session.
+func TestForgetRequiresFreeze(t *testing.T) {
+	e, err := NewEngine(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	if _, err := e.Open(&OpenRequest{ID: "s", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	var bad *BadInputError
+	if err := e.Forget("s"); !errors.As(err, &bad) {
+		t.Fatalf("forget without export: %v, want BadInputError", err)
+	}
+	if err := e.Unfreeze("s"); err != nil { // no-op on an unfrozen session
+		t.Fatal(err)
+	}
+}
+
+// TestUnfreezeAbortsHandoff checks an aborted handoff resumes cleanly.
+func TestUnfreezeAbortsHandoff(t *testing.T) {
+	e, err := NewEngine(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	if _, err := e.Open(&OpenRequest{ID: "s", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Export("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unfreeze("s"); err != nil {
+		t.Fatal(err)
+	}
+	stepInput(t, e, "s", "order", "time")
+}
+
+// TestExportSurvivesSnapshotRecovery checks the input history — not just
+// state and log — survives WAL compaction and restart, so a recovered
+// session is still exportable.
+func TestExportSurvivesSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Open(&OpenRequest{ID: "s", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	stepInput(t, e, "s", "order", "newsweek")
+	stepInput(t, e, "s", "pay", "newsweek", "20")
+	if err := e.Shutdown(); err != nil { // snapshots, truncating the WAL
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Shutdown()
+	exp, err := e2.Export("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Inputs) != 2 {
+		t.Fatalf("recovered export has %d inputs, want 2", len(exp.Inputs))
+	}
+	if !exp.Inputs[0].Has("order", relation.Tuple{"newsweek"}) {
+		t.Fatalf("recovered input 1: %s", exp.Inputs[0])
+	}
+}
+
+// TestMailboxOverload fills a depth-1 mailbox while the shard goroutine is
+// parked and checks the next Input is rejected with OverloadedError and
+// counted.
+func TestMailboxOverload(t *testing.T) {
+	e, err := NewEngine(Config{Shards: 1, MailboxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	if _, err := e.Open(&OpenRequest{ID: "s", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the shard goroutine on a request that blocks until released,
+	// then fill the single mailbox slot with a second request.
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		e.send(e.shards[0], func(*shard) (any, error) {
+			close(parked)
+			<-release
+			return nil, nil
+		})
+		close(done)
+	}()
+	<-parked
+	queued := make(chan struct{})
+	go func() {
+		e.send(e.shards[0], func(*shard) (any, error) { return nil, nil })
+		close(queued)
+	}()
+	// Wait for the queued request to occupy the mailbox slot.
+	for len(e.shards[0].ch) == 0 {
+		runtime.Gosched()
+	}
+
+	in := relation.NewInstance()
+	in.Add("order", relation.Tuple{"time"})
+	_, err = e.Input("s", in)
+	var over *OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("input with full mailbox: %v, want OverloadedError", err)
+	}
+	if got := e.Stats().RejectedTotal; got != 1 {
+		t.Fatalf("RejectedTotal = %d, want 1", got)
+	}
+	close(release)
+	<-done
+	<-queued
+	stepInput(t, e, "s", "order", "time") // drained: accepted again
+}

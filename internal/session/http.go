@@ -24,6 +24,12 @@ import (
 //	GET    /debug/vars             expvar (engine metrics under "spocus")
 //	GET    /debug/pprof/...        pprof profiles
 //
+// Cluster-internal admin surface (used by spocus-router for handoff):
+//
+//	POST   /admin/sessions/{id}/export    freeze the session, return its replayable input history
+//	POST   /admin/sessions/{id}/unfreeze  abort a handoff, thaw the session
+//	POST   /admin/sessions/{id}/forget    retire a handed-off (frozen) session
+//
 // Instances use the repo-wide JSON wire form: relation name → list of
 // tuples of constant strings.
 func Handler(e *Engine) http.Handler {
@@ -92,6 +98,28 @@ func Handler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /admin/sessions/{id}/export", func(w http.ResponseWriter, r *http.Request) {
+		exp, err := e.Export(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, exp)
+	})
+	mux.HandleFunc("POST /admin/sessions/{id}/unfreeze", func(w http.ResponseWriter, r *http.Request) {
+		if err := e.Unfreeze(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /admin/sessions/{id}/forget", func(w http.ResponseWriter, r *http.Request) {
+		if err := e.Forget(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -122,12 +150,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr maps engine errors onto HTTP statuses: unknown session → 404,
-// client input problems → 400, everything else → 500.
+// client input problems → 400, duplicate open → 409, full mailbox → 429,
+// frozen for handoff → 503 (retryable: the ring is about to flip),
+// everything else → 500.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var nf *NotFoundError
 	var bad *BadInputError
 	var conflict *ConflictError
+	var over *OverloadedError
+	var frozen *FrozenError
 	switch {
 	case errors.As(err, &nf):
 		status = http.StatusNotFound
@@ -135,6 +167,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.As(err, &conflict):
 		status = http.StatusConflict
+	case errors.As(err, &over):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &frozen):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -20,6 +20,9 @@ type metricsSet struct {
 	snapshots      atomic.Int64
 	replayNanos    atomic.Int64
 	replayRecords  atomic.Int64
+	rejected       atomic.Int64
+	exports        atomic.Int64
+	handoffs       atomic.Int64
 	stepLatency    latencyHist
 }
 
@@ -35,6 +38,9 @@ type Stats struct {
 	Snapshots      int64   `json:"snapshots_total"`
 	ReplayMillis   float64 `json:"replay_ms"`
 	ReplayRecords  int64   `json:"replay_records"`
+	RejectedTotal  int64   `json:"rejected_total"` // mailbox-full 429s
+	ExportsTotal   int64   `json:"exports_total"`  // handoff exports served
+	HandoffsTotal  int64   `json:"handoffs_total"` // sessions handed off (forgotten)
 	StepP50Micros  float64 `json:"step_latency_p50_us"`
 	StepP90Micros  float64 `json:"step_latency_p90_us"`
 	StepP99Micros  float64 `json:"step_latency_p99_us"`
@@ -58,6 +64,9 @@ func (m *metricsSet) stats() Stats {
 		Snapshots:      m.snapshots.Load(),
 		ReplayMillis:   float64(m.replayNanos.Load()) / 1e6,
 		ReplayRecords:  m.replayRecords.Load(),
+		RejectedTotal:  m.rejected.Load(),
+		ExportsTotal:   m.exports.Load(),
+		HandoffsTotal:  m.handoffs.Load(),
 		StepP50Micros:  float64(m.stepLatency.quantile(0.50)) / 1e3,
 		StepP90Micros:  float64(m.stepLatency.quantile(0.90)) / 1e3,
 		StepP99Micros:  float64(m.stepLatency.quantile(0.99)) / 1e3,

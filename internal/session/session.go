@@ -35,7 +35,15 @@ type Session struct {
 	db    relation.Instance
 	state relation.Instance
 	logs  relation.Sequence // per-step log deltas, the durable object
-	steps int
+	// inputs is the session's absorbed input sequence — its replayable
+	// identity under determinism. The WAL holds the same records, but WAL
+	// compaction folds them into snapshots, so the session keeps its own
+	// copy to stay exportable (see Export) at any moment.
+	inputs relation.Sequence
+	steps  int
+	// frozen marks a session mid-handoff: reads proceed, mutations fail
+	// with FrozenError. Not persisted (see export.go).
+	frozen bool
 
 	// Acceptance bookkeeping under the three disciplines of Section 4.
 	errorFree  bool // no output so far contained an error fact
@@ -149,6 +157,7 @@ func (s *Session) apply(in relation.Instance) (*StepResult, error) {
 	s.state = next
 	delta := s.mach.Schema().LogDelta(in, out)
 	s.logs = append(s.logs, delta)
+	s.inputs = append(s.inputs, in.Clone())
 	s.steps++
 	if out.Rel(core.ErrorRel).Len() > 0 {
 		s.errorFree = false

@@ -28,6 +28,7 @@ type snapSession struct {
 	DB         relation.Instance `json:"db"`
 	State      relation.Instance `json:"state"`
 	Logs       relation.Sequence `json:"logs"`
+	Inputs     relation.Sequence `json:"inputs,omitempty"`
 	Steps      int               `json:"steps"`
 	ErrorFree  bool              `json:"errorFree"`
 	OkEvery    bool              `json:"okEvery"`
@@ -50,6 +51,7 @@ func snapOf(s *Session) snapSession {
 		DB:         s.db,
 		State:      s.state,
 		Logs:       s.logs,
+		Inputs:     s.inputs,
 		Steps:      s.steps,
 		ErrorFree:  s.errorFree,
 		OkEvery:    s.okEvery,
@@ -90,6 +92,7 @@ func (ss *snapSession) restore() (*Session, error) {
 		db:         db,
 		state:      state,
 		logs:       ss.Logs,
+		inputs:     ss.Inputs,
 		steps:      ss.Steps,
 		errorFree:  ss.ErrorFree,
 		okEvery:    ss.OkEvery,

@@ -3,10 +3,15 @@ package spocus
 // The serving layer: a concurrent, durable runtime hosting many live
 // transducer sessions — one per customer — behind an HTTP/JSON API. See
 // internal/session for the engine and cmd/spocus-server for the binary.
+// The cluster layer (internal/cluster, cmd/spocus-router) lifts the
+// session shard boundary across processes: a consistent-hash router
+// fronting N servers, with health-based failover and deterministic-replay
+// session handoff.
 
 import (
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/models"
 	"repro/internal/session"
 )
@@ -46,6 +51,25 @@ const (
 	FsyncNever = session.FsyncNever
 )
 
+// Re-exported cluster-layer types.
+type (
+	// Router fronts N engine servers with a consistent-hash ring, health
+	// checking, and deterministic-replay session handoff.
+	Router = cluster.Router
+	// RouterConfig tunes a Router (backends, vnodes, health probing).
+	RouterConfig = cluster.RouterConfig
+	// HealthConfig tunes backend health probing (interval, timeout,
+	// failure threshold, backoff cap).
+	HealthConfig = cluster.HealthConfig
+	// Ring is the consistent-hash ring mapping session IDs to backends.
+	Ring = cluster.Ring
+	// RingInfo is the ring snapshot served at GET /debug/shards.
+	RingInfo = cluster.Info
+	// SessionExport is a session's replayable input history, the unit of
+	// handoff between backends.
+	SessionExport = session.Export
+)
+
 // NewEngine creates a session engine, replaying any WAL and snapshots
 // under cfg.Dir before accepting requests.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return session.NewEngine(cfg) }
@@ -53,6 +77,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return session.NewEngine(cfg
 // ServerHandler serves the engine over HTTP/JSON (see internal/session's
 // Handler for the endpoint list).
 func ServerHandler(e *Engine) http.Handler { return session.Handler(e) }
+
+// NewRouter builds a cluster router over the configured backends and
+// starts health checking; serve its Handler and Close it on shutdown.
+func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
+
+// NewRing creates a standalone consistent-hash ring with the given
+// virtual-node count per backend.
+func NewRing(vnodes int) *Ring { return cluster.NewRing(vnodes) }
 
 // ModelNames lists the named business models servable by an Engine.
 func ModelNames() []string { return models.Names() }

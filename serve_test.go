@@ -1,6 +1,9 @@
 package spocus_test
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	spocus "repro"
@@ -34,5 +37,63 @@ func TestFacadeEngine(t *testing.T) {
 	names := spocus.ModelNames()
 	if len(names) == 0 {
 		t.Error("no model names")
+	}
+}
+
+// TestFacadeCluster drives the cluster layer through the public facade: a
+// ring routes, and a router fronting two facade engines proxies a session
+// to exactly one of them.
+func TestFacadeCluster(t *testing.T) {
+	ring := spocus.NewRing(128)
+	ring.Add("http://a:1")
+	ring.Add("http://b:1")
+	if addr, err := ring.Lookup("some-session"); err != nil || addr == "" {
+		t.Fatalf("ring lookup: %s, %v", addr, err)
+	}
+
+	var engines []*spocus.Engine
+	var backends []*httptest.Server
+	for i := 0; i < 2; i++ {
+		e, err := spocus.NewEngine(spocus.EngineConfig{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, e)
+		backends = append(backends, httptest.NewServer(spocus.ServerHandler(e)))
+	}
+	defer func() {
+		for i := range backends {
+			backends[i].Close()
+			engines[i].Shutdown()
+		}
+	}()
+	rt, err := spocus.NewRouter(spocus.RouterConfig{Backends: []string{backends[0].URL, backends[1].URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body := strings.NewReader(`{"id":"facade-1","model":"short"}`)
+	resp, err := http.Post(front.URL+"/sessions", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open via router: status %d", resp.StatusCode)
+	}
+	homes := 0
+	for _, e := range engines {
+		if _, err := e.Info("facade-1"); err == nil {
+			homes++
+		}
+	}
+	if homes != 1 {
+		t.Fatalf("session has %d homes, want 1", homes)
+	}
+	if info := rt.Ring().Snapshot(); len(info.Members) != 2 {
+		t.Fatalf("ring members: %+v", info.Members)
 	}
 }
