@@ -298,7 +298,8 @@ func TestClusterFailover(t *testing.T) {
 	// The router ejects the dead backend from the ring.
 	waitRing(t, router, urls[victim], false)
 
-	// A victim session is refused (503/502/404 via remap), never served.
+	// A victim session is refused (503 — its owner is down, the key is
+	// unroutable, never re-homed), never served.
 	if st := getStatus(router+"/sessions/"+ids[victimSessions[0]]+"/log", nil); st/100 == 2 {
 		t.Fatalf("victim session served while its backend is dead (status %d)", st)
 	}

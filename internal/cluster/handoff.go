@@ -52,10 +52,40 @@ func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// lockSession serializes handoffs per session ID. Without it, two
+// concurrent handoffs of the same session to different targets both
+// export (freeze is idempotent) and both replay; the loser's Forget finds
+// the source already retired, but its replayed copy would survive as a
+// live, unfrozen orphan replica on its target. Serialized, the second
+// handoff's Lookup sees the first one's pin and either no-ops or performs
+// a clean second move from the new owner.
+func (rt *Router) lockSession(id string) (unlock func()) {
+	for {
+		rt.handoffMu.Lock()
+		busy, inFlight := rt.handoffBusy[id]
+		if !inFlight {
+			done := make(chan struct{})
+			rt.handoffBusy[id] = done
+			rt.handoffMu.Unlock()
+			return func() {
+				rt.handoffMu.Lock()
+				delete(rt.handoffBusy, id)
+				rt.handoffMu.Unlock()
+				close(done)
+			}
+		}
+		rt.handoffMu.Unlock()
+		<-busy
+	}
+}
+
 // Handoff drains session id on its current owner, replays it on backend
 // to, and flips the ring entry. Handing a session to the backend that
-// already owns it is a no-op.
+// already owns it is a no-op. Handoffs of the same session are serialized;
+// a concurrent caller blocks until the first move completes, then acts on
+// the post-move owner.
 func (rt *Router) Handoff(id, to string) (*HandoffResult, error) {
+	defer rt.lockSession(id)()
 	known := false
 	for _, m := range rt.ring.Members() {
 		if m == to {
@@ -94,6 +124,14 @@ func (rt *Router) Handoff(id, to string) (*HandoffResult, error) {
 
 	// 4. Retire the source copy and flip the ring.
 	if err := rt.postJSON(from+"/admin/sessions/"+id+"/forget", nil, nil); err != nil {
+		var nf *notFoundError
+		if errors.As(err, &nf) {
+			// The session vanished from the source under our freeze —
+			// someone else retired it. Our replayed copy would be a second
+			// live replica, so delete it and leave the ring alone.
+			rt.deleteSession(to, id)
+			return nil, fmt.Errorf("handoff: session %s disappeared from %s mid-handoff (replica on %s deleted): %w", id, from, to, err)
+		}
 		// The target already serves the session; routing there anyway is
 		// correct, the frozen source copy is inert. Report but proceed.
 		rt.ring.Pin(id, to)
@@ -116,21 +154,15 @@ func (rt *Router) replay(addr string, exp *session.Export) error {
 	if exp.Src != "" {
 		open["src"] = exp.Src
 	}
-	if err := rt.postJSON(addr+"/sessions", open, nil); err != nil {
+	// Open goes through the same bounded shard mailbox as inputs, so a
+	// busy target can 429 it too — and a busy target is not a failed
+	// handoff.
+	if err := rt.postJSONRetry(addr+"/sessions", open, nil); err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
 	for i, in := range exp.Inputs {
 		var res session.StepResult
-		var err error
-		for attempt := 0; attempt < 5; attempt++ {
-			err = rt.postJSON(addr+"/sessions/"+exp.ID+"/input", map[string]any{"input": in}, &res)
-			var retry *retryableError
-			if err == nil || !errors.As(err, &retry) {
-				break
-			}
-			time.Sleep(time.Duration(50<<attempt) * time.Millisecond)
-		}
-		if err != nil {
+		if err := rt.postJSONRetry(addr+"/sessions/"+exp.ID+"/input", map[string]any{"input": in}, &res); err != nil {
 			return fmt.Errorf("replay step %d: %w", i+1, err)
 		}
 		if res.Seq != i+1 {
@@ -159,9 +191,30 @@ type retryableError struct{ status int }
 
 func (err *retryableError) Error() string { return fmt.Sprintf("backend status %d", err.status) }
 
+// notFoundError marks a 404: the resource is gone at the backend, not a
+// transport or server failure. Forget branches on it.
+type notFoundError struct{ url string }
+
+func (err *notFoundError) Error() string { return fmt.Sprintf("%s: not found", err.url) }
+
+// postJSONRetry is postJSON with exponential backoff while the backend
+// answers 429 backpressure.
+func (rt *Router) postJSONRetry(url string, body any, out any) error {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		err = rt.postJSON(url, body, out)
+		var retry *retryableError
+		if err == nil || !errors.As(err, &retry) {
+			return err
+		}
+		time.Sleep(time.Duration(50<<attempt) * time.Millisecond)
+	}
+	return err
+}
+
 // postJSON posts body (nil for empty) to url and decodes the 2xx response
 // into out (when non-nil). Non-2xx responses become errors carrying the
-// backend's error message; 429 is marked retryable.
+// backend's error message; 429 is marked retryable, 404 not-found.
 func (rt *Router) postJSON(url string, body any, out any) error {
 	var rd *bytes.Reader
 	if body != nil {
@@ -183,8 +236,11 @@ func (rt *Router) postJSON(url string, body any, out any) error {
 			Error string `json:"error"`
 		}
 		json.NewDecoder(resp.Body).Decode(&e)
-		if resp.StatusCode == http.StatusTooManyRequests {
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
 			return fmt.Errorf("%s: %w", e.Error, &retryableError{status: resp.StatusCode})
+		case http.StatusNotFound:
+			return fmt.Errorf("%s: %w", e.Error, &notFoundError{url: url})
 		}
 		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
 	}

@@ -22,16 +22,21 @@ import (
 )
 
 // Ring is a consistent-hash ring with virtual nodes plus an explicit pin
-// table for handed-off sessions. Hashed lookup considers only backends
-// that are up; pins resolve to their target regardless of health (the
-// session's state lives there and nowhere else).
+// table for handed-off sessions. Ownership — hashed or pinned — ignores
+// health: a key whose owner is down resolves with BackendDownError (503
+// at the router) rather than re-homing to the ring successor. A silent
+// re-home would let a client re-open the session ID on the wrong backend
+// and fork its log the moment the owner recovered with its WAL intact;
+// the session's state lives on the owner and nowhere else. Down backends
+// are avoided only when *placing* new sessions, and that happens upstream
+// (the router re-rolls minted IDs), never by bending the ring.
 //
 // All methods are safe for concurrent use.
 type Ring struct {
 	mu      sync.RWMutex
 	vnodes  int
 	members map[string]*member
-	points  []point           // vnode positions of up members, sorted by hash
+	points  []point           // vnode positions of all members, sorted by hash
 	pins    map[string]string // sessionID → backend, set by handoff
 	gen     uint64            // bumped on every membership/health/pin change
 }
@@ -96,8 +101,9 @@ func (r *Ring) Remove(addr string) {
 	r.rebuild()
 }
 
-// SetUp flips a backend's health. Down backends keep their membership (and
-// their pins) but stop receiving hashed keys.
+// SetUp flips a backend's health. Down backends keep their membership,
+// their pins, and their hashed keys — those keys become unroutable, they
+// do not move.
 func (r *Ring) SetUp(addr string, up bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -106,7 +112,7 @@ func (r *Ring) SetUp(addr string, up bool) {
 		return
 	}
 	m.up = up
-	r.rebuild()
+	r.gen++
 }
 
 // Up reports whether addr is a member and currently up.
@@ -130,15 +136,15 @@ func (r *Ring) Pin(key, addr string) {
 	r.gen++
 }
 
-// rebuild recomputes the sorted vnode positions of up members. Positions
-// depend only on (addr, vnode index), so removing a member never moves the
-// remaining members' points — the minimal-disruption invariant.
+// rebuild recomputes the sorted vnode positions of the members. All
+// members are positioned regardless of health — ownership is
+// health-independent (see Lookup) — so points change only on Add/Remove,
+// and positions depend only on (addr, vnode index): removing a member
+// never moves the remaining members' points, the minimal-disruption
+// invariant.
 func (r *Ring) rebuild() {
 	r.points = r.points[:0]
-	for addr, m := range r.members {
-		if !m.up {
-			continue
-		}
+	for addr := range r.members {
 		for i := 0; i < r.vnodes; i++ {
 			r.points = append(r.points, point{h: hash64(fmt.Sprintf("%s#%d", addr, i)), addr: addr})
 		}
@@ -147,37 +153,60 @@ func (r *Ring) rebuild() {
 	r.gen++
 }
 
-// ErrNoBackends is returned by Lookup when no backend is up.
+// ErrNoBackends is returned by Lookup when the ring has no members.
 var ErrNoBackends = fmt.Errorf("cluster: no backends available")
 
-// BackendDownError reports a key whose owning backend (via pin) is down:
-// the key cannot be served elsewhere because its session state lives there.
+// BackendDownError reports a key whose owning backend — hashed or pinned —
+// is down: the key cannot be served elsewhere because its session state
+// lives there and nowhere else.
 type BackendDownError struct{ Addr string }
 
 func (err *BackendDownError) Error() string {
 	return fmt.Sprintf("cluster: backend %s is down", err.Addr)
 }
 
-// Lookup resolves key to its owning backend: the pin target if the key was
-// handed off, otherwise the first up vnode clockwise from hash(key).
+// Lookup resolves key to its owning backend — the pin target if the key
+// was handed off, otherwise the first vnode clockwise from hash(key) —
+// and reports BackendDownError when that owner is down. Ownership never
+// depends on health: a down owner makes its keys temporarily unroutable,
+// it does not re-home them.
 func (r *Ring) Lookup(key string) (string, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if addr, ok := r.pins[key]; ok {
-		if m, ok := r.members[addr]; ok && m.up {
-			return addr, nil
+	addr, pinned := r.pins[key]
+	if !pinned {
+		if len(r.points) == 0 {
+			return "", ErrNoBackends
 		}
-		return addr, &BackendDownError{Addr: addr}
+		addr = r.owner(key)
 	}
-	if len(r.points) == 0 {
-		return "", ErrNoBackends
+	if m, ok := r.members[addr]; ok && m.up {
+		return addr, nil
 	}
+	return addr, &BackendDownError{Addr: addr}
+}
+
+// owner is the hash-position lookup; callers hold r.mu and have checked
+// that points is non-empty.
+func (r *Ring) owner(key string) string {
 	h := hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	return r.points[i].addr, nil
+	return r.points[i].addr
+}
+
+// HashOwner returns key's owner by hash position alone, ignoring pins and
+// health (false when the ring is empty). Pin recovery uses it to spot
+// sessions living off their hash position after a router restart.
+func (r *Ring) HashOwner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.owner(key), true
 }
 
 // Members returns all backend addresses, sorted, regardless of health.
@@ -210,8 +239,9 @@ func (r *Ring) UpMembers() []string {
 type MemberInfo struct {
 	Addr string `json:"addr"`
 	Up   bool   `json:"up"`
-	// Share is the fraction of the hash space whose keys resolve to this
-	// backend (0 while down).
+	// Share is the fraction of the hash space owned by this backend.
+	// Ownership ignores health: a down member keeps its share — those
+	// keys are unroutable (503), not re-homed.
 	Share float64 `json:"keyspace_share"`
 	// Pins counts sessions explicitly pinned here by handoff.
 	Pins int `json:"pinned_sessions"`

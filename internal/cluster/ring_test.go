@@ -101,7 +101,9 @@ func TestRingMinimalDisruption(t *testing.T) {
 		t.Fatal("victim owned no keys; test is vacuous")
 	}
 
-	// The same invariant holds for a health flip instead of a removal.
+	// A health flip moves nothing at all: ownership ignores health, so
+	// the down backend's keys become unroutable (BackendDownError names
+	// the owner) instead of re-homing, and every other key stays put.
 	r2 := NewRing(128)
 	for _, b := range backends {
 		r2.Add(b)
@@ -109,11 +111,24 @@ func TestRingMinimalDisruption(t *testing.T) {
 	r2.SetUp(victim, false)
 	for key, owner := range before {
 		addr, err := r2.Lookup(key)
-		if err != nil {
-			t.Fatal(err)
+		if owner == victim {
+			var down *BackendDownError
+			if !errors.As(err, &down) || addr != victim {
+				t.Fatalf("down owner's key %s: %s, %v (want BackendDownError on %s)", key, addr, err, victim)
+			}
+			continue
 		}
-		if owner != victim && addr != owner {
-			t.Fatalf("down-flip moved surviving key %s: %s → %s", key, owner, addr)
+		if err != nil || addr != owner {
+			t.Fatalf("down-flip moved surviving key %s: %s → %s (%v)", key, owner, addr, err)
+		}
+	}
+
+	// Recovery restores exactly the original map — no key moved while the
+	// backend was down, so none is misplaced after it returns.
+	r2.SetUp(victim, true)
+	for key, owner := range before {
+		if addr, err := r2.Lookup(key); err != nil || addr != owner {
+			t.Fatalf("key %s after recovery: %s, %v (want %s)", key, addr, err, owner)
 		}
 	}
 }
@@ -155,7 +170,9 @@ func TestRingPins(t *testing.T) {
 	}
 }
 
-// TestRingEmpty: lookups against an empty or fully-down ring fail cleanly.
+// TestRingEmpty: a memberless ring has no owners (ErrNoBackends); an
+// all-down ring still has owners — their keys are unroutable, not
+// ownerless.
 func TestRingEmpty(t *testing.T) {
 	r := NewRing(128)
 	if _, err := r.Lookup("x"); !errors.Is(err, ErrNoBackends) {
@@ -163,7 +180,8 @@ func TestRingEmpty(t *testing.T) {
 	}
 	r.Add("http://a:1")
 	r.SetUp("http://a:1", false)
-	if _, err := r.Lookup("x"); !errors.Is(err, ErrNoBackends) {
-		t.Fatalf("all-down ring: %v, want ErrNoBackends", err)
+	var down *BackendDownError
+	if addr, err := r.Lookup("x"); !errors.As(err, &down) || addr != "http://a:1" {
+		t.Fatalf("all-down ring: %s, %v (want BackendDownError on the owner)", addr, err)
 	}
 }

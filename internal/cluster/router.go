@@ -37,6 +37,10 @@ type Router struct {
 	client  *http.Client
 	checker *checker
 	m       routerMetrics
+
+	// handoffBusy serializes handoffs per session ID (see lockSession).
+	handoffMu   sync.Mutex
+	handoffBusy map[string]chan struct{}
 }
 
 // routerMetrics counts the router's data plane, exported under the expvar
@@ -47,6 +51,7 @@ type routerMetrics struct {
 	rejected      atomic.Int64 // 429s passed through from backends
 	unroutable    atomic.Int64 // requests refused: backend down / ring empty
 	handoffs      atomic.Int64 // completed session handoffs
+	pinsRecovered atomic.Int64 // pins rebuilt by startup recovery
 }
 
 func (m *routerMetrics) snapshot() map[string]int64 {
@@ -56,6 +61,7 @@ func (m *routerMetrics) snapshot() map[string]int64 {
 		"rejected_total":       m.rejected.Load(),
 		"unroutable_total":     m.unroutable.Load(),
 		"handoffs_total":       m.handoffs.Load(),
+		"pins_recovered_total": m.pinsRecovered.Load(),
 	}
 }
 
@@ -79,12 +85,46 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			},
 		}
 	}
-	rt := &Router{ring: NewRing(cfg.Vnodes), client: client}
+	rt := &Router{ring: NewRing(cfg.Vnodes), client: client, handoffBusy: make(map[string]chan struct{})}
 	for _, b := range cfg.Backends {
 		rt.ring.Add(b)
 	}
+	rt.recoverPins()
 	rt.checker = startChecker(rt.ring, cfg.Health, client, nil)
 	return rt, nil
+}
+
+// recoverPins rebuilds the pin table after a router restart. Pins live
+// only in router memory; without recovery a handed-off session would
+// hash-route back to its old home, which has a WAL close record for it —
+// permanent 404s for a session still live on its pin target. The scan
+// asks every backend which sessions it holds and re-pins any session
+// found off its hash position: the only way a session gets there is a
+// completed handoff. Best-effort: an unreachable backend contributes
+// nothing — its on-position sessions need no pin, and a handed-off
+// session living there stays unroutable until a later handoff, which is
+// the same 503 the pin itself would answer while it is down.
+func (rt *Router) recoverPins() {
+	for _, addr := range rt.ring.Members() {
+		resp, err := rt.client.Get(addr + "/sessions")
+		if err != nil {
+			continue
+		}
+		var page struct {
+			Sessions []*session.Info `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode/100 != 2 {
+			continue
+		}
+		for _, s := range page.Sessions {
+			if owner, ok := rt.ring.HashOwner(s.ID); ok && owner != addr {
+				rt.ring.Pin(s.ID, addr)
+				rt.m.pinsRecovered.Add(1)
+			}
+		}
+	}
 }
 
 // Ring exposes the router's ring (for tests and for serving /debug/shards).
@@ -104,8 +144,10 @@ func (rt *Router) Close() { rt.checker.stop() }
 //
 // Session-scoped routes are routed by hashing the session ID; POST
 // /sessions assigns an ID before routing so the created session has a home
-// the moment it exists. GET /sessions fans out to all up backends and
-// merges. GET /models is answered by any up backend.
+// the moment it exists, re-rolling the minted ID until it hashes to an up
+// backend (client-chosen IDs are never re-homed — a down owner is 503).
+// GET /sessions fans out to all up backends and merges. GET /models is
+// answered by any up backend.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", rt.handleOpen)
@@ -144,15 +186,28 @@ func (rt *Router) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 		return
 	}
+	var addr string
 	if req.ID == "" {
-		req.ID = session.NewID()
+		// Routing is strict — a down owner is 503, never a re-home — so
+		// placement avoids down backends by re-rolling the minted ID until
+		// it hashes to an up one, not by bending the ring. With u of n
+		// backends up a roll succeeds with probability ≈ u/n, so 64
+		// attempts fail only when essentially everything is down.
+		for attempt := 0; ; attempt++ {
+			req.ID = session.NewID()
+			if addr, err = rt.ring.Lookup(req.ID); err == nil {
+				break
+			}
+			if errors.Is(err, ErrNoBackends) || attempt >= 64 {
+				rt.refuse(w, err)
+				return
+			}
+		}
 		if body, err = json.Marshal(&req); err != nil {
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 			return
 		}
-	}
-	addr, err := rt.ring.Lookup(req.ID)
-	if err != nil {
+	} else if addr, err = rt.ring.Lookup(req.ID); err != nil {
 		rt.refuse(w, err)
 		return
 	}
@@ -170,34 +225,53 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleList fans GET /sessions out to every up backend and merges the
-// results, sorted by session ID.
+// results, sorted by session ID. A backend that cannot be listed — down,
+// unreachable, non-2xx, or undecodable — makes the merge partial, flagged
+// in the response so a short list is never mistaken for a complete one.
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
-	addrs := rt.ring.UpMembers()
-	if len(addrs) == 0 {
+	members := rt.ring.Members()
+	if len(rt.ring.UpMembers()) == 0 {
 		rt.refuse(w, ErrNoBackends)
 		return
 	}
 	var all []*session.Info
-	for _, addr := range addrs {
+	partial := false
+	for _, addr := range members {
+		if !rt.ring.Up(addr) {
+			partial = true
+			continue
+		}
 		resp, err := rt.client.Get(addr + "/sessions")
 		if err != nil {
 			rt.m.backendErrors.Add(1)
 			rt.checker.markDown(addr)
+			partial = true
 			continue
 		}
 		var page struct {
 			Sessions []*session.Info `json:"sessions"`
 		}
+		if resp.StatusCode/100 != 2 {
+			resp.Body.Close()
+			rt.m.backendErrors.Add(1)
+			partial = true
+			continue
+		}
 		err = json.NewDecoder(resp.Body).Decode(&page)
 		resp.Body.Close()
 		if err != nil {
 			rt.m.backendErrors.Add(1)
+			partial = true
 			continue
 		}
 		all = append(all, page.Sessions...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": all})
+	out := map[string]any{"sessions": all}
+	if partial {
+		out["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // forward proxies one request to addr, preserving method, path, query,

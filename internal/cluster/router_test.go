@@ -228,9 +228,9 @@ func TestRouterHandoff(t *testing.T) {
 }
 
 // TestRouterFailoverMarksDown kills one backend and checks the router
-// ejects it from the ring, refuses its sessions with 5xx, and keeps
-// serving sessions on the survivors; hashed keys remap only off the dead
-// backend.
+// marks it down, refuses its sessions with 503 (never re-homing them to a
+// survivor), and keeps serving sessions on the survivors at their
+// unchanged owners.
 func TestRouterFailoverMarksDown(t *testing.T) {
 	tc := newTestCluster(t, 3)
 	// Open enough sessions that every backend owns some.
@@ -270,11 +270,14 @@ func TestRouterFailoverMarksDown(t *testing.T) {
 	for _, id := range ids {
 		st := getJSON(t, tc.front.URL+"/sessions/"+id, nil)
 		if owner[id] == victim {
-			// Remapped to a survivor that has no such session (its state
-			// died with the victim's engine): 404 — or, in the window
-			// before remap, 502/503. Never a success.
-			if st == http.StatusOK {
-				t.Fatalf("session %s served after its backend died", id)
+			// Strict routing: the victim still owns the key, so the router
+			// answers 503 — it must not re-home the session to a survivor,
+			// where a re-open would fork its log.
+			if st != http.StatusServiceUnavailable {
+				t.Fatalf("session %s on the dead backend: status %d, want 503", id, st)
+			}
+			if addr, err := tc.router.Ring().Lookup(id); addr != victim || err == nil {
+				t.Fatalf("dead session %s re-homed %s → %s (err %v)", id, victim, addr, err)
 			}
 			deadRefused++
 			continue
@@ -289,5 +292,213 @@ func TestRouterFailoverMarksDown(t *testing.T) {
 	}
 	if survivorsServed == 0 || deadRefused == 0 {
 		t.Fatalf("vacuous failover test: %d survivors, %d dead", survivorsServed, deadRefused)
+	}
+}
+
+// TestRouterNoRehomeWhileOwnerDown pins the fork hazard directly: while a
+// session's owner is down, re-opening the same ID through the router must
+// be refused (503), not quietly created on the hash successor — that
+// second copy would fork the log when the owner recovered. Placement of
+// *new* (router-minted) IDs keeps working, landing only on up backends.
+func TestRouterNoRehomeWhileOwnerDown(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	victim := tc.backends[0].URL
+	// Find an ID owned by the victim.
+	var id string
+	for i := 0; ; i++ {
+		id = fmt.Sprintf("rehome-%04d", i)
+		if addr, err := tc.router.Ring().Lookup(id); err == nil && addr == victim {
+			break
+		}
+	}
+	if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil); st != http.StatusCreated {
+		t.Fatalf("open: status %d", st)
+	}
+	postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), nil)
+
+	tc.backends[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.router.Ring().Up(victim) {
+		if time.Now().After(deadline) {
+			t.Fatal("router never marked the dead backend down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Re-open of the same ID and inputs to it are both 503 — never served
+	// elsewhere, never created elsewhere.
+	if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil); st != http.StatusServiceUnavailable {
+		t.Fatalf("re-open of a down owner's session: status %d, want 503", st)
+	}
+	if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("time"), nil); st != http.StatusServiceUnavailable {
+		t.Fatalf("input to a down owner's session: status %d, want 503", st)
+	}
+	for _, b := range tc.backends[1:] {
+		if st := getJSON(t, b.URL+"/sessions/"+id, nil); st != http.StatusNotFound {
+			t.Fatalf("session %s leaked onto survivor %s: status %d", id, b.URL, st)
+		}
+	}
+
+	// Minted IDs are re-rolled onto up backends.
+	for i := 0; i < 10; i++ {
+		var info session.Info
+		if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"model": "short"}, &info); st != http.StatusCreated {
+			t.Fatalf("open with minted ID: status %d", st)
+		}
+		addr, err := tc.router.Ring().Lookup(info.ID)
+		if err != nil || addr == victim {
+			t.Fatalf("minted ID %s placed on %s (err %v)", info.ID, addr, err)
+		}
+	}
+}
+
+// TestRouterPinRecovery restarts the router (new Router over the same
+// backends) after a handoff and checks the pin is reconstructed from the
+// backends' session lists — without it the handed-off session would
+// hash-route to its old home's WAL close record: permanent 404s.
+func TestRouterPinRecovery(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	id := "recover-1"
+	postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil)
+	postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), nil)
+
+	from, err := tc.router.Ring().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var to string
+	for _, b := range tc.backends {
+		if b.URL != from {
+			to = b.URL
+			break
+		}
+	}
+	if st := postJSON(t, fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, to), nil, nil); st != http.StatusOK {
+		t.Fatalf("handoff: status %d", st)
+	}
+
+	// "Restart": a fresh router over the same backends, no shared state.
+	addrs := make([]string, len(tc.backends))
+	for i, b := range tc.backends {
+		addrs[i] = b.URL
+	}
+	rt2, err := NewRouter(RouterConfig{Backends: addrs, Vnodes: 128,
+		Health: HealthConfig{Interval: 20 * time.Millisecond, Timeout: 200 * time.Millisecond, FailAfter: 2, MaxBackoff: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	front2 := httptest.NewServer(rt2.Handler())
+	defer front2.Close()
+
+	if addr, err := rt2.Ring().Lookup(id); err != nil || addr != to {
+		t.Fatalf("restarted router routes %s to %s (%v), want pin to %s", id, addr, err, to)
+	}
+	var res session.StepResult
+	if st := postJSON(t, front2.URL+"/sessions/"+id+"/input", orderInput("time"), &res); st != http.StatusOK || res.Seq != 2 {
+		t.Fatalf("step through restarted router: status %d, %+v", st, res)
+	}
+}
+
+// TestRouterConcurrentHandoffs races two handoffs of one session to two
+// different targets. Serialization must leave exactly one live copy, a
+// coherent pin, and an unbroken log — no orphan replica on the loser's
+// target.
+func TestRouterConcurrentHandoffs(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	id := "race-1"
+	postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil)
+	postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), nil)
+
+	from, err := tc.router.Ring().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []string
+	for _, b := range tc.backends {
+		if b.URL != from {
+			targets = append(targets, b.URL)
+		}
+	}
+	done := make(chan struct{})
+	for _, to := range targets {
+		go func(to string) {
+			defer func() { done <- struct{}{} }()
+			// Either outcome (moved, or no-op because the other won) is
+			// fine; what matters is the invariant below. Raw http.Post —
+			// t.Fatal must not run off the test goroutine.
+			resp, err := http.Post(fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, to), "application/json", bytes.NewReader(nil))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(to)
+	}
+	<-done
+	<-done
+
+	homes := 0
+	for _, b := range tc.backends {
+		if getJSON(t, b.URL+"/sessions/"+id, nil) == http.StatusOK {
+			homes++
+		}
+	}
+	if homes != 1 {
+		t.Fatalf("session has %d live copies after racing handoffs, want exactly 1", homes)
+	}
+	var res session.StepResult
+	if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("time"), &res); st != http.StatusOK || res.Seq != 2 {
+		t.Fatalf("step after racing handoffs: status %d, %+v", st, res)
+	}
+}
+
+// TestRouterListPartial: a backend that answers GET /sessions with non-2xx
+// is counted as a backend error and flags the merged list as partial,
+// instead of being silently omitted.
+func TestRouterListPartial(t *testing.T) {
+	e, err := session.NewEngine(session.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	good := httptest.NewServer(session.Handler(e))
+	defer good.Close()
+	// Healthy to the prober, broken on the list path.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "boom"})
+	}))
+	defer bad.Close()
+
+	rt, err := NewRouter(RouterConfig{Backends: []string{good.URL, bad.URL}, Vnodes: 128,
+		Health: HealthConfig{Interval: 20 * time.Millisecond, Timeout: 200 * time.Millisecond, FailAfter: 2, MaxBackoff: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	if _, err := e.Open(&session.OpenRequest{ID: "p-1", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	errsBefore := rt.m.backendErrors.Load()
+	var list struct {
+		Sessions []session.Info `json:"sessions"`
+		Partial  bool           `json:"partial"`
+	}
+	if st := getJSON(t, front.URL+"/sessions", &list); st != http.StatusOK {
+		t.Fatalf("list: status %d", st)
+	}
+	if !list.Partial {
+		t.Fatal("merged list over a failing backend not flagged partial")
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != "p-1" {
+		t.Fatalf("merged list: %+v", list.Sessions)
+	}
+	if rt.m.backendErrors.Load() == errsBefore {
+		t.Fatal("failing list backend did not count as a backend error")
 	}
 }
