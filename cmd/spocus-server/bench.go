@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/relation"
 	"repro/internal/session"
 )
@@ -37,7 +41,25 @@ type benchResult struct {
 		P99Micros float64 `json:"p99_us"`
 		MaxMicros float64 `json:"max_us"`
 	} `json:"step_latency"`
-	Engine *session.Stats `json:"engine,omitempty"`
+	// Verify* report the live-verification side load when -verify-mix > 0.
+	VerifyMix     float64       `json:"verify_mix,omitempty"`
+	VerifyTotal   int           `json:"verify_total,omitempty"`
+	VerifyCached  int           `json:"verify_cached_total,omitempty"`
+	VerifyHitRate float64       `json:"verify_cache_hit_rate,omitempty"`
+	VerifyLatency *verifySplits `json:"verify_latency,omitempty"`
+	Engine        *session.Stats `json:"engine,omitempty"`
+}
+
+// verifySplits separates cold (solver-computed) from cache-hit verify
+// latencies: the baseline's evidence that the hit path is cheaper.
+type verifySplits struct {
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+	ColdP50Micros float64 `json:"cold_p50_us"`
+	ColdP99Micros float64 `json:"cold_p99_us"`
+	HitP50Micros  float64 `json:"hit_p50_us"`
+	HitP99Micros  float64 `json:"hit_p99_us"`
+	MaxMicros     float64 `json:"max_us"`
 }
 
 // benchTarget abstracts where the load goes: the in-process engine, or an
@@ -45,10 +67,18 @@ type benchResult struct {
 type benchTarget interface {
 	open(id, model string, db relation.Instance) error
 	step(id string, in relation.Instance) error
+	// verify asks "is the goal still reachable?" of the session's current
+	// state and reports whether the answer came from the shared cache.
+	verify(id, goal string) (cached bool, err error)
 	finish(res *benchResult)
 }
 
-type engineTarget struct{ eng *session.Engine }
+type engineTarget struct {
+	eng *session.Engine
+	lv  *live.Service
+	mu  sync.Mutex
+	retries int64
+}
 
 func (t *engineTarget) open(id, model string, db relation.Instance) error {
 	_, err := t.eng.Open(&session.OpenRequest{ID: id, Model: model, DB: db})
@@ -60,9 +90,33 @@ func (t *engineTarget) step(id string, in relation.Instance) error {
 	return err
 }
 
+func (t *engineTarget) verify(id, goal string) (bool, error) {
+	view, err := t.eng.Peek(id)
+	if err != nil {
+		return false, err
+	}
+	src := live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+	// Saturation backoff mirrors httpTarget.withRetry: the verification
+	// plane sheds load by design, and the bench measures goodput.
+	for attempt := 0; ; attempt++ {
+		a, err := t.lv.Goal(context.Background(), src, goal)
+		if err == nil {
+			return a.Cached, nil
+		}
+		if _, ok := err.(*live.OverloadedError); !ok || attempt == 7 {
+			return false, err
+		}
+		t.mu.Lock()
+		t.retries++
+		t.mu.Unlock()
+		time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
+	}
+}
+
 func (t *engineTarget) finish(res *benchResult) {
 	res.Mode = "inproc"
 	res.Shards = t.eng.Shards()
+	res.Retried429 += t.retries
 	st := t.eng.Stats()
 	res.Engine = &st
 	t.eng.Shutdown()
@@ -133,6 +187,24 @@ func (t *httpTarget) step(id string, in relation.Instance) error {
 	})
 }
 
+func (t *httpTarget) verify(id, goal string) (bool, error) {
+	var out struct {
+		Cached bool `json:"cached"`
+	}
+	err := t.withRetry(func() (int, error) {
+		resp, err := t.client.Get(t.base + "/sessions/" + id + "/verify?goal=" + neturl.QueryEscape(goal))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return resp.StatusCode, fmt.Errorf("verify %s: status %d", id, resp.StatusCode)
+		}
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(&out)
+	})
+	return out.Cached, err
+}
+
 func (t *httpTarget) finish(res *benchResult) {
 	res.Mode = "http"
 	res.URL = t.base
@@ -146,6 +218,7 @@ func bench(args []string) {
 		nSteps    = fs.Int("steps", 30, "steps per session")
 		model     = fs.String("model", "short", "scripted run: short | friendly")
 		url       = fs.String("url", "", "drive load over HTTP against this base URL (a spocus-server or spocus-router) instead of in-process")
+		verifyMix = fs.Float64("verify-mix", 0, "fraction of steps followed by a live verify query (e.g. 0.1: one query per 10 steps)")
 	)
 	build := engineFlags(fs, "never")
 	fs.Parse(args)
@@ -175,7 +248,10 @@ func bench(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		target = &engineTarget{eng: eng}
+		// Queue sized to the offered load: the bench measures goodput, so
+		// in-process it queues rather than sheds (the 429 shed path is
+		// exercised by the live-plane tests and the HTTP mode).
+		target = &engineTarget{eng: eng, lv: live.New(live.Config{Queue: *nSessions})}
 	}
 
 	// Open all sessions first so the timed region measures pure stepping.
@@ -190,8 +266,20 @@ func bench(args []string) {
 	openElapsed := time.Since(openStart)
 
 	// One goroutine per session: M concurrent customers, each stepping its
-	// own session sequentially — the paper's exchange loop at scale.
+	// own session sequentially — the paper's exchange loop at scale. With
+	// -verify-mix > 0, every session asks "can I still reach delivery?"
+	// after a deterministic subset of its steps, the way a storefront would
+	// poll the progress service mid-checkout.
+	verifyEvery := 0
+	if *verifyMix > 0 {
+		verifyEvery = int(math.Max(1, math.Round(1 / *verifyMix)))
+	}
+	type verifySample struct {
+		d      time.Duration
+		cached bool
+	}
 	lats := make([][]time.Duration, *nSessions)
+	vlats := make([][]verifySample, *nSessions)
 	var wg sync.WaitGroup
 	errs := make(chan error, *nSessions)
 	start := time.Now()
@@ -200,6 +288,7 @@ func bench(args []string) {
 		go func(i int) {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, *nSteps)
+			var vlat []verifySample
 			for j := 0; j < *nSteps; j++ {
 				in := script(i, j)
 				t0 := time.Now()
@@ -208,8 +297,18 @@ func bench(args []string) {
 					return
 				}
 				lat = append(lat, time.Since(t0))
+				if verifyEvery > 0 && j%verifyEvery == verifyEvery-1 {
+					t0 = time.Now()
+					cached, err := target.verify(ids[i], "deliver(X)")
+					if err != nil {
+						errs <- fmt.Errorf("session %s verify after step %d: %w", ids[i], j+1, err)
+						return
+					}
+					vlat = append(vlat, verifySample{time.Since(t0), cached})
+				}
 			}
 			lats[i] = lat
+			vlats[i] = vlat
 		}(i)
 	}
 	wg.Wait()
@@ -217,6 +316,30 @@ func bench(args []string) {
 	close(errs)
 	for err := range errs {
 		fatal(err)
+	}
+
+	// Warm pass, outside the timed region: every session re-issues its last
+	// verify. With -steps a multiple of the sampling interval the answer is
+	// already memoized, so these samples measure the true cache-hit path —
+	// the in-loop samples are dominated by cold solves and coalesced waiters,
+	// which pay the full solve latency.
+	if verifyEvery > 0 {
+		warm := make([][]verifySample, *nSessions)
+		var wwg sync.WaitGroup
+		for i := range ids {
+			wwg.Add(1)
+			go func(i int) {
+				defer wwg.Done()
+				t0 := time.Now()
+				cached, err := target.verify(ids[i], "deliver(X)")
+				if err != nil {
+					return // shed or expired: no sample
+				}
+				warm[i] = []verifySample{{time.Since(t0), cached}}
+			}(i)
+		}
+		wwg.Wait()
+		vlats = append(vlats, warm...)
 	}
 
 	var all []time.Duration
@@ -250,6 +373,44 @@ func bench(args []string) {
 	res.Latency.P90Micros = pct(0.90)
 	res.Latency.P99Micros = pct(0.99)
 	res.Latency.MaxMicros = float64(all[len(all)-1]) / 1e3
+
+	if verifyEvery > 0 {
+		var vall, cold, hit []time.Duration
+		for _, vl := range vlats {
+			for _, v := range vl {
+				vall = append(vall, v.d)
+				if v.cached {
+					hit = append(hit, v.d)
+				} else {
+					cold = append(cold, v.d)
+				}
+			}
+		}
+		vpct := func(ds []time.Duration, q float64) float64 {
+			if len(ds) == 0 {
+				return 0
+			}
+			return float64(ds[int(q*float64(len(ds)-1))]) / 1e3
+		}
+		for _, ds := range [][]time.Duration{vall, cold, hit} {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		}
+		res.VerifyMix = *verifyMix
+		res.VerifyTotal = len(vall)
+		res.VerifyCached = len(hit)
+		if len(vall) > 0 {
+			res.VerifyHitRate = float64(len(hit)) / float64(len(vall))
+			res.VerifyLatency = &verifySplits{
+				P50Micros:     vpct(vall, 0.50),
+				P99Micros:     vpct(vall, 0.99),
+				ColdP50Micros: vpct(cold, 0.50),
+				ColdP99Micros: vpct(cold, 0.99),
+				HitP50Micros:  vpct(hit, 0.50),
+				HitP99Micros:  vpct(hit, 0.99),
+				MaxMicros:     float64(vall[len(vall)-1]) / 1e3,
+			}
+		}
+	}
 
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")

@@ -8,16 +8,21 @@
 //	spocus-server serve [-addr :8080] [-dir data] [-shards N]
 //	                    [-fsync always|interval|never] [-fsync-interval 100ms]
 //	                    [-snapshot-every 4096] [-mailbox 1024]
+//	                    [-session-rate 0] [-session-burst 0]
+//	                    [-verify-workers N] [-verify-queue N]
+//	                    [-verify-timeout 2s] [-verify-conflicts 0]
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
 //	                    [-shards N] [-dir DIR] [-fsync never]
-//	                    [-url http://router:8090]
+//	                    [-url http://router:8090] [-verify-mix 0.1]
 //
 // serve exposes:
 //
-//	POST   /sessions              open a session against a named model
-//	POST   /sessions/{id}/input   feed one input-relation set, get outputs + log delta
-//	GET    /sessions/{id}/log     the session's durable log
-//	DELETE /sessions/{id}         close the session
+//	POST   /sessions                open a session against a named model
+//	POST   /sessions/{id}/input     feed one input-relation set, get outputs + log delta
+//	GET    /sessions/{id}/log       the session's durable log
+//	GET    /sessions/{id}/verify    live verification (?goal= | ?temporal=)
+//	GET    /sessions/{id}/progress  ranked next-input suggestions (?goal=)
+//	DELETE /sessions/{id}           close the session
 //	GET    /models, /sessions, /healthz, /debug/vars, /debug/pprof/...
 //
 // Sessions are sharded across goroutine-owned shards; every applied step is
@@ -40,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/session"
 )
 
@@ -77,6 +83,8 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine,
 		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 		snapEvery     = fs.Int("snapshot-every", 4096, "steps per shard between snapshots (-1: disable)")
 		mailbox       = fs.Int("mailbox", 1024, "per-shard mailbox depth; overflow is rejected with 429")
+		sessionRate   = fs.Float64("session-rate", 0, "per-session step rate limit in steps/sec (0: unlimited); excess steps get 429 + Retry-After")
+		sessionBurst  = fs.Int("session-burst", 0, "per-session burst allowance under -session-rate (0: max(1, ceil(rate)))")
 	)
 	return func() (*session.Engine, error) {
 		policy, err := session.ParseFsyncPolicy(*fsync)
@@ -90,6 +98,8 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine,
 			FsyncInterval: *fsyncInterval,
 			SnapshotEvery: *snapEvery,
 			MailboxDepth:  *mailbox,
+			SessionRate:   *sessionRate,
+			SessionBurst:  *sessionBurst,
 		})
 	}
 }
@@ -97,6 +107,12 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine,
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	var (
+		verifyWorkers   = fs.Int("verify-workers", 0, "concurrent live-verification queries (0: GOMAXPROCS)")
+		verifyQueue     = fs.Int("verify-queue", 0, "additional queries allowed to wait (0: 2x workers, -1: none); overflow gets 429")
+		verifyTimeout   = fs.Duration("verify-timeout", 2*time.Second, "per-query wall-clock budget; overrun gets 504")
+		verifyConflicts = fs.Int64("verify-conflicts", 0, "SAT conflict budget per query (0: unlimited, bounded by -verify-timeout)")
+	)
 	build := engineFlags(fs, "always")
 	fs.Parse(args)
 
@@ -104,6 +120,12 @@ func serve(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	lv := live.New(live.Config{
+		Workers:      *verifyWorkers,
+		Queue:        *verifyQueue,
+		Timeout:      *verifyTimeout,
+		MaxConflicts: *verifyConflicts,
+	})
 	st := eng.Stats()
 	if st.ReplayRecords > 0 || st.SessionsOpen > 0 {
 		fmt.Printf("recovered %d sessions (%d WAL records) in %.1fms\n",
@@ -117,7 +139,7 @@ func serve(args []string) {
 	// scripts rely on its exact shape.
 	fmt.Printf("spocus-server listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: session.Handler(eng)}
+	srv := &http.Server{Handler: session.HandlerWith(eng, lv)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// TestRouterVerifyAndProgress: the live verification plane answers through
+// the router — /verify and /progress route to the session's owner like any
+// other session request, and keep answering after the session is handed
+// off to a pinned (non-ring) owner.
+func TestRouterVerifyAndProgress(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	id := "live-1"
+	if st := postJSON(t, tc.front.URL+"/sessions", map[string]string{"id": id, "model": "short"}, nil); st != http.StatusCreated {
+		t.Fatalf("open: status %d", st)
+	}
+	if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("newsweek"), nil); st != http.StatusOK {
+		t.Fatal("input failed")
+	}
+
+	type goalAnswer struct {
+		Reachable bool   `json:"reachable"`
+		Cached    bool   `json:"cached"`
+		Goal      string `json:"goal"`
+	}
+	verifyURL := tc.front.URL + "/sessions/" + id + "/verify?goal=" + url.QueryEscape("deliver(X)")
+	var goal goalAnswer
+	if st := getJSON(t, verifyURL, &goal); st != http.StatusOK {
+		t.Fatalf("verify via router: status %d", st)
+	}
+	if !goal.Reachable {
+		t.Fatalf("deliver(X) should be reachable after one order: %+v", goal)
+	}
+
+	var temp struct {
+		Holds bool `json:"holds"`
+	}
+	temporalURL := tc.front.URL + "/sessions/" + id + "/verify?temporal=" + url.QueryEscape("deliver(X) => past-order(X)")
+	if st := getJSON(t, temporalURL, &temp); st != http.StatusOK || !temp.Holds {
+		t.Fatalf("temporal via router: status %d, holds=%v", st, temp.Holds)
+	}
+
+	type progressAnswer struct {
+		Suggestions []struct {
+			Input    string `json:"input"`
+			Distance int    `json:"distance"`
+		} `json:"suggestions"`
+	}
+	progURL := tc.front.URL + "/sessions/" + id + "/progress?goal=" + url.QueryEscape("deliver(X)")
+	var prog progressAnswer
+	if st := getJSON(t, progURL, &prog); st != http.StatusOK {
+		t.Fatalf("progress via router: status %d", st)
+	}
+	wantNext := func(p progressAnswer, input string) {
+		t.Helper()
+		for _, s := range p.Suggestions {
+			if s.Distance == 1 && s.Input == input {
+				return
+			}
+		}
+		t.Fatalf("no distance-1 suggestion %q in %+v", input, p.Suggestions)
+	}
+	wantNext(prog, "pay(newsweek, 845)")
+
+	// Hand the session off to a non-ring owner: the pin must carry the
+	// verification plane with it.
+	from, err := tc.router.Ring().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var to string
+	for _, b := range tc.backends {
+		if b.URL != from {
+			to = b.URL
+			break
+		}
+	}
+	var res HandoffResult
+	if st := postJSON(t, fmt.Sprintf("%s/admin/handoff?session=%s&to=%s", tc.front.URL, id, to), nil, &res); st != http.StatusOK {
+		t.Fatalf("handoff: status %d", st)
+	}
+
+	// The prefix survived the move: verification answers from the same
+	// cumulated state, now computed by the new owner.
+	goal = goalAnswer{}
+	if st := getJSON(t, verifyURL, &goal); st != http.StatusOK || !goal.Reachable {
+		t.Fatalf("verify after handoff: status %d, %+v", st, goal)
+	}
+	if st := getJSON(t, to+"/sessions/"+id+"/verify?goal="+url.QueryEscape("deliver(X)"), nil); st != http.StatusOK {
+		t.Fatalf("verify direct on new owner: status %d", st)
+	}
+
+	// Step on the pinned owner, then confirm progress reflects the new
+	// prefix through the router: time was ordered after the handoff, so its
+	// payment is now a distance-1 suggestion too.
+	if st := postJSON(t, tc.front.URL+"/sessions/"+id+"/input", orderInput("time"), nil); st != http.StatusOK {
+		t.Fatal("step after handoff failed")
+	}
+	prog = progressAnswer{}
+	if st := getJSON(t, progURL, &prog); st != http.StatusOK {
+		t.Fatalf("progress after handoff: status %d", st)
+	}
+	wantNext(prog, "pay(newsweek, 845)")
+	wantNext(prog, "pay(time, 855)")
+
+	// Malformed queries surface the backend's 400 through the router.
+	if st := getJSON(t, tc.front.URL+"/sessions/"+id+"/verify?goal="+url.QueryEscape("deliver("), nil); st != http.StatusBadRequest {
+		t.Fatalf("bad goal via router: status %d, want 400", st)
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash identifying the machine: its
+// restriction class, name, schema (including the log declaration), and both
+// rule programs, hashed over the canonical program rendering of String.
+//
+// The verify package tags every memoized solver subproblem with the
+// fingerprint of the machine(s) that produced it, so a process-wide cache
+// shared across models (the live verification service) can never conflate
+// two machines — even ones sharing rule text but differing in name, schema,
+// or log declaration. Two calls on machines built from the same source
+// return the same fingerprint, so sessions of one registry model share
+// cache entries.
+func (m *Machine) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte(m.kind.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(m.String()))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -52,6 +52,13 @@ type Problem struct {
 	// exhaustion from cancellation by checking Context.Err after an Unknown
 	// result.
 	Context context.Context
+	// Tag is an opaque scope label ignored by the solver but included in
+	// memoization keys built over the problem. Callers that share one cache
+	// across different problem generators (e.g. verify's per-machine
+	// translations, which erase the machine into formula structure) set it
+	// to the generators' identity so structurally identical problems from
+	// different sources never alias.
+	Tag string
 }
 
 // Result reports the outcome of Solve.

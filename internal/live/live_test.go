@@ -1,0 +1,368 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// cumulate folds an input sequence into the cumulated past-input instance —
+// what a session's state is, per the Spocus definition.
+func cumulate(seq relation.Sequence) relation.Instance {
+	out := relation.NewInstance()
+	for _, in := range seq {
+		out.UnionWith(in)
+	}
+	return out
+}
+
+func TestGoalFromPrefixAndAnswerCache(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	db := models.MagazineDB()
+	fig1 := models.Fig1Inputs()
+
+	// After step 1 of Figure 1 (time and newsweek ordered), delivery is
+	// still reachable.
+	src := Source{Model: "short", DB: db, Past: cumulate(fig1[:1])}
+	a, err := s.Goal(context.Background(), src, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Reachable || a.Cached {
+		t.Fatalf("first query: got reachable=%v cached=%v, want true,false", a.Reachable, a.Cached)
+	}
+
+	// The same cumulated state reached by a different session (different
+	// input split, different step count) must hit the shared answer cache.
+	other := relation.Sequence{
+		models.Step(models.F("order", "newsweek")),
+		models.Step(models.F("order", "time")),
+	}
+	src2 := Source{Model: "short", DB: db, Past: cumulate(other)}
+	a2, err := s.Goal(context.Background(), src2, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Reachable || !a2.Cached {
+		t.Fatalf("second query: got reachable=%v cached=%v, want true,true", a2.Reachable, a2.Cached)
+	}
+	if st := s.Stats(); st.CacheHits != 1 || st.Queries != 2 {
+		t.Fatalf("stats: %+v, want 1 hit of 2 queries", st)
+	}
+
+	// After the full Figure 1 run every priced product is paid for, so no
+	// continuation can deliver anything again.
+	src3 := Source{Model: "short", DB: db, Past: cumulate(fig1)}
+	a3, err := s.Goal(context.Background(), src3, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Reachable {
+		t.Fatalf("deliver(X) should be unreachable after the full Figure 1 run; witness %v", a3.Witness)
+	}
+}
+
+func TestTemporalFromPrefix(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	db := models.MagazineDB()
+
+	// "deliveries only to previously ordered products" holds of SHORT from
+	// any state, including mid-run.
+	src := Source{Model: "short", DB: db, Past: cumulate(models.Fig1Inputs()[:2])}
+	a, err := s.Temporal(context.Background(), src, []string{"deliver(X) => past-order(X)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Holds {
+		t.Fatalf("condition should hold; counterexample %v violating %s", a.Counterexample, a.Violated)
+	}
+
+	// "never deliver time" is still violable from a state where time is
+	// ordered but unpaid...
+	src = Source{Model: "short", DB: db, Past: cumulate(models.Fig1Inputs()[:1])}
+	a, err = s.Temporal(context.Background(), src, []string{"deliver(time) =>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Holds {
+		t.Fatal("deliver(time) should be reachable from the step-1 state")
+	}
+	// ...but unviolable once time has been paid for: past-pay(time, 855)
+	// blocks the only delivery rule forever.
+	src = Source{Model: "short", DB: db, Past: cumulate(models.Fig1Inputs())}
+	a2, err := s.Temporal(context.Background(), src, []string{"deliver(time) =>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Holds {
+		t.Fatalf("deliver(time) should be unreachable after full payment; counterexample %v", a2.Counterexample)
+	}
+}
+
+// d1Set runs a progress query and returns the distance-1 inputs, sorted.
+func d1Set(t *testing.T, s *Service, model string, db relation.Instance, past relation.Instance, goal string) []string {
+	t.Helper()
+	a, err := s.Progress(context.Background(), Source{Model: model, DB: db, Past: past}, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Truncated {
+		t.Fatalf("progress truncated at budget; raise SuggestBudget for this test")
+	}
+	var out []string
+	for _, sg := range a.Suggestions {
+		if sg.Distance == 1 {
+			out = append(out, sg.Input)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProgressGoldenFig1 replays the Figure 1 run of SHORT prefix by prefix
+// and checks the progress service's immediate (distance-1) suggestions at
+// each point: exactly the payments that would trigger a delivery right now.
+func TestProgressGoldenFig1(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	db := models.MagazineDB()
+	fig1 := models.Fig1Inputs()
+	want := [][]string{
+		0: {}, // nothing ordered: no single input delivers
+		1: {"pay(newsweek, 845)", "pay(time, 855)"},
+		2: {"pay(le-monde, 8350)", "pay(newsweek, 845)"},
+		3: {}, // everything paid: delivery unreachable
+	}
+	for k := 0; k <= len(fig1); k++ {
+		got := d1Set(t, s, "short", db, cumulate(fig1[:k]), "deliver(X)")
+		if !eq(got, want[k]) {
+			t.Errorf("prefix %d: distance-1 suggestions %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+// TestProgressGoldenFig2 does the same for the Figure 2 run of FRIENDLY,
+// whose trace includes an unavailable product, a misdirected payment, a
+// double payment, and a pending-bills reminder.
+func TestProgressGoldenFig2(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	db := models.MagazineDB()
+	fig2 := models.Fig2Inputs()
+	want := [][]string{
+		0: {},
+		1: {"pay(time, 855)"}, // la-stampa has no price: only time is billable
+		2: {},                // time paid, le-monde payment rejected (never ordered)
+		3: {"pay(newsweek, 845)"},
+		4: {"pay(newsweek, 845)"}, // pending-bills changes no state
+		5: {},                    // newsweek paid too
+	}
+	for k := 0; k <= len(fig2); k++ {
+		got := d1Set(t, s, "friendly", db, cumulate(fig2[:k]), "deliver(X)")
+		if !eq(got, want[k]) {
+			t.Errorf("prefix %d: distance-1 suggestions %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+// TestProgressFollowUps checks the two-step shape of Figure 1: from the
+// empty session, ordering a product is suggested with its exact payment as
+// the follow-up.
+func TestProgressFollowUps(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	a, err := s.Progress(context.Background(), Source{Model: "short", DB: models.MagazineDB()}, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow := map[string]string{}
+	for _, sg := range a.Suggestions {
+		if sg.Distance == 2 {
+			follow[sg.Input] = sg.Follow
+		}
+	}
+	want := map[string]string{
+		"order(le-monde)": "pay(le-monde, 8350)",
+		"order(newsweek)": "pay(newsweek, 845)",
+		"order(time)":     "pay(time, 855)",
+	}
+	for in, f := range want {
+		if follow[in] != f {
+			t.Errorf("suggestion %s: follow-up %q, want %q", in, follow[in], f)
+		}
+	}
+}
+
+// TestAdmissionControl drives getOrCompute directly with a blocking
+// computation so saturation is deterministic: with one worker and no queue,
+// a second distinct query is rejected with OverloadedError while an
+// identical one coalesces onto the in-flight computation.
+func TestAdmissionControl(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: -1, Timeout: time.Minute})
+	keyA := answerKey{fp: "f", kind: "goal", query: "a"}
+	keyB := answerKey{fp: "f", kind: "goal", query: "b"}
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	type res struct {
+		v      any
+		cached bool
+		err    error
+	}
+	first := make(chan res, 1)
+	go func() {
+		v, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+			close(started)
+			<-block
+			return "answer", nil
+		})
+		first <- res{v, cached, err}
+	}()
+	<-started
+
+	// Distinct query at saturation: immediate 429.
+	_, _, err := s.getOrCompute(context.Background(), keyB, func(context.Context) (any, error) {
+		t.Error("rejected query must not compute")
+		return nil, nil
+	})
+	var over *OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("got %v, want OverloadedError", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", s.Stats().Rejected)
+	}
+
+	// Identical query: joins the in-flight computation instead of being
+	// rejected or recomputing.
+	second := make(chan res, 1)
+	go func() {
+		v, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+			t.Error("coalesced query must not recompute")
+			return nil, nil
+		})
+		second <- res{v, cached, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter attach
+	close(block)
+
+	r1, r2 := <-first, <-second
+	if r1.err != nil || r1.v != "answer" || r1.cached {
+		t.Fatalf("owner: %+v", r1)
+	}
+	if r2.err != nil || r2.v != "answer" || r2.cached {
+		t.Fatalf("waiter: %+v", r2)
+	}
+	if st := s.Stats(); st.Coalesced != 1 {
+		t.Fatalf("coalesced_total = %d, want 1", st.Coalesced)
+	}
+
+	// Now that the entry is complete, the same key is a true cache hit.
+	v0, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+		t.Error("cached query must not recompute")
+		return nil, nil
+	})
+	if err != nil || v0 != "answer" || !cached {
+		t.Fatalf("completed-entry hit: %v %v %v", v0, cached, err)
+	}
+
+	// The pool has drained: the previously rejected query now runs.
+	v, _, err := s.getOrCompute(context.Background(), keyB, func(context.Context) (any, error) { return "b", nil })
+	if err != nil || v != "b" {
+		t.Fatalf("after drain: %v, %v", v, err)
+	}
+}
+
+// TestQueryTimeout checks the per-query deadline: an expired computation
+// surfaces context.DeadlineExceeded, counts as a timeout, and is not
+// cached (the next asker recomputes).
+func TestQueryTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, Timeout: 20 * time.Millisecond})
+	key := answerKey{fp: "f", kind: "goal", query: "slow"}
+	_, _, err := s.getOrCompute(context.Background(), key, func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Timeouts != 1 || st.AnswerEntries != 0 {
+		t.Fatalf("stats after timeout: %+v", st)
+	}
+	v, cached, err := s.getOrCompute(context.Background(), key, func(context.Context) (any, error) { return "ok", nil })
+	if err != nil || cached || v != "ok" {
+		t.Fatalf("retry after timeout: %v %v %v", v, cached, err)
+	}
+}
+
+// TestAnswerEviction checks the cache cap: completed entries are evicted
+// once MaxEntries is exceeded.
+func TestAnswerEviction(t *testing.T) {
+	s := New(Config{Workers: 1, MaxEntries: 8, Timeout: time.Minute})
+	for i := 0; i < 50; i++ {
+		key := answerKey{fp: "f", kind: "goal", query: fmt.Sprint(i)}
+		if _, _, err := s.getOrCompute(context.Background(), key, func(context.Context) (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Stats().AnswerEntries; n > 9 {
+		t.Fatalf("answer cache grew to %d entries, cap 8", n)
+	}
+}
+
+func TestBadSources(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	var bad *BadQueryError
+	if _, err := s.Goal(ctx, Source{Model: "no-such-model"}, "deliver(X)"); !errors.As(err, &bad) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := s.Goal(ctx, Source{}, "deliver(X)"); !errors.As(err, &bad) {
+		t.Fatalf("empty source: %v", err)
+	}
+	if _, err := s.Goal(ctx, Source{Model: "short", Src: "x"}, "deliver(X)"); !errors.As(err, &bad) {
+		t.Fatalf("ambiguous source: %v", err)
+	}
+	if _, err := s.Goal(ctx, Source{Model: "short"}, "deliver("); !errors.As(err, &bad) {
+		t.Fatalf("bad goal: %v", err)
+	}
+	if _, err := s.Temporal(ctx, Source{Model: "short"}, nil); !errors.As(err, &bad) {
+		t.Fatalf("no conditions: %v", err)
+	}
+}
+
+// TestSrcSource checks inline-source resolution and that two textually
+// identical sources share one machine entry (and so one cache scope).
+func TestSrcSource(t *testing.T) {
+	s := New(Config{Timeout: time.Minute})
+	db := models.MagazineDB()
+	a, err := s.Goal(context.Background(), Source{Src: models.ShortSrc, DB: db}, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Reachable {
+		t.Fatal("deliver(X) should be reachable from scratch")
+	}
+	a2, err := s.Goal(context.Background(), Source{Src: models.ShortSrc, DB: db}, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Cached {
+		t.Fatal("identical inline source must share the answer cache")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,6 +38,14 @@ type Config struct {
 	// rejected with OverloadedError instead of queueing without bound —
 	// the engine's backpressure signal, surfaced as HTTP 429.
 	MailboxDepth int
+	// SessionRate caps each session's step rate in steps per second via a
+	// per-session token bucket (0: no limit, the default). Steps beyond the
+	// budget are rejected with RateLimitedError (HTTP 429 + Retry-After)
+	// before anything is logged.
+	SessionRate float64
+	// SessionBurst is the bucket capacity: how many steps a fresh or idle
+	// session may issue back-to-back (default max(1, ⌈SessionRate⌉)).
+	SessionBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 1024
+	}
+	if c.SessionBurst <= 0 {
+		c.SessionBurst = int(math.Ceil(c.SessionRate))
+		if c.SessionBurst < 1 {
+			c.SessionBurst = 1
+		}
 	}
 	return c
 }
@@ -369,6 +384,12 @@ func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 		}
 		if s.frozen {
 			return nil, &FrozenError{ID: id}
+		}
+		if sh.cfg.SessionRate > 0 {
+			if ok, wait := s.rate.take(sh.cfg.SessionRate, float64(sh.cfg.SessionBurst), time.Now()); !ok {
+				sh.m.rateLimited.Add(1)
+				return nil, &RateLimitedError{ID: id, RetryAfter: wait}
+			}
 		}
 		if err := s.validateInput(in); err != nil {
 			return nil, &BadInputError{Err: err}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/live"
 	"repro/internal/models"
 	"repro/internal/relation"
 )
@@ -19,9 +20,11 @@ import (
 //	GET    /sessions/{id}          session info
 //	POST   /sessions/{id}/input    apply one step        {"input":{"order":[["time"]]}}
 //	GET    /sessions/{id}/log      the session's durable log
+//	GET    /sessions/{id}/verify   live verification     ?goal=deliver(X) | ?temporal=cond (repeatable)
+//	GET    /sessions/{id}/progress ranked next inputs    ?goal=deliver(X)&limit=5
 //	DELETE /sessions/{id}          close the session, returning the final log
 //	GET    /healthz                liveness
-//	GET    /debug/vars             expvar (engine metrics under "spocus")
+//	GET    /debug/vars             expvar ("spocus" engine metrics, "spocus_live" verification metrics)
 //	GET    /debug/pprof/...        pprof profiles
 //
 // Cluster-internal admin surface (used by spocus-router for handoff):
@@ -32,7 +35,15 @@ import (
 //
 // Instances use the repo-wide JSON wire form: relation name → list of
 // tuples of constant strings.
-func Handler(e *Engine) http.Handler {
+func Handler(e *Engine) http.Handler { return HandlerWith(e, nil) }
+
+// HandlerWith is Handler with an explicit live verification service, so a
+// server can size the verification worker pool, timeout, and caches (see
+// live.Config). A nil service gets defaults.
+func HandlerWith(e *Engine, lv *live.Service) http.Handler {
+	if lv == nil {
+		lv = live.New(live.Config{})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"models": models.Names()})
@@ -82,6 +93,8 @@ func Handler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("GET /sessions/{id}/verify", handleVerify(e, lv))
+	mux.HandleFunc("GET /sessions/{id}/progress", handleProgress(e, lv))
 	mux.HandleFunc("GET /sessions/{id}/log", func(w http.ResponseWriter, r *http.Request) {
 		lr, err := e.Log(r.PathValue("id"))
 		if err != nil {
@@ -150,15 +163,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr maps engine errors onto HTTP statuses: unknown session → 404,
-// client input problems → 400, duplicate open → 409, full mailbox → 429,
-// frozen for handoff → 503 (retryable: the ring is about to flip),
-// everything else → 500.
+// client input problems → 400, duplicate open → 409, full mailbox or
+// per-session rate limit → 429 (with Retry-After), frozen for handoff →
+// 503 (retryable: the ring is about to flip), everything else → 500.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var nf *NotFoundError
 	var bad *BadInputError
 	var conflict *ConflictError
 	var over *OverloadedError
+	var limited *RateLimitedError
 	var frozen *FrozenError
 	switch {
 	case errors.As(err, &nf):
@@ -170,6 +184,9 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.As(err, &over):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &limited):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds(limited.RetryAfter))
 	case errors.As(err, &frozen):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")

@@ -1,0 +1,109 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/live"
+)
+
+// The verification endpoints of the live plane:
+//
+//	GET /sessions/{id}/verify?goal=deliver(X)           goal reachability from the session's current state
+//	GET /sessions/{id}/verify?temporal=deliver(X)%20=>%20past-order(X)   temporal check (repeatable parameter)
+//	GET /sessions/{id}/progress?goal=deliver(X)&limit=5 ranked next-input suggestions toward the goal
+//
+// Each request snapshots the session between steps (Peek) and hands the
+// snapshot to the live.Service, which memoizes answers and applies
+// admission control; saturation surfaces as 429 + Retry-After, a per-query
+// deadline as 504.
+
+func handleVerify(e *Engine, lv *live.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		view, err := e.Peek(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		src := live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+		goal := r.URL.Query().Get("goal")
+		conds := r.URL.Query()["temporal"]
+		switch {
+		case goal != "" && len(conds) == 0:
+			a, err := lv.Goal(r.Context(), src, goal)
+			if err != nil {
+				writeVerifyErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, a)
+		case goal == "" && len(conds) > 0:
+			a, err := lv.Temporal(r.Context(), src, conds)
+			if err != nil {
+				writeVerifyErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, a)
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "exactly one of ?goal= or ?temporal= (repeatable) is required",
+			})
+		}
+	}
+}
+
+func handleProgress(e *Engine, lv *live.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		view, err := e.Peek(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		goal := r.URL.Query().Get("goal")
+		if goal == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "?goal= is required"})
+			return
+		}
+		src := live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+		a, err := lv.Progress(r.Context(), src, goal)
+		if err != nil {
+			writeVerifyErr(w, err)
+			return
+		}
+		if limit := r.URL.Query().Get("limit"); limit != "" {
+			n, err := strconv.Atoi(limit)
+			if err != nil || n < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "?limit= must be a non-negative integer"})
+				return
+			}
+			if n < len(a.Suggestions) {
+				// The answer is shared with the cache: truncate a copy.
+				trimmed := *a
+				trimmed.Suggestions = a.Suggestions[:n]
+				trimmed.Truncated = true
+				a = &trimmed
+			}
+		}
+		writeJSON(w, http.StatusOK, a)
+	}
+}
+
+// writeVerifyErr maps live-plane errors onto HTTP statuses — malformed
+// query → 400, saturated verification pool → 429 (Retry-After), per-query
+// deadline exceeded → 504 — and defers anything else to the engine mapping.
+func writeVerifyErr(w http.ResponseWriter, err error) {
+	var bad *live.BadQueryError
+	var over *live.OverloadedError
+	switch {
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case errors.As(err, &over):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "verification query deadline exceeded"})
+	default:
+		writeErr(w, err)
+	}
+}

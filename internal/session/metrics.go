@@ -21,6 +21,7 @@ type metricsSet struct {
 	replayNanos    atomic.Int64
 	replayRecords  atomic.Int64
 	rejected       atomic.Int64
+	rateLimited    atomic.Int64
 	exports        atomic.Int64
 	handoffs       atomic.Int64
 	stepLatency    latencyHist
@@ -38,7 +39,8 @@ type Stats struct {
 	Snapshots      int64   `json:"snapshots_total"`
 	ReplayMillis   float64 `json:"replay_ms"`
 	ReplayRecords  int64   `json:"replay_records"`
-	RejectedTotal  int64   `json:"rejected_total"` // mailbox-full 429s
+	RejectedTotal  int64   `json:"rejected_total"`     // mailbox-full 429s
+	RateLimited    int64   `json:"rate_limited_total"` // per-session rate-limit 429s
 	ExportsTotal   int64   `json:"exports_total"`  // handoff exports served
 	HandoffsTotal  int64   `json:"handoffs_total"` // sessions handed off (forgotten)
 	StepP50Micros  float64 `json:"step_latency_p50_us"`
@@ -65,6 +67,7 @@ func (m *metricsSet) stats() Stats {
 		ReplayMillis:   float64(m.replayNanos.Load()) / 1e6,
 		ReplayRecords:  m.replayRecords.Load(),
 		RejectedTotal:  m.rejected.Load(),
+		RateLimited:    m.rateLimited.Load(),
 		ExportsTotal:   m.exports.Load(),
 		HandoffsTotal:  m.handoffs.Load(),
 		StepP50Micros:  float64(m.stepLatency.quantile(0.50)) / 1e3,

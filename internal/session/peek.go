@@ -1,0 +1,47 @@
+package session
+
+import "repro/internal/relation"
+
+// View is a stable, immutable snapshot of a session for the live
+// verification plane: the machine identity, database, and cumulated past
+// inputs, cloned inside the owning shard's goroutine. Because the clone is
+// taken between steps (shard FIFO), a View can never observe a torn
+// mid-step state, and because it shares nothing with the live session,
+// verification reads it freely while the session keeps stepping.
+type View struct {
+	ID    string
+	Model string
+	Src   string
+	Steps int
+	// DB is the session's database (cloned).
+	DB relation.Instance
+	// Past is the union of all inputs the session has absorbed (cloned) —
+	// for a Spocus machine, the whole of its verification-relevant state.
+	Past relation.Instance
+}
+
+// Peek returns a View of the session. Unlike Export it does not freeze the
+// session: it is the read primitive of the verification plane and has no
+// effect on the data plane beyond occupying one mailbox slot. Peek works on
+// frozen (mid-handoff) sessions too — verifying a session that is being
+// moved is legitimate.
+func (e *Engine) Peek(id string) (*View, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		return &View{
+			ID:    s.id,
+			Model: s.model,
+			Src:   s.src,
+			Steps: s.steps,
+			DB:    s.db.Clone(),
+			Past:  s.past.Clone(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*View), nil
+}

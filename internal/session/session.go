@@ -40,10 +40,18 @@ type Session struct {
 	// compaction folds them into snapshots, so the session keeps its own
 	// copy to stay exportable (see Export) at any moment.
 	inputs relation.Sequence
-	steps  int
+	// past is the cumulated union of all absorbed inputs — for a Spocus
+	// machine, the whole of the session's verification-relevant state. The
+	// live verification plane reads a clone of it (see Peek); keeping the
+	// union incrementally makes that read O(state), not O(history).
+	past  relation.Instance
+	steps int
 	// frozen marks a session mid-handoff: reads proceed, mutations fail
 	// with FrozenError. Not persisted (see export.go).
 	frozen bool
+	// rate is the session's step-rate token bucket (see ratelimit.go).
+	// In-memory policy only, never persisted.
+	rate bucket
 
 	// Acceptance bookkeeping under the three disciplines of Section 4.
 	errorFree  bool // no output so far contained an error fact
@@ -108,6 +116,7 @@ func newSession(id string, req *OpenRequest) (*Session, error) {
 		mach:      mach,
 		db:        db,
 		state:     relation.NewInstance(),
+		past:      relation.NewInstance(),
 		errorFree: true,
 		okEvery:   true,
 	}
@@ -158,6 +167,7 @@ func (s *Session) apply(in relation.Instance) (*StepResult, error) {
 	delta := s.mach.Schema().LogDelta(in, out)
 	s.logs = append(s.logs, delta)
 	s.inputs = append(s.inputs, in.Clone())
+	s.past.UnionWith(in)
 	s.steps++
 	if out.Rel(core.ErrorRel).Len() > 0 {
 		s.errorFree = false

@@ -83,6 +83,12 @@ func (ss *snapSession) restore() (*Session, error) {
 	if state == nil {
 		state = relation.NewInstance()
 	}
+	// past is derived state: recumulate it from the persisted inputs rather
+	// than widening the snapshot format.
+	past := relation.NewInstance()
+	for _, in := range ss.Inputs {
+		past.UnionWith(in)
+	}
 	return &Session{
 		id:         ss.ID,
 		model:      ss.Model,
@@ -93,6 +99,7 @@ func (ss *snapSession) restore() (*Session, error) {
 		state:      state,
 		logs:       ss.Logs,
 		inputs:     ss.Inputs,
+		past:       past,
 		steps:      ss.Steps,
 		errorFree:  ss.ErrorFree,
 		okEvery:    ss.OkEvery,

@@ -16,11 +16,13 @@ import (
 // clause, Equivalent asks both Contains directions over shared groundings,
 // and a long-running service re-verifies the same transducers over and over.
 //
-// The key is a canonical serialization of the full grounding input (formula
-// with variable/constant tagging, fixed extensions, free declarations,
-// domain constants, solver mode), so a hit is guaranteed to be the same
-// finite-satisfiability question. Only decisive results (Sat/Unsat) are
-// stored; budget-exhausted and cancelled runs are not.
+// The key is a canonical serialization of the full grounding input (the
+// fingerprints of the machines whose translation produced the problem, the
+// formula with variable/constant tagging, fixed extensions, free
+// declarations, domain constants, solver mode), so a hit is guaranteed to
+// be the same finite-satisfiability question asked of the same model. Only
+// decisive results (Sat/Unsat) are stored; budget-exhausted and cancelled
+// runs are not.
 //
 // Cached *fol.Result values are shared between callers and must be treated
 // as read-only; every consumer in this package either only reads the model
@@ -84,6 +86,12 @@ func (c *Cache) Purge() {
 // iteration order never leaks into the key.
 func problemKey(p *fol.Problem) string {
 	var b strings.Builder
+	// The tag scopes the key to the machine(s) whose translation produced
+	// the problem (see fol.Problem.Tag): formulas erase the machine into
+	// structure, and two models sharing rule text must not share entries
+	// when one process-wide cache serves many models.
+	b.WriteString(p.Tag)
+	b.WriteByte('\x02')
 	writeFormula(&b, p.Formula)
 
 	b.WriteString("\x02fixed")

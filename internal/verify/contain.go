@@ -109,6 +109,7 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 		dbPreds(candidate, db, fixed, free)
 	}
 	consts := append(reference.Constants(), candidate.Constants()...)
+	tag := reference.Fingerprint() + "+" + candidate.Fingerprint()
 
 	// Each diff disjunct is a closed ∃*∀*FO sentence, and the original
 	// Or-sentence is satisfiable iff some disjunct is — so the disjuncts are
@@ -125,6 +126,7 @@ func Contains(reference, candidate *core.Machine, db relation.Instance, opts *Op
 				Fixed:       fixed,
 				Free:        free,
 				ExtraConsts: consts,
+				Tag:         tag,
 			})
 			if err != nil {
 				return nil, false, err

@@ -143,6 +143,7 @@ func checkClauseAt(ctx context.Context, m *core.Machine, db relation.Instance, c
 		Fixed:       fixed,
 		Free:        free,
 		ExtraConsts: m.Constants(),
+		Tag:         m.Fingerprint(),
 	})
 	if err != nil {
 		return nil, false, err
@@ -307,6 +308,7 @@ func errorFreeContainAt(ctx context.Context, t1, t2 *core.Machine, db relation.I
 		Fixed:       fixed,
 		Free:        free,
 		ExtraConsts: append(t1.Constants(), t2.Constants()...),
+		Tag:         t1.Fingerprint() + "+" + t2.Fingerprint(),
 	})
 	if err != nil {
 		return nil, false, err

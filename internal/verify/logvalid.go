@@ -182,6 +182,7 @@ func logValidity(ctx context.Context, m *core.Machine, db relation.Instance, log
 		Fixed:       fixed,
 		Free:        free,
 		ExtraConsts: m.Constants(),
+		Tag:         m.Fingerprint(),
 	})
 	if err != nil {
 		return nil, err

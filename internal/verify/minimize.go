@@ -96,6 +96,7 @@ func RemovableFromLog(m *core.Machine, db relation.Instance, name string, maxLen
 				Free:         free,
 				ExtraConsts:  m.Constants(),
 				FiniteDomain: true,
+				Tag:          m.Fingerprint(),
 			})
 			if err != nil {
 				return nil, false, err

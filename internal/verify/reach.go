@@ -158,6 +158,7 @@ func reachGoal(m *core.Machine, db relation.Instance, prefix relation.Sequence, 
 		Fixed:       fixed,
 		Free:        free,
 		ExtraConsts: append(m.Constants(), prefixConsts(prefix)...),
+		Tag:         m.Fingerprint(),
 	})
 	if err != nil {
 		return nil, err
@@ -366,6 +367,20 @@ type TemporalResult struct {
 // condition is reported Violated (and its counterexample) may differ from
 // the sequential run when several conditions fail.
 func CheckTemporal(m *core.Machine, db relation.Instance, conds []*Condition, opts *Options) (*TemporalResult, error) {
+	return CheckTemporalFrom(m, db, nil, conds, opts)
+}
+
+// CheckTemporalFrom is the live-monitoring variation of Theorem 3.3: it
+// decides whether every continuation of the given partial run (one or more
+// further inputs) satisfies all the conditions at each of its future steps.
+// Because a Spocus transducer's future behavior depends on the past only
+// through the set of cumulated inputs, the prefix enters the reduction as a
+// step-0 seed of the past-R translations, and the two-step locality
+// argument of Theorem 3.2 applies unchanged. A Holds verdict means the
+// property can no longer be violated from this session's state; a reported
+// Counterexample is a continuation (not including the prefix) that violates
+// the named condition at its last step.
+func CheckTemporalFrom(m *core.Machine, db relation.Instance, prefix relation.Sequence, conds []*Condition, opts *Options) (*TemporalResult, error) {
 	opts = opts.orDefault()
 	ctx, cancel := opts.begin()
 	defer cancel()
@@ -381,7 +396,7 @@ func CheckTemporal(m *core.Machine, db relation.Instance, conds []*Condition, op
 	for i := range conds {
 		c := conds[i]
 		units[i] = unit[*TemporalResult]{run: func(ctx context.Context) (*TemporalResult, bool, error) {
-			return checkOneCondition(ctx, m, db, c, opts)
+			return checkOneCondition(ctx, m, db, prefix, c, opts)
 		}}
 	}
 	found, ok, err := searchFirst(ctx, opts.workers(), units)
@@ -395,10 +410,25 @@ func CheckTemporal(m *core.Machine, db relation.Instance, conds []*Condition, op
 }
 
 // checkOneCondition decides a single T_past-input condition; it returns the
-// populated violation result when the condition fails on some run.
-func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instance, c *Condition, opts *Options) (*TemporalResult, bool, error) {
+// populated violation result when the condition fails on some run that
+// continues the (possibly empty) prefix.
+func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instance, prefix relation.Sequence, c *Condition, opts *Options) (*TemporalResult, bool, error) {
 	s := m.Schema()
 	t := newTranslator(m, "")
+	fixed := map[string]*relation.Rel{}
+	if len(prefix) > 0 {
+		seed := cumulateInputs(m, prefix)
+		t.seedPred = map[string]string{}
+		for _, d := range s.In {
+			p := stepPred("", d.Name, 0)
+			t.seedPred[d.Name] = p
+			r := seed.Rel(d.Name)
+			if r == nil {
+				r = relation.NewRel(d.Arity)
+			}
+			fixed[p] = r
+		}
+	}
 	// Violation sentence: ∃x̄ (⋀If ∧ ⋀¬Then) at the last step of a
 	// two-step run (Theorem 3.2's locality argument).
 	var lits []fol.Formula
@@ -424,7 +454,6 @@ func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instanc
 		}
 	}
 	sentence := fol.ExistsF(c.Vars(), fol.AndF(lits...))
-	fixed := map[string]*relation.Rel{}
 	free := map[string]int{}
 	t.freePreds(2, free)
 	if opts.UnknownDB {
@@ -436,7 +465,8 @@ func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instanc
 		Formula:     sentence,
 		Fixed:       fixed,
 		Free:        free,
-		ExtraConsts: m.Constants(),
+		ExtraConsts: append(m.Constants(), prefixConsts(prefix)...),
+		Tag:         m.Fingerprint(),
 	})
 	if err != nil {
 		return nil, false, err
@@ -458,11 +488,17 @@ func checkOneCondition(ctx context.Context, m *core.Machine, db relation.Instanc
 		replayDB = total.CounterexampleDB
 	}
 	if !opts.SkipReplay {
-		if err := replayTemporalViolation(m, replayDB, total.Counterexample, c); err != nil {
-			return nil, false, fmt.Errorf("verify: internal error: %w", err)
+		// The counterexample is the continuation only; replay prepends the
+		// prefix so the violation is checked on the actual resumed run.
+		violates := func(cand relation.Sequence) bool {
+			full := append(prefix.Clone(), cand...)
+			return replayTemporalViolation(m, replayDB, full, c) == nil
+		}
+		if !violates(total.Counterexample) {
+			return nil, false, fmt.Errorf("verify: internal error: counterexample does not violate %s on replay", c)
 		}
 		total.Counterexample = shrinkInputs(total.Counterexample, func(cand relation.Sequence) bool {
-			return len(cand) > 0 && replayTemporalViolation(m, replayDB, cand, c) == nil
+			return len(cand) > 0 && violates(cand)
 		})
 	}
 	return total, true, nil

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// The ranked progress service of Section 2.1: given a customer's partial
+// run, suggest next inputs that advance them toward a goal (canonically
+// "the order gets delivered"). Suggestions are found operationally, by
+// stepping the actual transducer — no SAT reduction is involved — so every
+// suggestion is exact: issuing a Distance-1 fact now makes the goal hold in
+// the very next output, and a Distance-2 fact enables some single follow-up
+// input to do so (the Figure 1 shape: order now, pay next).
+
+// Suggestion is one recommended next input.
+type Suggestion struct {
+	// Fact is the input fact to issue now.
+	Fact relation.Fact `json:"fact"`
+	// Distance is 1 when issuing Fact satisfies the goal in the resulting
+	// output, 2 when some follow-up single input does.
+	Distance int `json:"distance"`
+	// Follow, for Distance 2, is one follow-up fact that completes the goal.
+	Follow *relation.Fact `json:"follow,omitempty"`
+}
+
+// SuggestResult is the ranked suggestion list.
+type SuggestResult struct {
+	// Suggestions is ordered best-first: all Distance-1 facts (sorted), then
+	// Distance-2 facts (sorted).
+	Suggestions []Suggestion `json:"suggestions"`
+	// Truncated reports that the executor budget ran out before every
+	// candidate was tried: absent suggestions are unknown, not ruled out.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// SuggestProgress ranks candidate single-fact next inputs over the constant
+// pool by how directly they advance the partial run toward the goal.
+// budget bounds the number of transducer executions spent (the candidate
+// space is |pool|^arity per input relation, squared for the two-step
+// lookahead); 0 means DefaultSuggestBudget. The context cancels the scan.
+func SuggestProgress(ctx context.Context, m *core.Machine, db relation.Instance, prefix relation.Sequence, g *Goal, pool []relation.Const, budget int) (*SuggestResult, error) {
+	if err := g.validate(m.Schema()); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budget <= 0 {
+		budget = DefaultSuggestBudget
+	}
+	var universe []relation.Fact
+	for _, d := range m.Schema().In {
+		for _, tup := range enumerateTuples(pool, d.Arity) {
+			universe = append(universe, relation.Fact{Rel: d.Name, Args: tup})
+		}
+	}
+	sort.Slice(universe, func(i, j int) bool { return universe[i].String() < universe[j].String() })
+
+	res := &SuggestResult{}
+	exec := func(seq relation.Sequence) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if budget <= 0 {
+			res.Truncated = true
+			return false, errBudgetDone
+		}
+		budget--
+		run, err := m.Execute(db, seq)
+		if err != nil {
+			return false, err
+		}
+		return g.Holds(run.LastOutput()), nil
+	}
+
+	step := func(f relation.Fact) relation.Instance {
+		in := relation.NewInstance()
+		in.Add(f.Rel, f.Args)
+		return in
+	}
+
+	// Pass 1: immediate achievers.
+	var second []relation.Fact
+	for _, f := range universe {
+		ok, err := exec(append(prefix.Clone(), step(f)))
+		if err == errBudgetDone {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Suggestions = append(res.Suggestions, Suggestion{Fact: f, Distance: 1})
+		} else {
+			second = append(second, f)
+		}
+	}
+	// Pass 2: enablers — facts after which some single input achieves the
+	// goal. The first completing follow-up (in sorted order) is reported.
+	for _, f := range second {
+		base := append(prefix.Clone(), step(f))
+		for _, f2 := range universe {
+			ok, err := exec(append(base.Clone(), step(f2)))
+			if err == errBudgetDone {
+				return res, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				follow := f2
+				res.Suggestions = append(res.Suggestions, Suggestion{Fact: f, Distance: 2, Follow: &follow})
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// DefaultSuggestBudget bounds SuggestProgress's transducer executions when
+// the caller passes no budget.
+const DefaultSuggestBudget = 50000
+
+// errBudgetDone is an internal sentinel: the suggest budget ran out (the
+// partial result is still returned, flagged Truncated).
+var errBudgetDone = errors.New("verify: suggest budget exhausted")

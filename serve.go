@@ -6,12 +6,15 @@ package spocus
 // The cluster layer (internal/cluster, cmd/spocus-router) lifts the
 // session shard boundary across processes: a consistent-hash router
 // fronting N servers, with health-based failover and deterministic-replay
-// session handoff.
+// session handoff. The live verification plane (internal/live) answers
+// reachability, temporal, and progress queries against running sessions'
+// current prefixes, with memoized answers and admission control.
 
 import (
 	"net/http"
 
 	"repro/internal/cluster"
+	"repro/internal/live"
 	"repro/internal/models"
 	"repro/internal/session"
 )
@@ -70,13 +73,46 @@ type (
 	SessionExport = session.Export
 )
 
+// Re-exported live-verification-plane types.
+type (
+	// LiveService answers verification queries about running sessions from
+	// their current prefixes: goal reachability, temporal checks, and
+	// progress suggestions, with a shared memoized answer cache, a bounded
+	// worker pool, per-query timeouts, and admission control.
+	LiveService = live.Service
+	// LiveConfig sizes a LiveService (workers, queue, per-query timeout,
+	// solver budgets, answer-cache capacity).
+	LiveConfig = live.Config
+	// LiveSource is a stable session snapshot a LiveService answers from
+	// (see Engine.Peek).
+	LiveSource = live.Source
+	// LiveStats is a point-in-time metrics snapshot of a LiveService.
+	LiveStats = live.Stats
+	// GoalAnswer, TemporalAnswer, and ProgressAnswer are the wire answers
+	// of the three query kinds.
+	GoalAnswer     = live.GoalAnswer
+	TemporalAnswer = live.TemporalAnswer
+	ProgressAnswer = live.ProgressAnswer
+)
+
 // NewEngine creates a session engine, replaying any WAL and snapshots
 // under cfg.Dir before accepting requests.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return session.NewEngine(cfg) }
 
 // ServerHandler serves the engine over HTTP/JSON (see internal/session's
-// Handler for the endpoint list).
+// Handler for the endpoint list), with a default live verification
+// service.
 func ServerHandler(e *Engine) http.Handler { return session.Handler(e) }
+
+// ServerHandlerWith is ServerHandler with an explicitly configured live
+// verification service.
+func ServerHandlerWith(e *Engine, lv *LiveService) http.Handler {
+	return session.HandlerWith(e, lv)
+}
+
+// NewLiveService creates a live verification service; zero-value config
+// fields get defaults.
+func NewLiveService(cfg LiveConfig) *LiveService { return live.New(cfg) }
 
 // NewRouter builds a cluster router over the configured backends and
 // starts health checking; serve its Handler and Close it on shutdown.

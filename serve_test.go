@@ -1,8 +1,11 @@
 package spocus_test
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
@@ -95,5 +98,59 @@ func TestFacadeCluster(t *testing.T) {
 	}
 	if info := rt.Ring().Snapshot(); len(info.Members) != 2 {
 		t.Fatalf("ring members: %+v", info.Members)
+	}
+}
+
+// TestFacadeLive drives the live verification plane through the public
+// facade: a configured LiveService answers a reachability query about a
+// running session both in-process (Peek → Goal) and over the wire
+// (ServerHandlerWith).
+func TestFacadeLive(t *testing.T) {
+	e, err := spocus.NewEngine(spocus.EngineConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	lv := spocus.NewLiveService(spocus.LiveConfig{Workers: 1})
+	if _, err := e.Open(&spocus.OpenRequest{ID: "live-f", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Input("live-f", spocus.Step(spocus.F("order", "time"))); err != nil {
+		t.Fatal(err)
+	}
+
+	view, err := e.Peek("live-f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := spocus.LiveSource{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+	a, err := lv.Goal(context.Background(), src, "deliver(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Reachable {
+		t.Fatalf("deliver(X) unreachable after order(time): %+v", a)
+	}
+
+	srv := httptest.NewServer(spocus.ServerHandlerWith(e, lv))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/sessions/live-f/verify?goal=" + url.QueryEscape("deliver(X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify via facade handler: status %d", resp.StatusCode)
+	}
+	var wire spocus.GoalAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	// The wire answer is served from the answer the in-process query warmed.
+	if !wire.Reachable || !wire.Cached {
+		t.Fatalf("wire answer: %+v, want reachable and cached", wire)
+	}
+	if st := lv.Stats(); st.Queries != 2 || st.CacheHits != 1 {
+		t.Fatalf("facade service stats: %+v", st)
 	}
 }
