@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/session"
@@ -122,21 +123,37 @@ func BenchmarkSessionRecovery(b *testing.B) {
 			}
 		}
 	}
-	// Capture the pure-WAL fixture before Shutdown compacts it into a
-	// snapshot, then restore it for every iteration: each NewEngine below
-	// replays the full (nSessions × nSteps)-record WAL, as after kill -9.
-	walPath := filepath.Join(dir, "shard-000.wal")
-	walBytes, err := os.ReadFile(walPath)
+	// Capture the pure-WAL fixture (the whole shard directory: manifest +
+	// segments) before Shutdown compacts it into a snapshot, then restore
+	// it for every iteration: each NewEngine below replays the full
+	// (nSessions × nSteps)-record WAL, as after kill -9.
+	shardDir := filepath.Join(dir, "shard-000")
+	fixture := map[string][]byte{}
+	entries, err := os.ReadDir(shardDir)
 	if err != nil {
 		b.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(shardDir, ent.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixture[ent.Name()] = data
 	}
 	if err := e.Shutdown(); err != nil {
 		b.Fatal(err)
 	}
 	restore := func() {
-		os.Remove(filepath.Join(dir, "shard-000.snap"))
-		if err := os.WriteFile(walPath, walBytes, 0o644); err != nil {
+		if err := os.RemoveAll(shardDir); err != nil {
 			b.Fatal(err)
+		}
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for name, data := range fixture {
+			if err := os.WriteFile(filepath.Join(shardDir, name), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	b.ResetTimer()
@@ -154,5 +171,63 @@ func BenchmarkSessionRecovery(b *testing.B) {
 		b.StopTimer()
 		e2.Shutdown()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkSessionGroupCommit measures concurrent stepping under
+// `-fsync always` with and without group commit on one shard: batch=1
+// gives every step its own fsync (the pre-group-commit engine), while the
+// default batch lets queued steps share one. The syncs/op metric shows
+// the mechanism directly.
+func BenchmarkSessionGroupCommit(b *testing.B) {
+	cases := []struct {
+		name   string
+		batch  int
+		window int // microseconds
+	}{
+		{"batch1", 1, 0},
+		{"group", 0, 0}, // default batch (256), opportunistic drain only
+		{"group-window", 0, 200},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			const nSessions = 64
+			e, err := session.NewEngine(session.Config{
+				Dir:               b.TempDir(),
+				Shards:            1,
+				Fsync:             session.FsyncAlways,
+				GroupCommitBatch:  c.batch,
+				GroupCommitWindow: time.Duration(c.window) * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Shutdown()
+			ids := make([]string, nSessions)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("g-%03d", i)
+				if _, err := e.Open(&session.OpenRequest{ID: ids[i], Model: "short"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.SetParallelism(32) // force steps to queue on the one shard
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := next.Add(1)
+					i := int(n) % nSessions
+					if _, err := e.Input(ids[i], shopStep(i, int(n)/nSessions)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := e.Stats()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			if b.N > 0 {
+				b.ReportMetric(float64(st.WALSyncs)/float64(b.N), "syncs/op")
+			}
+		})
 	}
 }

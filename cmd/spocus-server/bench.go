@@ -219,6 +219,10 @@ func bench(args []string) {
 		model     = fs.String("model", "short", "scripted run: short | friendly")
 		url       = fs.String("url", "", "drive load over HTTP against this base URL (a spocus-server or spocus-router) instead of in-process")
 		verifyMix = fs.Float64("verify-mix", 0, "fraction of steps followed by a live verify query (e.g. 0.1: one query per 10 steps)")
+
+		fsyncMatrix   = fs.Bool("fsync-matrix", false, "run the in-process bench across the durability matrix (wal-never, wal-interval, wal-always-batch1, wal-always-group), each on a fresh temp dir; emits a JSON array")
+		handoffSteps  = fs.Int("handoff-steps", 0, "with -url pointing at a spocus-router: open one session, drive this many steps, then time replay- vs ship-mode handoffs")
+		handoffRounds = fs.Int("handoff-rounds", 5, "handoffs timed per mode under -handoff-steps")
 	)
 	build := engineFlags(fs, "never")
 	fs.Parse(args)
@@ -227,6 +231,23 @@ func bench(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *handoffSteps > 0 {
+		if *url == "" {
+			fatal(fmt.Errorf("-handoff-steps needs -url pointing at a spocus-router"))
+		}
+		benchHandoff(strings.TrimRight(*url, "/"), *model, db, script, *handoffSteps, *handoffRounds)
+		return
+	}
+	if *fsyncMatrix {
+		cfg, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		benchFsyncMatrix(cfg, *model, db, script, *nSessions, *nSteps, *verifyMix)
+		return
+	}
+
 	var target benchTarget
 	if *url != "" {
 		target = &httpTarget{
@@ -244,7 +265,11 @@ func bench(args []string) {
 			},
 		}
 	} else {
-		eng, err := build()
+		cfg, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := session.NewEngine(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -254,12 +279,24 @@ func bench(args []string) {
 		target = &engineTarget{eng: eng, lv: live.New(live.Config{Queue: *nSessions})}
 	}
 
+	res := runLoad(target, script, db, *model, *nSessions, *nSteps, *verifyMix)
+	if *url == "" {
+		res.Fsync = fs.Lookup("fsync").Value.String()
+		res.Durable = fs.Lookup("dir").Value.String() != ""
+	}
+	emit(res)
+}
+
+// runLoad opens nSessions sessions on target and drives each through
+// nSteps scripted steps concurrently, returning the throughput/latency
+// report (target.finish folds in target-side stats and shuts it down).
+func runLoad(target benchTarget, script func(int, int) relation.Instance, db relation.Instance, model string, nSessions, nSteps int, verifyMix float64) benchResult {
 	// Open all sessions first so the timed region measures pure stepping.
 	openStart := time.Now()
-	ids := make([]string, *nSessions)
+	ids := make([]string, nSessions)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("bench-%06d", i)
-		if err := target.open(ids[i], *model, db); err != nil {
+		if err := target.open(ids[i], model, db); err != nil {
 			fatal(err)
 		}
 	}
@@ -271,25 +308,25 @@ func bench(args []string) {
 	// after a deterministic subset of its steps, the way a storefront would
 	// poll the progress service mid-checkout.
 	verifyEvery := 0
-	if *verifyMix > 0 {
-		verifyEvery = int(math.Max(1, math.Round(1 / *verifyMix)))
+	if verifyMix > 0 {
+		verifyEvery = int(math.Max(1, math.Round(1 / verifyMix)))
 	}
 	type verifySample struct {
 		d      time.Duration
 		cached bool
 	}
-	lats := make([][]time.Duration, *nSessions)
-	vlats := make([][]verifySample, *nSessions)
+	lats := make([][]time.Duration, nSessions)
+	vlats := make([][]verifySample, nSessions)
 	var wg sync.WaitGroup
-	errs := make(chan error, *nSessions)
+	errs := make(chan error, nSessions)
 	start := time.Now()
 	for i := range ids {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, *nSteps)
+			lat := make([]time.Duration, 0, nSteps)
 			var vlat []verifySample
-			for j := 0; j < *nSteps; j++ {
+			for j := 0; j < nSteps; j++ {
 				in := script(i, j)
 				t0 := time.Now()
 				if err := target.step(ids[i], in); err != nil {
@@ -324,7 +361,7 @@ func bench(args []string) {
 	// the in-loop samples are dominated by cold solves and coalesced waiters,
 	// which pay the full solve latency.
 	if verifyEvery > 0 {
-		warm := make([][]verifySample, *nSessions)
+		warm := make([][]verifySample, nSessions)
 		var wwg sync.WaitGroup
 		for i := range ids {
 			wwg.Add(1)
@@ -356,17 +393,13 @@ func bench(args []string) {
 	}
 
 	res := benchResult{
-		Model:        *model,
-		Sessions:     *nSessions,
-		StepsPerSess: *nSteps,
+		Model:        model,
+		Sessions:     nSessions,
+		StepsPerSess: nSteps,
 		StepsTotal:   len(all),
 		ElapsedSec:   elapsed.Seconds(),
 		StepsPerSec:  float64(len(all)) / elapsed.Seconds(),
 		OpenSec:      openElapsed.Seconds(),
-	}
-	if *url == "" {
-		res.Fsync = fs.Lookup("fsync").Value.String()
-		res.Durable = fs.Lookup("dir").Value.String() != ""
 	}
 	target.finish(&res)
 	res.Latency.P50Micros = pct(0.50)
@@ -395,7 +428,7 @@ func bench(args []string) {
 		for _, ds := range [][]time.Duration{vall, cold, hit} {
 			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 		}
-		res.VerifyMix = *verifyMix
+		res.VerifyMix = verifyMix
 		res.VerifyTotal = len(vall)
 		res.VerifyCached = len(hit)
 		if len(vall) > 0 {
@@ -412,11 +445,156 @@ func bench(args []string) {
 		}
 	}
 
+	return res
+}
+
+func emit(v any) {
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")
-	if err := out.Encode(res); err != nil {
+	if err := out.Encode(v); err != nil {
 		fatal(err)
 	}
+}
+
+// benchFsyncMatrix runs the in-process bench once per durability policy on
+// a fresh temp dir each, holding the workload fixed: the spread between
+// wal-never (the no-durability bound) and the wal-always rows is the price
+// of the corresponding ack guarantee, and the distance group commit closes
+// between wal-always-batch1 (one fsync per step) and the bound is its
+// whole point.
+func benchFsyncMatrix(cfg session.Config, model string, db relation.Instance, script func(int, int) relation.Instance, nSessions, nSteps int, verifyMix float64) {
+	cases := []struct {
+		name   string
+		fsync  session.FsyncPolicy
+		batch  int // 0: engine default (group commit on)
+		window time.Duration
+	}{
+		{"wal-never", session.FsyncNever, 0, 0},
+		{"wal-interval", session.FsyncInterval, 0, 0},
+		{"wal-always-batch1", session.FsyncAlways, 1, 0},
+		{"wal-always-group", session.FsyncAlways, 0, 200 * time.Microsecond},
+	}
+	results := make([]benchResult, 0, len(cases))
+	for _, c := range cases {
+		dir, err := os.MkdirTemp("", "spocus-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		cc := cfg
+		cc.Dir, cc.Fsync, cc.GroupCommitBatch, cc.GroupCommitWindow = dir, c.fsync, c.batch, c.window
+		eng, err := session.NewEngine(cc)
+		if err != nil {
+			os.RemoveAll(dir)
+			fatal(err)
+		}
+		target := &engineTarget{eng: eng, lv: live.New(live.Config{Queue: nSessions})}
+		res := runLoad(target, script, db, model, nSessions, nSteps, verifyMix)
+		res.Fsync, res.Durable = c.name, true
+		results = append(results, res)
+		os.RemoveAll(dir)
+	}
+	emit(results)
+}
+
+// handoffTiming is one transport's timings in the handoff bench report.
+type handoffTiming struct {
+	Mode      string    `json:"mode"`
+	Rounds    int       `json:"rounds"`
+	MeanMs    float64   `json:"mean_ms"`
+	MinMs     float64   `json:"min_ms"`
+	MaxMs     float64   `json:"max_ms"`
+	SamplesMs []float64 `json:"samples_ms"`
+}
+
+// benchHandoff times session handoff through a router under both
+// transports at a fixed session size: replay re-steps the whole input
+// history (cost grows with steps), shipping moves the state image and
+// verifies a log digest (cost tracks state size, not step count).
+func benchHandoff(router, model string, db relation.Instance, script func(int, int) relation.Instance, steps, rounds int) {
+	target := &httpTarget{base: router, client: &http.Client{Timeout: 5 * time.Minute}}
+	const id = "handoff-bench"
+	if err := target.open(id, model, db); err != nil {
+		fatal(err)
+	}
+	for j := 0; j < steps; j++ {
+		if err := target.step(id, script(0, j)); err != nil {
+			fatal(fmt.Errorf("step %d: %w", j+1, err))
+		}
+	}
+
+	// The live backends, from the router's own ring.
+	var shards struct {
+		Members []struct {
+			Addr string `json:"addr"`
+			Up   bool   `json:"up"`
+		} `json:"members"`
+	}
+	resp, err := target.client.Get(router + "/debug/shards")
+	if err != nil {
+		fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&shards)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var backends []string
+	for _, m := range shards.Members {
+		if m.Up {
+			backends = append(backends, m.Addr)
+		}
+	}
+	if len(backends) < 2 {
+		fatal(fmt.Errorf("handoff bench needs >= 2 live backends, ring has %d", len(backends)))
+	}
+	owner := -1
+	for b, u := range backends {
+		if r, err := target.client.Get(u + "/sessions/" + id); err == nil {
+			if r.Body.Close(); r.StatusCode == http.StatusOK {
+				owner = b
+			}
+		}
+	}
+	if owner < 0 {
+		fatal(fmt.Errorf("no backend owns %s", id))
+	}
+
+	report := struct {
+		URL      string          `json:"url"`
+		Session  string          `json:"session"`
+		Steps    int             `json:"steps"`
+		Backends int             `json:"backends"`
+		Handoffs []handoffTiming `json:"handoffs"`
+	}{URL: router, Session: id, Steps: steps, Backends: len(backends)}
+
+	for _, mode := range []string{"replay", "ship"} {
+		ht := handoffTiming{Mode: mode, Rounds: rounds, MinMs: math.Inf(1)}
+		for r := 0; r < rounds; r++ {
+			to := backends[(owner+1)%len(backends)]
+			var hres struct {
+				Steps    int    `json:"steps"`
+				Mode     string `json:"mode"`
+				Fallback bool   `json:"fallback"`
+			}
+			t0 := time.Now()
+			hurl := fmt.Sprintf("%s/admin/handoff?session=%s&to=%s&mode=%s", router, id, neturl.QueryEscape(to), mode)
+			if _, err := target.post(hurl, nil, &hres); err != nil {
+				fatal(err)
+			}
+			ms := float64(time.Since(t0)) / 1e6
+			if hres.Steps != steps || hres.Mode != mode || hres.Fallback {
+				fatal(fmt.Errorf("handoff came back steps=%d mode=%s fallback=%v, want steps=%d mode=%s",
+					hres.Steps, hres.Mode, hres.Fallback, steps, mode))
+			}
+			ht.SamplesMs = append(ht.SamplesMs, ms)
+			ht.MeanMs += ms / float64(rounds)
+			ht.MinMs = math.Min(ht.MinMs, ms)
+			ht.MaxMs = math.Max(ht.MaxMs, ms)
+			owner = (owner + 1) % len(backends)
+		}
+		report.Handoffs = append(report.Handoffs, ht)
+	}
+	emit(report)
 }
 
 // scriptFor returns the per-session input script and a database sized for

@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +23,23 @@ import (
 	"repro/internal/relation"
 	"repro/internal/session"
 )
+
+// shopStep is the Figure 1 shopping loop against the magazine database:
+// order an item on even steps, pay for it on odd ones. Deterministic in
+// (session index, step index), so an in-process oracle can replay any
+// recovered prefix.
+func shopStep(i, j int) relation.Instance {
+	products := []string{"time", "newsweek", "le-monde"}
+	prices := []string{"855", "845", "8350"}
+	p := (i + j/2) % len(products)
+	in := relation.NewInstance()
+	if j%2 == 0 {
+		in.Add("order", relation.Tuple{relation.Const(products[p])})
+	} else {
+		in.Add("pay", relation.Tuple{relation.Const(products[p]), relation.Const(prices[p])})
+	}
+	return in
+}
 
 // buildServer compiles the server binary once per test run.
 func buildServer(t *testing.T) string {
@@ -36,10 +55,22 @@ func buildServer(t *testing.T) string {
 	return bin
 }
 
+// testFsync is the WAL policy the crash tests run under. CI's durability
+// matrix overrides it to prove recovery holds under every policy; the
+// byte-identical-prefix assertions are policy-independent — only the
+// "every acked step survives" guarantee needs -fsync always.
+func testFsync() string {
+	if p := os.Getenv("SPOCUS_TEST_FSYNC"); p != "" {
+		return p
+	}
+	return "always"
+}
+
 // startServer launches the binary and returns its base URL and process.
-func startServer(t *testing.T, bin, dir string) (*exec.Cmd, string) {
+func startServer(t *testing.T, bin, dir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-dir", dir, "-fsync", "always")
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-dir", dir, "-fsync", testFsync()}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -155,20 +186,131 @@ func TestCrashRecovery(t *testing.T) {
 
 	_, base2 := startServer(t, bin, dir)
 	lr := getLog(t, base2, "fig1")
-	if lr.Steps != 2 || !lr.Log.Equal(ref.Logs[:2]) {
-		t.Fatalf("recovered log differs from uncrashed run:\n got %s\nwant %s", lr.Log, relation.Sequence(ref.Logs[:2]))
+	// Under -fsync always both acked steps must survive; under interval or
+	// never (CI's durability matrix) a kill -9 may lose a suffix, but the
+	// recovered log must still be an exact prefix of the uncrashed run.
+	if testFsync() == "always" && lr.Steps != 2 {
+		t.Fatalf("recovered %d steps under -fsync always, want 2 (both were acked)", lr.Steps)
+	}
+	if lr.Steps > 2 || !lr.Log.Equal(ref.Logs[:lr.Steps]) {
+		t.Fatalf("recovered log diverges from uncrashed run:\n got %s\nwant %s", lr.Log, relation.Sequence(ref.Logs[:2]))
 	}
 
 	// The revived session keeps serving: finish the Figure 1 run and
 	// compare the complete log.
-	var res session.StepResult
-	post(t, fmt.Sprintf("%s/sessions/fig1/input", base2), map[string]any{"input": inputs[2]}, &res)
-	if res.Seq != 3 || !res.Output.Equal(ref.Outputs[2]) {
-		t.Errorf("step 3 after recovery diverged: %+v", res)
+	for i, in := range inputs[lr.Steps:] {
+		var res session.StepResult
+		post(t, fmt.Sprintf("%s/sessions/fig1/input", base2), map[string]any{"input": in}, &res)
+		if want := lr.Steps + i + 1; res.Seq != want {
+			t.Errorf("step after recovery got seq %d, want %d", res.Seq, want)
+		}
 	}
 	lr = getLog(t, base2, "fig1")
 	if !lr.Log.Equal(ref.Logs) {
 		t.Errorf("final log differs from uncrashed run:\n got %s\nwant %s", lr.Log, ref.Logs)
+	}
+}
+
+// TestCrashGroupCommit is the acceptance test of group commit: many
+// sessions step concurrently against a server batching their fsyncs
+// (-group-commit-window forces real batches, small segments force rotation
+// under load), the process is SIGKILLed mid-batch, and after restart every
+// step that was acknowledged before the kill must be present — and every
+// recovered log must be an exact prefix of the deterministic oracle run.
+// This is exactly the guarantee group commit must not weaken: acks are
+// released only after the shared fsync.
+func TestCrashGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	bin := buildServer(t)
+	dir := t.TempDir()
+
+	const nSessions = 8
+	cmd, base := startServer(t, bin, dir,
+		"-group-commit-window", "2ms", "-wal-segment-bytes", "4096", "-snapshot-every", "64")
+	for i := 0; i < nSessions; i++ {
+		var info session.Info
+		post(t, base+"/sessions", map[string]string{"model": "short", "id": fmt.Sprintf("gc-%d", i)}, &info)
+	}
+
+	// Drive all sessions concurrently so shards see adjacent appends to
+	// batch. acked[i] counts steps whose 2xx response arrived — the durable
+	// promise under -fsync always.
+	var acked [nSessions]atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/sessions/gc-%d/input", base, i)
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, _ := json.Marshal(map[string]any{"input": shopStep(i, j)})
+				resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+				if err != nil {
+					return // the kill severed the connection
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusTooManyRequests {
+					j--
+					continue
+				}
+				if code/100 != 2 {
+					return
+				}
+				acked[i].Add(1)
+			}
+		}(i)
+	}
+
+	// Let real load build up, then kill -9 mid-batch: some steps are acked,
+	// some are in mailboxes or waiting on the shared fsync.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var total int64
+		for i := range acked {
+			total += acked[i].Load()
+		}
+		if total >= 10*nSessions || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	close(stop)
+	wg.Wait()
+
+	_, base2 := startServer(t, bin, dir)
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("gc-%d", i)
+		lr := getLog(t, base2, id)
+		n := acked[i].Load()
+		if testFsync() == "always" && int64(lr.Steps) < n {
+			t.Errorf("%s: recovered %d steps but %d were acked before the kill", id, lr.Steps, n)
+		}
+		// Determinism check against the oracle: replaying the same inputs
+		// in-process must yield the identical log prefix, whatever survived.
+		inputs := make(relation.Sequence, lr.Steps)
+		for j := range inputs {
+			inputs[j] = shopStep(i, j)
+		}
+		ref, err := models.Short().Execute(models.MagazineDB(), inputs)
+		if err != nil {
+			t.Fatalf("%s: oracle replay: %v", id, err)
+		}
+		if !lr.Log.Equal(ref.Logs) {
+			t.Errorf("%s: recovered log diverges from oracle at %d steps", id, lr.Steps)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@
 //
 //	spocus-server serve [-addr :8080] [-dir data] [-shards N]
 //	                    [-fsync always|interval|never] [-fsync-interval 100ms]
+//	                    [-wal-segment-bytes 67108864] [-group-commit-batch 256]
+//	                    [-group-commit-window 0]
 //	                    [-snapshot-every 4096] [-mailbox 1024]
 //	                    [-session-rate 0] [-session-burst 0]
 //	                    [-verify-workers N] [-verify-queue N]
@@ -14,6 +16,8 @@
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
 //	                    [-shards N] [-dir DIR] [-fsync never]
 //	                    [-url http://router:8090] [-verify-mix 0.1]
+//	                    [-fsync-matrix]
+//	                    [-handoff-steps 1000 -handoff-rounds 5]
 //
 // serve exposes:
 //
@@ -74,33 +78,40 @@ func fatal(err error) {
 }
 
 // engineFlags registers the flags shared by serve and bench and returns a
-// builder.
-func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (*session.Engine, error) {
+// config builder (bench's fsync matrix overrides fields per case before
+// constructing the engine).
+func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, error) {
 	var (
 		dir           = fs.String("dir", "", "durability directory for WAL + snapshots (empty: in-memory only)")
 		shards        = fs.Int("shards", 0, "session shards (0: GOMAXPROCS)")
 		fsync         = fs.String("fsync", defaultFsync, "WAL fsync policy: always | interval | never")
 		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
+		segmentBytes  = fs.Int64("wal-segment-bytes", 64<<20, "rotate a shard's WAL segment past this size")
+		gcBatch       = fs.Int("group-commit-batch", 256, "max steps sharing one fsync under -fsync always (1: one fsync per step)")
+		gcWindow      = fs.Duration("group-commit-window", 0, "extra time a dirty shard waits for steps to join a group commit (0: drain-only)")
 		snapEvery     = fs.Int("snapshot-every", 4096, "steps per shard between snapshots (-1: disable)")
 		mailbox       = fs.Int("mailbox", 1024, "per-shard mailbox depth; overflow is rejected with 429")
 		sessionRate   = fs.Float64("session-rate", 0, "per-session step rate limit in steps/sec (0: unlimited); excess steps get 429 + Retry-After")
 		sessionBurst  = fs.Int("session-burst", 0, "per-session burst allowance under -session-rate (0: max(1, ceil(rate)))")
 	)
-	return func() (*session.Engine, error) {
+	return func() (session.Config, error) {
 		policy, err := session.ParseFsyncPolicy(*fsync)
 		if err != nil {
-			return nil, err
+			return session.Config{}, err
 		}
-		return session.NewEngine(session.Config{
-			Dir:           *dir,
-			Shards:        *shards,
-			Fsync:         policy,
-			FsyncInterval: *fsyncInterval,
-			SnapshotEvery: *snapEvery,
-			MailboxDepth:  *mailbox,
-			SessionRate:   *sessionRate,
-			SessionBurst:  *sessionBurst,
-		})
+		return session.Config{
+			Dir:               *dir,
+			Shards:            *shards,
+			Fsync:             policy,
+			FsyncInterval:     *fsyncInterval,
+			SegmentBytes:      *segmentBytes,
+			GroupCommitBatch:  *gcBatch,
+			GroupCommitWindow: *gcWindow,
+			SnapshotEvery:     *snapEvery,
+			MailboxDepth:      *mailbox,
+			SessionRate:       *sessionRate,
+			SessionBurst:      *sessionBurst,
+		}, nil
 	}
 }
 
@@ -116,7 +127,11 @@ func serve(args []string) {
 	build := engineFlags(fs, "always")
 	fs.Parse(args)
 
-	eng, err := build()
+	cfg, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := session.NewEngine(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,7 +11,10 @@ import (
 	"repro/internal/session"
 )
 
-// Handoff moves one session between backends by deterministic replay:
+// Handoff moves one session between backends. Two transports share one
+// protocol skeleton (freeze → move → retire → pin):
+//
+// Replay mode:
 //
 //  1. export: the source freezes the session (draining it — further inputs
 //     get 503 there) and returns its input history,
@@ -22,11 +25,28 @@ import (
 //  4. retire: the source forgets its copy (logged, so replay does not
 //     resurrect it), and the ring pins the session to the target.
 //
+// Ship mode (the default) replaces steps 1–3 with a single round trip per
+// side: the source freezes and returns its full state image plus a sha-256
+// digest of its log (export-state), and the target installs the image,
+// recomputing the digest from the restored log and refusing on mismatch.
+// Cost is O(state) instead of O(steps) — a 1k-step session moves in two
+// requests, not a thousand — while the digest check pins exactly the
+// byte-identity that replay guarantees by construction. Any ship failure
+// (digest mismatch, target without the endpoint, transport error) falls
+// back to replay on the same frozen source; export and export-state are
+// idempotent on a frozen session, so mixing them is safe.
+//
 // Determinism (state and log are a function of database + inputs alone)
-// makes step 2 reconstruct the log bit-for-bit, and the freeze makes the
+// makes replay reconstruct the log bit-for-bit, and the freeze makes the
 // move exactly-once at the log level: no input can land on both copies.
-// On any failure before step 4 the target copy is deleted and the source
+// On any failure before retire the target copy is deleted and the source
 // is unfrozen — the session never stops being served by exactly one owner.
+
+// Handoff transports.
+const (
+	HandoffShip   = "ship"   // move the state image + log digest
+	HandoffReplay = "replay" // re-step the exported input history
+)
 
 // HandoffResult reports a completed handoff.
 type HandoffResult struct {
@@ -34,9 +54,13 @@ type HandoffResult struct {
 	From    string `json:"from"`
 	To      string `json:"to"`
 	Steps   int    `json:"steps"`
+	// Mode is the transport that actually moved the session; Fallback is
+	// set when ship was attempted first and replay finished the job.
+	Mode     string `json:"mode,omitempty"`
+	Fallback bool   `json:"fallback,omitempty"`
 }
 
-// handleHandoff serves POST /admin/handoff?session=ID&to=BACKEND.
+// handleHandoff serves POST /admin/handoff?session=ID&to=BACKEND[&mode=ship|replay].
 func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("session")
 	to := r.URL.Query().Get("to")
@@ -44,7 +68,15 @@ func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "handoff needs ?session= and ?to="})
 		return
 	}
-	res, err := rt.Handoff(id, to)
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = rt.handoffMode
+	}
+	if mode != HandoffShip && mode != HandoffReplay {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown handoff mode %q", mode)})
+		return
+	}
+	res, err := rt.HandoffWith(id, to, mode)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
@@ -79,12 +111,18 @@ func (rt *Router) lockSession(id string) (unlock func()) {
 	}
 }
 
-// Handoff drains session id on its current owner, replays it on backend
-// to, and flips the ring entry. Handing a session to the backend that
-// already owns it is a no-op. Handoffs of the same session are serialized;
-// a concurrent caller blocks until the first move completes, then acts on
-// the post-move owner.
+// Handoff drains session id on its current owner, moves it to backend to
+// using the router's default transport, and flips the ring entry.
 func (rt *Router) Handoff(id, to string) (*HandoffResult, error) {
+	return rt.HandoffWith(id, to, rt.handoffMode)
+}
+
+// HandoffWith is Handoff with an explicit transport (HandoffShip or
+// HandoffReplay). Handing a session to the backend that already owns it
+// is a no-op. Handoffs of the same session are serialized; a concurrent
+// caller blocks until the first move completes, then acts on the
+// post-move owner.
+func (rt *Router) HandoffWith(id, to, mode string) (*HandoffResult, error) {
 	defer rt.lockSession(id)()
 	known := false
 	for _, m := range rt.ring.Members() {
@@ -107,41 +145,84 @@ func (rt *Router) Handoff(id, to string) (*HandoffResult, error) {
 		return &HandoffResult{Session: id, From: from, To: to}, nil
 	}
 
-	// 1. Freeze + export on the source.
-	var exp session.Export
-	if err := rt.postJSON(from+"/admin/sessions/"+id+"/export", nil, &exp); err != nil {
-		return nil, fmt.Errorf("handoff: export from %s: %w", from, err)
-	}
+	res := &HandoffResult{Session: id, From: from, To: to, Mode: mode}
 
-	// 2–3. Replay on the target; on any failure, roll back to the source.
-	if err := rt.replay(to, &exp); err != nil {
-		rt.deleteSession(to, id)
-		if uerr := rt.postJSON(from+"/admin/sessions/"+id+"/unfreeze", nil, nil); uerr != nil {
-			return nil, fmt.Errorf("handoff: replay on %s failed (%v) AND unfreeze on %s failed (%v): session %s needs manual thaw", to, err, from, uerr, id)
+	// Move the session (freezing the source as a side effect of the first
+	// export). A failed ship falls back to replay against the same frozen
+	// source before anything is rolled back.
+	if mode == HandoffShip {
+		steps, shipErr := rt.ship(from, to, id)
+		if shipErr == nil {
+			res.Steps = steps
+		} else {
+			rt.deleteSession(to, id)
+			rt.m.handoffFallbacks.Add(1)
+			res.Mode, res.Fallback = HandoffReplay, true
 		}
-		return nil, fmt.Errorf("handoff: replay on %s: %w (source unfrozen)", to, err)
+	}
+	if res.Mode == HandoffReplay {
+		var exp session.Export
+		if err := rt.postJSON(from+"/admin/sessions/"+id+"/export", nil, &exp); err != nil {
+			return nil, fmt.Errorf("handoff: export from %s: %w", from, err)
+		}
+		if err := rt.replay(to, &exp); err != nil {
+			rt.deleteSession(to, id)
+			if uerr := rt.postJSON(from+"/admin/sessions/"+id+"/unfreeze", nil, nil); uerr != nil {
+				return nil, fmt.Errorf("handoff: replay on %s failed (%v) AND unfreeze on %s failed (%v): session %s needs manual thaw", to, err, from, uerr, id)
+			}
+			return nil, fmt.Errorf("handoff: replay on %s: %w (source unfrozen)", to, err)
+		}
+		res.Steps = exp.Steps
 	}
 
-	// 4. Retire the source copy and flip the ring.
+	// Retire the source copy and flip the ring.
 	if err := rt.postJSON(from+"/admin/sessions/"+id+"/forget", nil, nil); err != nil {
 		var nf *notFoundError
 		if errors.As(err, &nf) {
 			// The session vanished from the source under our freeze —
-			// someone else retired it. Our replayed copy would be a second
+			// someone else retired it. Our moved copy would be a second
 			// live replica, so delete it and leave the ring alone.
 			rt.deleteSession(to, id)
 			return nil, fmt.Errorf("handoff: session %s disappeared from %s mid-handoff (replica on %s deleted): %w", id, from, to, err)
 		}
 		// The target already serves the session; routing there anyway is
 		// correct, the frozen source copy is inert. Report but proceed.
-		rt.ring.Pin(id, to)
-		rt.m.handoffs.Add(1)
-		return &HandoffResult{Session: id, From: from, To: to, Steps: exp.Steps},
-			fmt.Errorf("handoff: forget on %s: %w (ring flipped; frozen source copy remains)", from, err)
+		rt.finishHandoff(id, to, res)
+		return res, fmt.Errorf("handoff: forget on %s: %w (ring flipped; frozen source copy remains)", from, err)
 	}
+	rt.finishHandoff(id, to, res)
+	return res, nil
+}
+
+func (rt *Router) finishHandoff(id, to string, res *HandoffResult) {
 	rt.ring.Pin(id, to)
 	rt.m.handoffs.Add(1)
-	return &HandoffResult{Session: id, From: from, To: to, Steps: exp.Steps}, nil
+	if res.Mode == HandoffShip {
+		rt.m.handoffsShipped.Add(1)
+	}
+}
+
+// ship moves the session in one round trip per side: export-state on the
+// source (freeze + state image + log digest), install on the target
+// (restore + digest verification + an install WAL record). Returns the
+// shipped session's step count.
+func (rt *Router) ship(from, to, id string) (int, error) {
+	var se session.StateExport
+	if err := rt.postJSON(from+"/admin/sessions/"+id+"/export-state", nil, &se); err != nil {
+		return 0, fmt.Errorf("export-state from %s: %w", from, err)
+	}
+	if se.Image == nil {
+		return 0, fmt.Errorf("export-state from %s: empty image", from)
+	}
+	// Install can hit the same bounded mailbox as any open, so retry 429s.
+	var info session.Info
+	if err := rt.postJSONRetry(to+"/admin/install", &se, &info); err != nil {
+		return 0, fmt.Errorf("install on %s: %w", to, err)
+	}
+	if info.Steps != se.Image.Steps {
+		return 0, fmt.Errorf("install on %s: reports %d steps, image has %d", to, info.Steps, se.Image.Steps)
+	}
+	return se.Image.Steps, nil
 }
 
 // replay reconstructs the exported session on backend addr through the

@@ -27,16 +27,23 @@ type RouterConfig struct {
 	// Client is the HTTP client used for proxying, probing, and handoff
 	// (default: dedicated client with a 30s timeout).
 	Client *http.Client
+	// HandoffMode selects the default session transport for /admin/handoff:
+	// "ship" (default) moves the source's state image + log digest in one
+	// round trip, falling back to replay on any ship failure; "replay"
+	// re-steps the exported input history on the target. A ?mode= query
+	// parameter overrides per call.
+	HandoffMode string
 }
 
 // Router fronts N spocus-server backends: it owns the consistent-hash ring
 // mapping sessionID → backend, proxies the session API, health-checks
 // backends, and serves handoff. See Handler for the HTTP surface.
 type Router struct {
-	ring    *Ring
-	client  *http.Client
-	checker *checker
-	m       routerMetrics
+	ring        *Ring
+	client      *http.Client
+	checker     *checker
+	handoffMode string
+	m           routerMetrics
 
 	// handoffBusy serializes handoffs per session ID (see lockSession).
 	handoffMu   sync.Mutex
@@ -49,19 +56,23 @@ type routerMetrics struct {
 	proxied       atomic.Int64 // requests forwarded to a backend
 	backendErrors atomic.Int64 // forwards that failed at the transport
 	rejected      atomic.Int64 // 429s passed through from backends
-	unroutable    atomic.Int64 // requests refused: backend down / ring empty
-	handoffs      atomic.Int64 // completed session handoffs
-	pinsRecovered atomic.Int64 // pins rebuilt by startup recovery
+	unroutable       atomic.Int64 // requests refused: backend down / ring empty
+	handoffs         atomic.Int64 // completed session handoffs
+	handoffsShipped  atomic.Int64 // handoffs completed by WAL shipping (no replay)
+	handoffFallbacks atomic.Int64 // ship attempts that fell back to replay
+	pinsRecovered    atomic.Int64 // pins rebuilt by startup recovery
 }
 
 func (m *routerMetrics) snapshot() map[string]int64 {
 	return map[string]int64{
-		"proxied_total":        m.proxied.Load(),
-		"backend_errors_total": m.backendErrors.Load(),
-		"rejected_total":       m.rejected.Load(),
-		"unroutable_total":     m.unroutable.Load(),
-		"handoffs_total":       m.handoffs.Load(),
-		"pins_recovered_total": m.pinsRecovered.Load(),
+		"proxied_total":           m.proxied.Load(),
+		"backend_errors_total":    m.backendErrors.Load(),
+		"rejected_total":          m.rejected.Load(),
+		"unroutable_total":        m.unroutable.Load(),
+		"handoffs_total":          m.handoffs.Load(),
+		"handoffs_shipped_total":  m.handoffsShipped.Load(),
+		"handoff_fallbacks_total": m.handoffFallbacks.Load(),
+		"pins_recovered_total":    m.pinsRecovered.Load(),
 	}
 }
 
@@ -85,7 +96,14 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			},
 		}
 	}
-	rt := &Router{ring: NewRing(cfg.Vnodes), client: client, handoffBusy: make(map[string]chan struct{})}
+	mode := cfg.HandoffMode
+	if mode == "" {
+		mode = HandoffShip
+	}
+	if mode != HandoffShip && mode != HandoffReplay {
+		return nil, fmt.Errorf("cluster: unknown handoff mode %q", mode)
+	}
+	rt := &Router{ring: NewRing(cfg.Vnodes), client: client, handoffMode: mode, handoffBusy: make(map[string]chan struct{})}
 	for _, b := range cfg.Backends {
 		rt.ring.Add(b)
 	}

@@ -64,9 +64,16 @@ type Config struct {
 	// SuggestBudget bounds the transducer executions of one progress query
 	// (default verify.DefaultSuggestBudget).
 	SuggestBudget int
-	// MaxEntries caps the answer cache (default 8192). Overflow evicts
-	// arbitrary completed entries.
+	// MaxEntries caps the answer cache (default 8192). Overflow evicts the
+	// stalest completed entry: the one whose prefix depth lags furthest
+	// behind the deepest prefix seen for its machine+database group.
+	// Sessions only move forward through prefixes, so short-prefix answers
+	// are dead weight once sessions advance — the frontier stays cached.
 	MaxEntries int
+
+	// evictRandom restores the pre-depth-aware policy (random replacement
+	// via map order). Test-only knob for comparing hit rates.
+	evictRandom bool
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +125,9 @@ type Service struct {
 	machines map[string]*machineEntry
 	vcaches  map[string]*verify.Cache
 	answers  map[answerKey]*entry
+	// maxDepth is the deepest prefix seen per machine+database group — the
+	// eviction policy's high-water mark. Monotone; never shrinks on evict.
+	maxDepth map[string]int
 
 	m liveMetrics
 }
@@ -145,6 +155,11 @@ type entry struct {
 	done chan struct{}
 	val  any
 	err  error
+	// depth is the prefix's tuple count and group its machine+database
+	// coordinate — together they let eviction rank this answer's staleness
+	// against the deepest prefix the group has reached.
+	depth int
+	group string
 }
 
 // New creates a Service.
@@ -156,6 +171,7 @@ func New(cfg Config) *Service {
 		machines: make(map[string]*machineEntry),
 		vcaches:  make(map[string]*verify.Cache),
 		answers:  make(map[answerKey]*entry),
+		maxDepth: make(map[string]int),
 	}
 	registerService(s)
 	return s
@@ -250,6 +266,16 @@ func prefixSeq(past relation.Instance) relation.Sequence {
 	return relation.Sequence{past}
 }
 
+// prefixDepth measures how far a session has advanced: the total tuple
+// count of its cumulated past. Monotone along any Spocus run, so it orders
+// a group's cache entries oldest-state-first for eviction.
+func prefixDepth(past relation.Instance) int {
+	if past == nil {
+		return 0
+	}
+	return past.Len()
+}
+
 // acquire admits one computation: it takes a waiting slot if fewer than
 // Workers+Queue computations are in flight and then blocks for a worker,
 // or rejects immediately with OverloadedError.
@@ -280,8 +306,12 @@ func (s *Service) release() {
 // they spend no solver work but still pay the solve's latency, so only
 // answers served from a completed entry report Cached (and are the
 // demonstrably cheap path).
-func (s *Service) getOrCompute(ctx context.Context, key answerKey, compute func(context.Context) (any, error)) (any, bool, error) {
+func (s *Service) getOrCompute(ctx context.Context, key answerKey, depth int, compute func(context.Context) (any, error)) (any, bool, error) {
+	group := key.fp + "\x00" + key.db
 	s.mu.Lock()
+	if depth > s.maxDepth[group] {
+		s.maxDepth[group] = depth
+	}
 	if e, ok := s.answers[key]; ok {
 		s.mu.Unlock()
 		select {
@@ -297,7 +327,7 @@ func (s *Service) getOrCompute(ctx context.Context, key answerKey, compute func(
 			return nil, false, ctx.Err()
 		}
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{done: make(chan struct{}), depth: depth, group: group}
 	s.answers[key] = e
 	s.evictLocked()
 	s.mu.Unlock()
@@ -332,19 +362,45 @@ func (s *Service) getOrCompute(ctx context.Context, key answerKey, compute func(
 	return v, false, err
 }
 
-// evictLocked bounds the answer map: arbitrary completed entries are
-// dropped once the cap is exceeded (random replacement via map order).
-// In-flight entries are never evicted — waiters hold them.
+// evictLocked bounds the answer map. The policy exploits the Spocus prefix
+// order: a session's cumulated past only grows, so an answer whose prefix
+// depth lags far behind the deepest prefix its machine+database group has
+// reached belongs to a state no session will revisit. Each pass evicts the
+// completed entry with the greatest staleness (maxDepth[group] − depth);
+// in-flight entries are never evicted — waiters hold them.
 func (s *Service) evictLocked() {
-	for key, e := range s.answers {
-		if len(s.answers) <= s.cfg.MaxEntries {
-			return
+	if s.cfg.evictRandom {
+		for key, e := range s.answers {
+			if len(s.answers) <= s.cfg.MaxEntries {
+				return
+			}
+			select {
+			case <-e.done:
+				delete(s.answers, key)
+				s.m.evicted.Add(1)
+			default:
+			}
 		}
-		select {
-		case <-e.done:
-			delete(s.answers, key)
-		default:
+		return
+	}
+	for len(s.answers) > s.cfg.MaxEntries {
+		var victim answerKey
+		stalest, found := -1, false
+		for key, e := range s.answers {
+			select {
+			case <-e.done:
+			default:
+				continue // in-flight
+			}
+			if stale := s.maxDepth[e.group] - e.depth; stale > stalest {
+				victim, stalest, found = key, stale, true
+			}
 		}
+		if !found {
+			return // everything in-flight; cap is soft
+		}
+		delete(s.answers, victim)
+		s.m.evicted.Add(1)
 	}
 }
 
@@ -385,7 +441,7 @@ func (s *Service) Goal(ctx context.Context, src Source, goal string) (*GoalAnswe
 		return nil, err
 	}
 	key := answerKey{fp: me.fp, db: canonicalInstance(src.DB), prefix: canonicalInstance(src.Past), kind: "goal", query: g.String()}
-	v, cached, err := s.getOrCompute(ctx, key, func(ctx context.Context) (any, error) {
+	v, cached, err := s.getOrCompute(ctx, key, prefixDepth(src.Past), func(ctx context.Context) (any, error) {
 		res, err := verify.ReachGoalFrom(me.mach, src.DB, prefixSeq(src.Past), g, s.opts(ctx, me))
 		if err != nil {
 			return nil, err
@@ -439,7 +495,7 @@ func (s *Service) Temporal(ctx context.Context, src Source, conds []string) (*Te
 		return nil, err
 	}
 	key := answerKey{fp: me.fp, db: canonicalInstance(src.DB), prefix: canonicalInstance(src.Past), kind: "temporal", query: strings.Join(norm, "\x01")}
-	v, cached, err := s.getOrCompute(ctx, key, func(ctx context.Context) (any, error) {
+	v, cached, err := s.getOrCompute(ctx, key, prefixDepth(src.Past), func(ctx context.Context) (any, error) {
 		res, err := verify.CheckTemporalFrom(me.mach, src.DB, prefixSeq(src.Past), parsed, s.opts(ctx, me))
 		if err != nil {
 			return nil, err
@@ -498,7 +554,7 @@ func (s *Service) Progress(ctx context.Context, src Source, goal string) (*Progr
 		return nil, err
 	}
 	key := answerKey{fp: me.fp, db: canonicalInstance(src.DB), prefix: canonicalInstance(src.Past), kind: "progress", query: g.String()}
-	v, cached, err := s.getOrCompute(ctx, key, func(ctx context.Context) (any, error) {
+	v, cached, err := s.getOrCompute(ctx, key, prefixDepth(src.Past), func(ctx context.Context) (any, error) {
 		res, err := verify.SuggestProgress(ctx, me.mach, src.DB, prefixSeq(src.Past), g, s.pool(me, src), s.cfg.SuggestBudget)
 		if err != nil {
 			return nil, err

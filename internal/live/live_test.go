@@ -226,7 +226,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	first := make(chan res, 1)
 	go func() {
-		v, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+		v, cached, err := s.getOrCompute(context.Background(), keyA, 0, func(context.Context) (any, error) {
 			close(started)
 			<-block
 			return "answer", nil
@@ -236,7 +236,7 @@ func TestAdmissionControl(t *testing.T) {
 	<-started
 
 	// Distinct query at saturation: immediate 429.
-	_, _, err := s.getOrCompute(context.Background(), keyB, func(context.Context) (any, error) {
+	_, _, err := s.getOrCompute(context.Background(), keyB, 0, func(context.Context) (any, error) {
 		t.Error("rejected query must not compute")
 		return nil, nil
 	})
@@ -252,7 +252,7 @@ func TestAdmissionControl(t *testing.T) {
 	// rejected or recomputing.
 	second := make(chan res, 1)
 	go func() {
-		v, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+		v, cached, err := s.getOrCompute(context.Background(), keyA, 0, func(context.Context) (any, error) {
 			t.Error("coalesced query must not recompute")
 			return nil, nil
 		})
@@ -273,7 +273,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// Now that the entry is complete, the same key is a true cache hit.
-	v0, cached, err := s.getOrCompute(context.Background(), keyA, func(context.Context) (any, error) {
+	v0, cached, err := s.getOrCompute(context.Background(), keyA, 0, func(context.Context) (any, error) {
 		t.Error("cached query must not recompute")
 		return nil, nil
 	})
@@ -282,7 +282,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// The pool has drained: the previously rejected query now runs.
-	v, _, err := s.getOrCompute(context.Background(), keyB, func(context.Context) (any, error) { return "b", nil })
+	v, _, err := s.getOrCompute(context.Background(), keyB, 0, func(context.Context) (any, error) { return "b", nil })
 	if err != nil || v != "b" {
 		t.Fatalf("after drain: %v, %v", v, err)
 	}
@@ -294,7 +294,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestQueryTimeout(t *testing.T) {
 	s := New(Config{Workers: 1, Timeout: 20 * time.Millisecond})
 	key := answerKey{fp: "f", kind: "goal", query: "slow"}
-	_, _, err := s.getOrCompute(context.Background(), key, func(ctx context.Context) (any, error) {
+	_, _, err := s.getOrCompute(context.Background(), key, 0, func(ctx context.Context) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
@@ -304,7 +304,7 @@ func TestQueryTimeout(t *testing.T) {
 	if st := s.Stats(); st.Timeouts != 1 || st.AnswerEntries != 0 {
 		t.Fatalf("stats after timeout: %+v", st)
 	}
-	v, cached, err := s.getOrCompute(context.Background(), key, func(context.Context) (any, error) { return "ok", nil })
+	v, cached, err := s.getOrCompute(context.Background(), key, 0, func(context.Context) (any, error) { return "ok", nil })
 	if err != nil || cached || v != "ok" {
 		t.Fatalf("retry after timeout: %v %v %v", v, cached, err)
 	}
@@ -316,12 +316,69 @@ func TestAnswerEviction(t *testing.T) {
 	s := New(Config{Workers: 1, MaxEntries: 8, Timeout: time.Minute})
 	for i := 0; i < 50; i++ {
 		key := answerKey{fp: "f", kind: "goal", query: fmt.Sprint(i)}
-		if _, _, err := s.getOrCompute(context.Background(), key, func(context.Context) (any, error) { return i, nil }); err != nil {
+		if _, _, err := s.getOrCompute(context.Background(), key, 0, func(context.Context) (any, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if n := s.Stats().AnswerEntries; n > 9 {
 		t.Fatalf("answer cache grew to %d entries, cap 8", n)
+	}
+	if s.Stats().Evicted == 0 {
+		t.Fatal("expected evictions past the cap")
+	}
+}
+
+// TestDepthAwareEvictionBeatsRandom compares the two eviction policies on
+// the workload the cache exists for: a fleet of sessions marching forward
+// through prefixes, with clients re-polling each state before stepping on.
+// It drives getOrCompute directly with synthetic keys and free computes —
+// real solver queries would make the comparison take minutes. Depth-aware
+// eviction keeps the frontier resident (every re-poll hits: past prefixes
+// are stale by construction, so they are evicted first); random replacement
+// evicts frontier entries too and must lose hits.
+func TestDepthAwareEvictionBeatsRandom(t *testing.T) {
+	const (
+		sessions = 16
+		depths   = 20
+	)
+	run := func(random bool) (hits, queries int, st Stats) {
+		s := New(Config{Workers: 1, MaxEntries: sessions, Timeout: time.Minute, evictRandom: random})
+		ask := func(sess, depth int) {
+			key := answerKey{fp: "machine", db: "db", kind: "goal", query: "q",
+				prefix: fmt.Sprintf("s%02d-d%02d", sess, depth)}
+			_, cached, err := s.getOrCompute(context.Background(), key, depth,
+				func(context.Context) (any, error) { return depth, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries++
+			if cached {
+				hits++
+			}
+		}
+		for d := 0; d < depths; d++ {
+			for i := 0; i < sessions; i++ { // every session steps to depth d and asks
+				ask(i, d)
+			}
+			for i := 0; i < sessions; i++ { // clients re-poll before stepping on
+				ask(i, d)
+			}
+		}
+		return hits, queries, s.Stats()
+	}
+	depthHits, n, st := run(false)
+	randHits, _, _ := run(true)
+	t.Logf("same cap (%d): depth-aware %d/%d hits, random %d/%d hits", sessions, depthHits, n, randHits, n)
+	// Depth-aware is deterministic here: a frontier insert always finds a
+	// strictly staler past-depth victim, so every re-poll hits.
+	if want := sessions * depths; depthHits != want {
+		t.Errorf("depth-aware eviction: %d/%d hits, want %d (frontier must stay resident)", depthHits, n, want)
+	}
+	if randHits >= depthHits {
+		t.Errorf("random eviction got %d hits, depth-aware %d; expected strictly fewer", randHits, depthHits)
+	}
+	if st.Evicted == 0 {
+		t.Error("depth-aware run recorded no evictions; cap never bound")
 	}
 }
 

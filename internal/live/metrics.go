@@ -17,6 +17,7 @@ type liveMetrics struct {
 	rejected  atomic.Int64
 	timeouts  atomic.Int64
 	errors    atomic.Int64
+	evicted   atomic.Int64
 	latency   latencyHist
 }
 
@@ -36,6 +37,8 @@ type Stats struct {
 	// Timeouts counts queries that exceeded the per-query deadline.
 	Timeouts int64 `json:"timeouts_total"`
 	Errors   int64 `json:"errors_total"`
+	// Evicted counts answers dropped by the cache's depth-aware eviction.
+	Evicted int64 `json:"evictions_total"`
 	// InFlight is the current number of admitted computations.
 	InFlight int64 `json:"in_flight"`
 	// AnswerEntries is the current answer-cache population.
@@ -66,6 +69,7 @@ func (s *Service) Stats() Stats {
 		Rejected:     s.m.rejected.Load(),
 		Timeouts:     s.m.timeouts.Load(),
 		Errors:       s.m.errors.Load(),
+		Evicted:      s.m.evicted.Load(),
 		InFlight:     s.inflight.Load(),
 		P50Micros:    float64(s.m.latency.quantile(0.50)) / 1e3,
 		P90Micros:    float64(s.m.latency.quantile(0.90)) / 1e3,

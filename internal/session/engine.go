@@ -3,6 +3,7 @@ package session
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
 // Config tunes an Engine.
@@ -30,6 +32,21 @@ type Config struct {
 	Fsync FsyncPolicy
 	// FsyncInterval is the flush period under FsyncInterval (default 100ms).
 	FsyncInterval time.Duration
+	// SegmentBytes rotates a shard's active WAL segment once it exceeds
+	// this size (default 64 MiB). Sealed segments are never written again.
+	SegmentBytes int64
+	// GroupCommitBatch caps how many requests a shard executes before it
+	// commits (one shared fsync under FsyncAlways) and releases their
+	// acknowledgements (default 256). 1 disables batching: every request
+	// pays its own fsync, the pre-group-commit behavior.
+	GroupCommitBatch int
+	// GroupCommitWindow, when positive under FsyncAlways, lets a shard
+	// with a dirty WAL wait up to this long for follower requests to join
+	// the pending fsync (default 0: commit as soon as the mailbox is
+	// drained). The window only ever delays acknowledgements, never
+	// weakens them — acks are still released only after the shared fsync
+	// returns.
+	GroupCommitWindow time.Duration
 	// SnapshotEvery compacts a shard's WAL into a snapshot after this many
 	// applied steps (default 4096; negative disables snapshots).
 	SnapshotEvery int
@@ -54,6 +71,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FsyncInterval <= 0 {
 		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	if c.GroupCommitBatch <= 0 {
+		c.GroupCommitBatch = 256
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 4096
@@ -97,18 +120,30 @@ type reply struct {
 	err error
 }
 
-// shard owns a disjoint set of sessions and their WAL. Only its goroutine
-// touches these fields after startup, so no locks appear anywhere below.
+// shard owns a disjoint set of sessions and their store. Only its
+// goroutine touches these fields after startup, so no locks appear
+// anywhere below.
 type shard struct {
 	idx       int
 	cfg       *Config
 	m         *metricsSet
 	ch        chan request
 	sessions  map[string]*Session
-	wal       *wal // nil in memory-only mode
-	snapPath  string
+	store     *storage.Store // nil in memory-only mode
 	sinceSnap int
 	broken    error // set on a WAL write failure; fail-stop for mutations
+
+	// pending holds requests executed but not yet acknowledged: their
+	// replies are released together, after the batch's shared Commit.
+	pending  []pendingReply
+	segGauge int // last value pushed to the walSegments metric
+}
+
+// pendingReply is one executed request awaiting the group commit.
+type pendingReply struct {
+	ch  chan reply
+	v   any
+	err error
 }
 
 // NewEngine creates an engine, replaying any existing snapshot and WAL
@@ -132,9 +167,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			sessions: make(map[string]*Session),
 		}
 		if cfg.Dir != "" {
-			sh.snapPath = filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d.snap", i))
-			walPath := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d.wal", i))
-			if err := sh.recover(walPath); err != nil {
+			if err := sh.recover(filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))); err != nil {
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}
 		}
@@ -153,66 +186,113 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// recover loads the shard's snapshot, replays its WAL on top, and leaves
-// the WAL open for appending. Replay is idempotent: records already covered
-// by the snapshot are skipped, so a crash between "snapshot durable" and
-// "WAL rotated" is harmless.
-func (sh *shard) recover(walPath string) error {
-	snap, err := readSnapshot(sh.snapPath)
-	if err != nil {
-		return err
-	}
-	for i := range snap.Sessions {
-		s, err := snap.Sessions[i].restore()
-		if err != nil {
-			return err
-		}
-		sh.sessions[s.id] = s
-	}
-	n, err := replayWAL(walPath, func(rec *walRecord) error {
-		switch rec.T {
-		case recOpen:
-			if _, ok := sh.sessions[rec.SID]; ok {
-				return nil // covered by snapshot
-			}
-			s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB})
-			if err != nil {
-				return err
-			}
-			sh.sessions[rec.SID] = s
-			return nil
-		case recStep:
-			s, ok := sh.sessions[rec.SID]
-			if !ok {
-				return fmt.Errorf("step for unknown session %s", rec.SID)
-			}
-			if rec.Seq <= s.steps {
-				return nil // covered by snapshot
-			}
-			if rec.Seq != s.steps+1 {
-				return fmt.Errorf("session %s: step %d after %d", rec.SID, rec.Seq, s.steps)
-			}
-			_, err := s.apply(rec.Input)
-			return err
-		case recClose:
-			delete(sh.sessions, rec.SID)
-			return nil
-		}
-		return fmt.Errorf("unknown record type %q", rec.T)
+// recover opens the shard's store under dir, streams its snapshot, and
+// replays its WAL segments on top. Replay is idempotent: records already
+// covered by the snapshot are skipped, so a crash between "snapshot
+// durable" and "segments retired" is harmless.
+func (sh *shard) recover(dir string) error {
+	st, err := storage.Open(dir, storage.Options{
+		Fsync:         sh.cfg.Fsync,
+		FsyncInterval: sh.cfg.FsyncInterval,
+		SegmentBytes:  sh.cfg.SegmentBytes,
 	})
 	if err != nil {
 		return err
 	}
+	first := true
+	n, err := st.Recover(
+		func(payload []byte) error {
+			if first {
+				first = false
+				var h snapHeader
+				if err := json.Unmarshal(payload, &h); err != nil {
+					return fmt.Errorf("snapshot header: %w", err)
+				}
+				if h.Version != snapVersion {
+					return fmt.Errorf("snapshot version %d, want %d", h.Version, snapVersion)
+				}
+				return nil
+			}
+			var img Image
+			if err := json.Unmarshal(payload, &img); err != nil {
+				return fmt.Errorf("snapshot session: %w", err)
+			}
+			s, err := img.restore()
+			if err != nil {
+				return err
+			}
+			sh.sessions[s.id] = s
+			return nil
+		},
+		func(payload []byte) error {
+			var rec walRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("wal record: %w", err)
+			}
+			return sh.applyRecord(&rec)
+		})
+	if err != nil {
+		return err
+	}
 	sh.m.replayRecords.Add(int64(n))
-	sh.wal, err = openWAL(walPath, sh.cfg.Fsync, sh.cfg.FsyncInterval)
-	return err
+	sh.store = st
+	sh.segGauge = st.Segments()
+	sh.m.walSegments.Add(int64(sh.segGauge))
+	return nil
 }
 
-// loop is the shard's actor loop: it owns the sessions map and WAL until
-// the channel closes, then flushes and closes the WAL.
+// applyRecord replays one WAL record into the shard's session map.
+func (sh *shard) applyRecord(rec *walRecord) error {
+	switch rec.T {
+	case recOpen:
+		if _, ok := sh.sessions[rec.SID]; ok {
+			return nil // covered by snapshot
+		}
+		s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB})
+		if err != nil {
+			return err
+		}
+		sh.sessions[rec.SID] = s
+		return nil
+	case recStep:
+		s, ok := sh.sessions[rec.SID]
+		if !ok {
+			return fmt.Errorf("step for unknown session %s", rec.SID)
+		}
+		if rec.Seq <= s.steps {
+			return nil // covered by snapshot
+		}
+		if rec.Seq != s.steps+1 {
+			return fmt.Errorf("session %s: step %d after %d", rec.SID, rec.Seq, s.steps)
+		}
+		_, err := s.apply(rec.Input)
+		return err
+	case recInstall:
+		if _, ok := sh.sessions[rec.SID]; ok {
+			return nil // covered by snapshot
+		}
+		if rec.Image == nil {
+			return fmt.Errorf("install record for %s has no image", rec.SID)
+		}
+		s, err := rec.Image.restore()
+		if err != nil {
+			return err
+		}
+		sh.sessions[rec.SID] = s
+		return nil
+	case recClose:
+		delete(sh.sessions, rec.SID)
+		return nil
+	}
+	return fmt.Errorf("unknown record type %q", rec.T)
+}
+
+// loop is the shard's actor loop: it owns the sessions map and store until
+// the channel closes, then flushes and closes the store. Each received
+// request seeds a batch — see batch for the group-commit protocol.
 func (sh *shard) loop() {
 	var flush <-chan time.Time
-	if sh.wal != nil && sh.cfg.Fsync == FsyncInterval {
+	if sh.store != nil && sh.cfg.Fsync == FsyncInterval {
 		t := time.NewTicker(sh.cfg.FsyncInterval)
 		defer t.Stop()
 		flush = t.C
@@ -221,16 +301,16 @@ func (sh *shard) loop() {
 		select {
 		case req, ok := <-sh.ch:
 			if !ok {
-				if sh.wal != nil {
-					sh.wal.close()
-				}
+				sh.closeStore()
 				return
 			}
-			v, err := req.do(sh)
-			req.reply <- reply{v, err}
+			if !sh.batch(req) {
+				sh.closeStore()
+				return
+			}
 		case <-flush:
 			if sh.broken == nil {
-				if err := sh.wal.sync(); err != nil {
+				if err := sh.store.Sync(); err != nil {
 					sh.broken = err
 				}
 			}
@@ -238,52 +318,190 @@ func (sh *shard) loop() {
 	}
 }
 
+func (sh *shard) closeStore() {
+	if sh.store != nil {
+		sh.store.Close()
+	}
+}
+
+// batch is the group-commit heart of the shard: it executes first, then
+// keeps executing whatever is already queued in the mailbox (up to
+// GroupCommitBatch requests), and only then commits — so every WAL append
+// in the batch shares one fsync under FsyncAlways. Requests that did not
+// append (reads, rejections) are acknowledged immediately; requests that
+// did are acknowledged only after the shared fsync returns, preserving
+// the crash contract exactly: an acked step is a durable step.
+//
+// With GroupCommitWindow > 0 a dirty shard waits up to the window for
+// followers before syncing, trading bounded latency for fewer fsyncs.
+// Returns false when the mailbox closed mid-drain (engine shutdown).
+func (sh *shard) batch(first request) (open bool) {
+	open = true
+	var timer *time.Timer
+	var deadline <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		sh.commitPending()
+	}()
+	sh.exec(first)
+	for len(sh.pending) < sh.cfg.GroupCommitBatch {
+		select {
+		case req, ok := <-sh.ch:
+			if !ok {
+				return false
+			}
+			sh.exec(req)
+			continue
+		default:
+		}
+		// Mailbox momentarily empty. Arm the window once per batch, and
+		// only when there is something worth waiting to amortize.
+		if deadline == nil && sh.cfg.GroupCommitWindow > 0 && sh.cfg.Fsync == FsyncAlways &&
+			sh.store != nil && sh.store.Dirty() && sh.broken == nil {
+			timer = time.NewTimer(sh.cfg.GroupCommitWindow)
+			deadline = timer.C
+		}
+		if deadline == nil {
+			return true
+		}
+		select {
+		case req, ok := <-sh.ch:
+			if !ok {
+				return false
+			}
+			sh.exec(req)
+		case <-deadline:
+			return true
+		}
+	}
+	return true
+}
+
+// exec runs one request in the shard. If it appended to the WAL its reply
+// is deferred to the batch commit; otherwise it is released immediately.
+func (sh *shard) exec(req request) {
+	var before int64
+	if sh.store != nil {
+		before = sh.store.Appends()
+	}
+	v, err := req.do(sh)
+	if sh.store != nil && sh.store.Appends() > before {
+		sh.pending = append(sh.pending, pendingReply{req.reply, v, err})
+		return
+	}
+	req.reply <- reply{v, err}
+}
+
+// commitPending syncs the batch's appends per policy and releases the
+// deferred acknowledgements. A failed sync follows the fail-stop
+// discipline: every pending request learns of the failure (its records
+// may not be durable) and the shard refuses further mutations.
+func (sh *shard) commitPending() {
+	if len(sh.pending) == 0 {
+		return
+	}
+	if sh.store != nil && sh.broken == nil {
+		synced, err := sh.store.Commit()
+		if err != nil {
+			sh.broken = err
+			werr := fmt.Errorf("shard %d wal sync failed: %w", sh.idx, err)
+			for i := range sh.pending {
+				sh.pending[i].v, sh.pending[i].err = nil, werr
+			}
+		} else if synced {
+			sh.m.walSyncs.Add(1)
+		}
+		sh.refreshSegGauge()
+	}
+	for i := range sh.pending {
+		sh.pending[i].ch <- reply{sh.pending[i].v, sh.pending[i].err}
+	}
+	sh.pending = sh.pending[:0]
+}
+
+func (sh *shard) refreshSegGauge() {
+	if n := sh.store.Segments(); n != sh.segGauge {
+		sh.m.walSegments.Add(int64(n - sh.segGauge))
+		sh.segGauge = n
+	}
+}
+
 // appendWAL writes one record under the fail-stop discipline: after a write
 // error the shard refuses further mutations rather than diverging from its
-// log.
+// log. The record is NOT synced here — the enclosing batch commits it; the
+// requester's ack is held until then.
 func (sh *shard) appendWAL(rec *walRecord) error {
-	if sh.wal == nil {
+	if sh.store == nil {
 		return nil
 	}
 	if sh.broken != nil {
 		return fmt.Errorf("shard %d wal failed: %w", sh.idx, sh.broken)
 	}
-	n, err := sh.wal.append(rec)
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	n, err := sh.store.Append(payload)
 	if err != nil {
 		sh.broken = err
 		return fmt.Errorf("shard %d wal failed: %w", sh.idx, err)
 	}
 	sh.m.walBytes.Add(int64(n))
+	sh.m.walAppends.Add(1)
 	return nil
 }
 
-// maybeSnapshot compacts WAL into a snapshot once enough steps accumulated.
+// maybeSnapshot compacts the WAL into a snapshot once enough steps
+// accumulated, streaming one session image at a time through the store's
+// snapshot writer. Committing the snapshot also seals the active segment,
+// so any unsynced appends become durable as a side effect.
 func (sh *shard) maybeSnapshot(force bool) error {
-	if sh.wal == nil || sh.broken != nil {
+	if sh.store == nil || sh.broken != nil {
 		return nil
 	}
 	if !force && (sh.cfg.SnapshotEvery == 0 || sh.sinceSnap < sh.cfg.SnapshotEvery) {
 		return nil
 	}
-	snap := &snapshot{Version: snapVersion, Shard: sh.idx}
+	sw, err := sh.store.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(snapHeader{Version: snapVersion, Shard: sh.idx})
+	if err != nil {
+		sw.Abort()
+		return err
+	}
+	if err := sw.Append(hdr); err != nil {
+		sw.Abort()
+		return err
+	}
 	ids := make([]string, 0, len(sh.sessions))
 	for id := range sh.sessions {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		snap.Sessions = append(snap.Sessions, snapOf(sh.sessions[id]))
+		img := snapOf(sh.sessions[id])
+		payload, err := json.Marshal(&img)
+		if err != nil {
+			sw.Abort()
+			return err
+		}
+		if err := sw.Append(payload); err != nil {
+			sw.Abort()
+			return err
+		}
 	}
-	if err := writeSnapshot(sh.snapPath, snap); err != nil {
-		return err
-	}
-	if err := sh.wal.rotate(); err != nil {
+	if err := sw.Commit(); err != nil {
 		sh.broken = err
 		return err
 	}
 	sh.m.walBytes.Store(0)
 	sh.m.snapshots.Add(1)
 	sh.sinceSnap = 0
+	sh.refreshSegGauge()
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package session
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/relation"
@@ -63,6 +66,102 @@ func (e *Engine) Export(id string) (*Export, error) {
 		return nil, err
 	}
 	return v.(*Export), nil
+}
+
+// StateExport is a session's full materialized state plus a digest of its
+// log — the WAL-shipping alternative to Export. Shipping the image costs
+// O(state), not O(steps): the target installs it directly instead of
+// re-stepping the whole input history. The digest lets the target prove
+// the installed log is the log the source acknowledged.
+type StateExport struct {
+	Image  *Image `json:"image"`
+	Digest string `json:"digest"` // LogDigest of the session's log sequence
+}
+
+// LogDigest is the canonical digest of a session log: sha-256 over the
+// log sequence's JSON form, which is deterministic (relation instances
+// marshal with sorted names and tuples). Two engines hold byte-identical
+// logs iff their digests match.
+func LogDigest(logs relation.Sequence) string {
+	data, err := json.Marshal(logs)
+	if err != nil {
+		// A session log is always marshalable (it round-trips through the
+		// WAL); reaching here means memory corruption, not bad input.
+		panic("session: log digest: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ExportState freezes the session (exactly like Export) and returns a
+// deep-copied state image plus its log digest. Idempotent, like Export —
+// the two may be mixed: a router can try ExportState and fall back to
+// Export-and-replay on the same frozen session.
+func (e *Engine) ExportState(id string) (*StateExport, error) {
+	v, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, &NotFoundError{ID: id}
+		}
+		s.frozen = true
+		sh.m.exports.Add(1)
+		// Deep-copy through JSON inside the shard: the caller may hold the
+		// image across an Unfreeze, after which the live session mutates.
+		img := snapOf(s)
+		data, err := json.Marshal(&img)
+		if err != nil {
+			return nil, err
+		}
+		var copyImg Image
+		if err := json.Unmarshal(data, &copyImg); err != nil {
+			return nil, err
+		}
+		return &StateExport{Image: &copyImg, Digest: LogDigest(s.logs)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*StateExport), nil
+}
+
+// Install materializes a shipped session on this engine: the image is
+// restored, its log digest is verified against the source's, and an
+// install record (carrying the full image — its inputs were logged
+// elsewhere) is written to the WAL before the session goes live. A digest
+// mismatch rejects the install with BadInputError, signalling the caller
+// to fall back to deterministic replay.
+func (e *Engine) Install(se *StateExport) (*Info, error) {
+	if se == nil || se.Image == nil {
+		return nil, &BadInputError{Err: fmt.Errorf("install: missing state image")}
+	}
+	id := se.Image.ID
+	if id == "" {
+		return nil, &BadInputError{Err: fmt.Errorf("install: image has no session id")}
+	}
+	s, err := se.Image.restore()
+	if err != nil {
+		return nil, &BadInputError{Err: fmt.Errorf("install: %w", err)}
+	}
+	if got := LogDigest(s.logs); got != se.Digest {
+		return nil, &BadInputError{Err: fmt.Errorf("install: log digest mismatch for %s: source %s, restored %s", id, se.Digest, got)}
+	}
+	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {
+		if _, ok := sh.sessions[id]; ok {
+			return nil, &ConflictError{ID: id}
+		}
+		if err := sh.appendWAL(&walRecord{T: recInstall, SID: id, Image: se.Image}); err != nil {
+			return nil, err
+		}
+		sh.sessions[id] = s
+		sh.m.sessionsOpen.Add(1)
+		sh.m.sessionsOpened.Add(1)
+		sh.m.installs.Add(1)
+		return s.info(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Info), nil
 }
 
 // Unfreeze lifts a freeze set by Export, aborting a handoff. It is a no-op

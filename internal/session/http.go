@@ -29,9 +29,11 @@ import (
 //
 // Cluster-internal admin surface (used by spocus-router for handoff):
 //
-//	POST   /admin/sessions/{id}/export    freeze the session, return its replayable input history
-//	POST   /admin/sessions/{id}/unfreeze  abort a handoff, thaw the session
-//	POST   /admin/sessions/{id}/forget    retire a handed-off (frozen) session
+//	POST   /admin/sessions/{id}/export        freeze the session, return its replayable input history
+//	POST   /admin/sessions/{id}/export-state  freeze the session, return its state image + log digest
+//	POST   /admin/sessions/{id}/unfreeze      abort a handoff, thaw the session
+//	POST   /admin/sessions/{id}/forget        retire a handed-off (frozen) session
+//	POST   /admin/install                     install a shipped state image (body: StateExport)
 //
 // Instances use the repo-wide JSON wire form: relation name → list of
 // tuples of constant strings.
@@ -118,6 +120,30 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, exp)
+	})
+	mux.HandleFunc("POST /admin/sessions/{id}/export-state", func(w http.ResponseWriter, r *http.Request) {
+		se, err := e.ExportState(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, se)
+	})
+	mux.HandleFunc("POST /admin/install", func(w http.ResponseWriter, r *http.Request) {
+		// State images scale with session history; allow far more than the
+		// 1 MiB data-plane cap (this is a cluster-internal endpoint).
+		var se StateExport
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+		if err := dec.Decode(&se); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		info, err := e.Install(&se)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
 	})
 	mux.HandleFunc("POST /admin/sessions/{id}/unfreeze", func(w http.ResponseWriter, r *http.Request) {
 		if err := e.Unfreeze(r.PathValue("id")); err != nil {

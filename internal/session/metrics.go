@@ -17,6 +17,10 @@ type metricsSet struct {
 	sessionsClosed atomic.Int64
 	stepsTotal     atomic.Int64
 	walBytes       atomic.Int64
+	walAppends     atomic.Int64
+	walSyncs       atomic.Int64
+	walSegments    atomic.Int64
+	installs       atomic.Int64
 	snapshots      atomic.Int64
 	replayNanos    atomic.Int64
 	replayRecords  atomic.Int64
@@ -36,6 +40,10 @@ type Stats struct {
 	StepsTotal     int64   `json:"steps_total"`
 	StepsPerSec    float64 `json:"steps_per_sec"` // over the engine's lifetime
 	WALBytes       int64   `json:"wal_bytes"`
+	WALAppends     int64   `json:"wal_appends_total"` // records appended
+	WALSyncs       int64   `json:"wal_syncs_total"`   // batch fsyncs issued (group commit shares them)
+	WALSegments    int64   `json:"wal_segments"`      // live segment files across shards
+	InstallsTotal  int64   `json:"installs_total"`    // sessions installed by WAL-shipping handoff
 	Snapshots      int64   `json:"snapshots_total"`
 	ReplayMillis   float64 `json:"replay_ms"`
 	ReplayRecords  int64   `json:"replay_records"`
@@ -63,6 +71,10 @@ func (m *metricsSet) stats() Stats {
 		StepsTotal:     steps,
 		StepsPerSec:    rate,
 		WALBytes:       m.walBytes.Load(),
+		WALAppends:     m.walAppends.Load(),
+		WALSyncs:       m.walSyncs.Load(),
+		WALSegments:    m.walSegments.Load(),
+		InstallsTotal:  m.installs.Load(),
 		Snapshots:      m.snapshots.Load(),
 		ReplayMillis:   float64(m.replayNanos.Load()) / 1e6,
 		ReplayRecords:  m.replayRecords.Load(),

@@ -1,10 +1,7 @@
 package session
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/relation"
@@ -13,14 +10,28 @@ import (
 // Snapshots exist to bound WAL replay time. Because Spocus state is
 // cumulative (a set of past-R relations) and the log is an append-only
 // sequence of deltas, a session's entire identity is a handful of relation
-// instances — a snapshot is a plain JSON dump, with no tree walking or
+// instances — an Image is a plain JSON document, with no tree walking or
 // copy-on-write machinery.
+//
+// On disk a snapshot is a stream of framed records written through
+// storage.SnapshotWriter: first a snapHeader, then one Image per session.
+// Streaming keeps snapshot memory proportional to the largest session, not
+// the shard — the previous format marshaled every session into one JSON
+// document.
 
-// snapVersion guards the on-disk snapshot format.
-const snapVersion = 1
+// snapVersion guards the on-disk snapshot format. Version 2 is the framed
+// stream; version 1 (single JSON document) is no longer read.
+const snapVersion = 2
 
-// snapSession is one session's full durable state.
-type snapSession struct {
+// snapHeader is the first record of a snapshot stream.
+type snapHeader struct {
+	Version int `json:"version"`
+	Shard   int `json:"shard"`
+}
+
+// Image is one session's full durable state: what snapshots persist and
+// what WAL-shipping handoff moves between nodes.
+type Image struct {
 	ID         string            `json:"id"`
 	Model      string            `json:"model,omitempty"`
 	Src        string            `json:"src,omitempty"`
@@ -35,15 +46,8 @@ type snapSession struct {
 	LastAccept bool              `json:"lastAccept"`
 }
 
-// snapshot is the whole of one shard's state at a point in time.
-type snapshot struct {
-	Version  int           `json:"version"`
-	Shard    int           `json:"shard"`
-	Sessions []snapSession `json:"sessions"`
-}
-
-func snapOf(s *Session) snapSession {
-	return snapSession{
+func snapOf(s *Session) Image {
+	return Image{
 		ID:         s.id,
 		Model:      s.model,
 		Src:        s.src,
@@ -59,8 +63,8 @@ func snapOf(s *Session) snapSession {
 	}
 }
 
-// restore rebuilds a live session from its snapshot image.
-func (ss *snapSession) restore() (*Session, error) {
+// restore rebuilds a live session from its image.
+func (ss *Image) restore() (*Session, error) {
 	mode, err := core.ParseAcceptMode(ss.Mode)
 	if err != nil {
 		return nil, err
@@ -105,62 +109,4 @@ func (ss *snapSession) restore() (*Session, error) {
 		okEvery:    ss.OkEvery,
 		lastAccept: ss.LastAccept,
 	}, nil
-}
-
-// writeSnapshot durably writes snap to path: write a temporary file, fsync
-// it, rename over the target, fsync the directory. A crash at any point
-// leaves either the old snapshot or the new one, never a mix.
-func writeSnapshot(path string, snap *snapshot) error {
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// readSnapshot loads a snapshot; a missing file yields an empty snapshot.
-func readSnapshot(path string) (*snapshot, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return &snapshot{Version: snapVersion}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	if snap.Version != snapVersion {
-		return nil, fmt.Errorf("snapshot %s: version %d, want %d", path, snap.Version, snapVersion)
-	}
-	return &snap, nil
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

@@ -1,220 +1,50 @@
 package session
 
 import (
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
-	"time"
-
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
+
+// The WAL machinery (framing, segments, rotation, fsync policy) lives in
+// internal/storage; this file defines what the session layer puts IN the
+// log. FsyncPolicy is re-exported so existing callers (flags, config,
+// benches) keep compiling against the session package.
 
 // FsyncPolicy controls when the write-ahead log is flushed to stable
-// storage.
-type FsyncPolicy int
+// storage. See storage.FsyncPolicy for the contract of each level.
+type FsyncPolicy = storage.FsyncPolicy
 
 const (
-	// FsyncAlways syncs after every appended record: a step acknowledged to
-	// the client is durable even across power loss.
-	FsyncAlways FsyncPolicy = iota
-	// FsyncInterval syncs at most once per configured interval: a crash may
-	// lose the last interval's worth of acknowledged steps, but never
-	// corrupts the log (replay stops at the first torn record).
-	FsyncInterval
-	// FsyncNever leaves syncing to the operating system. Process crashes
-	// (kill -9) lose nothing that reached the kernel via write; only power
-	// loss can drop acknowledged steps.
-	FsyncNever
+	FsyncAlways   = storage.FsyncAlways
+	FsyncInterval = storage.FsyncInterval
+	FsyncNever    = storage.FsyncNever
 )
-
-func (p FsyncPolicy) String() string {
-	switch p {
-	case FsyncAlways:
-		return "always"
-	case FsyncInterval:
-		return "interval"
-	case FsyncNever:
-		return "never"
-	}
-	return "unknown"
-}
 
 // ParseFsyncPolicy parses a policy name as produced by String. The empty
 // string parses as FsyncAlways, the safe default.
-func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
-	switch s {
-	case "", "always":
-		return FsyncAlways, nil
-	case "interval":
-		return FsyncInterval, nil
-	case "never":
-		return FsyncNever, nil
-	}
-	return FsyncAlways, fmt.Errorf("unknown fsync policy %q", s)
-}
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return storage.ParseFsyncPolicy(s) }
 
 // Record kinds appearing in the WAL.
 const (
-	recOpen  = "open"
-	recStep  = "step"
-	recClose = "close"
+	recOpen    = "open"
+	recStep    = "step"
+	recClose   = "close"
+	recInstall = "install" // a session installed whole by WAL-shipping handoff
 )
 
 // walRecord is one durable event. Steps store only the input instance:
 // transducer stepping is deterministic, so outputs, state, and log deltas
-// are recomputed on replay rather than persisted.
+// are recomputed on replay rather than persisted. Install records are the
+// one exception — they carry a full state image, because the inputs that
+// produced it were logged on a different node.
 type walRecord struct {
 	T     string            `json:"t"`
 	SID   string            `json:"sid"`
-	Model string            `json:"model,omitempty"`   // open: registry name ("" if Src given)
-	Src   string            `json:"src,omitempty"`     // open: inline transducer program
-	Mode  string            `json:"mode,omitempty"`    // open: acceptance mode
-	DB    relation.Instance `json:"db,omitempty"`      // open: database instance
-	Seq   int               `json:"seq,omitempty"`     // step: 1-based step number
-	Input relation.Instance `json:"input,omitempty"`   // step: the input relation set
-}
-
-// wal is an append-only log of length-prefixed JSON records:
-//
-//	[payload length: 4 bytes big-endian] [CRC-32 (IEEE) of payload: 4 bytes] [payload: JSON]
-//
-// The CRC guards against torn or bit-rotted tails; replay stops (and the
-// file is truncated) at the first record that fails to frame or checksum.
-// A wal is owned by exactly one shard goroutine and is not safe for
-// concurrent use.
-type wal struct {
-	f        *os.File
-	path     string
-	size     int64
-	policy   FsyncPolicy
-	interval time.Duration
-	lastSync time.Time
-	dirty    bool
-}
-
-// openWAL opens (creating if needed) the WAL at path for appending.
-func openWAL(path string, policy FsyncPolicy, interval time.Duration) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &wal{f: f, path: path, size: st.Size(), policy: policy, interval: interval, lastSync: time.Now()}, nil
-}
-
-// append frames, writes, and (per policy) syncs one record, returning the
-// number of bytes appended.
-func (w *wal) append(rec *walRecord) (int, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return 0, err
-	}
-	buf := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[8:], payload)
-	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
-	}
-	w.size += int64(len(buf))
-	w.dirty = true
-	switch w.policy {
-	case FsyncAlways:
-		err = w.sync()
-	case FsyncInterval:
-		if time.Since(w.lastSync) >= w.interval {
-			err = w.sync()
-		}
-	}
-	return len(buf), err
-}
-
-func (w *wal) sync() error {
-	if !w.dirty {
-		return nil
-	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	w.lastSync = time.Now()
-	w.dirty = false
-	return nil
-}
-
-// rotate truncates the WAL to empty. It is called immediately after a
-// snapshot has been made durable: every logged event is then covered by the
-// snapshot, and replay of pre-snapshot records is idempotent anyway.
-func (w *wal) rotate() error {
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	w.size = 0
-	w.dirty = true
-	return w.sync()
-}
-
-func (w *wal) close() error {
-	if err := w.sync(); err != nil {
-		w.f.Close()
-		return err
-	}
-	return w.f.Close()
-}
-
-// replayWAL reads records from path, calling apply for each well-framed
-// record in order. On the first torn or corrupt record it truncates the file
-// at the last good offset and stops without error (that is the expected
-// crash signature, not a failure). A missing file is an empty log.
-// It returns the number of records applied.
-func replayWAL(path string, apply func(*walRecord) error) (int, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	off, n := 0, 0
-	for {
-		good := off
-		if off+8 > len(data) {
-			return n, truncateAt(path, good, off < len(data))
-		}
-		length := int(binary.BigEndian.Uint32(data[off : off+4]))
-		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
-		if off+8+length > len(data) {
-			return n, truncateAt(path, good, true)
-		}
-		payload := data[off+8 : off+8+length]
-		if crc32.ChecksumIEEE(payload) != sum {
-			return n, truncateAt(path, good, true)
-		}
-		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return n, truncateAt(path, good, true)
-		}
-		if err := apply(&rec); err != nil {
-			return n, fmt.Errorf("wal %s: record %d: %w", path, n+1, err)
-		}
-		off += 8 + length
-		n++
-	}
-}
-
-// truncateAt cuts the file at off when a torn tail was detected.
-func truncateAt(path string, off int, torn bool) error {
-	if !torn {
-		return nil
-	}
-	return os.Truncate(path, int64(off))
+	Model string            `json:"model,omitempty"` // open: registry name ("" if Src given)
+	Src   string            `json:"src,omitempty"`   // open: inline transducer program
+	Mode  string            `json:"mode,omitempty"`  // open: acceptance mode
+	DB    relation.Instance `json:"db,omitempty"`    // open: database instance
+	Seq   int               `json:"seq,omitempty"`   // step: 1-based step number
+	Input relation.Instance `json:"input,omitempty"` // step: the input relation set
+	Image *Image            `json:"image,omitempty"` // install: full session state
 }

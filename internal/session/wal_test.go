@@ -1,13 +1,15 @@
 package session
 
 import (
-	"os"
-	"path/filepath"
+	"encoding/json"
 	"testing"
-	"time"
 
 	"repro/internal/relation"
 )
+
+// Framing, torn-tail, and rotation tests live with the mechanism in
+// internal/storage; this file covers what the session layer owns — the
+// record vocabulary and the policy aliases.
 
 func step(t *testing.T, facts ...relation.Fact) relation.Instance {
 	t.Helper()
@@ -26,34 +28,24 @@ func fact(rel string, args ...string) relation.Fact {
 	return relation.Fact{Rel: rel, Args: tu}
 }
 
-func TestWALRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "shard.wal")
-	w, err := openWAL(path, FsyncAlways, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestWALRecordRoundTrip(t *testing.T) {
 	in := step(t, fact("order", "time"))
 	recs := []*walRecord{
 		{T: recOpen, SID: "s1", Model: "short", Mode: "all"},
 		{T: recStep, SID: "s1", Seq: 1, Input: in},
 		{T: recClose, SID: "s1"},
 	}
+	var got []*walRecord
 	for _, r := range recs {
-		if _, err := w.append(r); err != nil {
+		data, err := json.Marshal(r)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	if err := w.close(); err != nil {
-		t.Fatal(err)
-	}
-	var got []*walRecord
-	n, err := replayWAL(path, func(r *walRecord) error {
-		cp := *r
-		got = append(got, &cp)
-		return nil
-	})
-	if err != nil || n != 3 {
-		t.Fatalf("replay: n=%d err=%v", n, err)
+		var back walRecord
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, &back)
 	}
 	if got[0].T != recOpen || got[0].Model != "short" {
 		t.Errorf("open record mangled: %+v", got[0])
@@ -66,94 +58,40 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
-// TestWALTornTail simulates a crash mid-write: the file ends with a partial
-// record, which replay must drop (with truncation) while keeping everything
-// before it.
-func TestWALTornTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "shard.wal")
-	w, err := openWAL(path, FsyncNever, 0)
+// Install records carry a full image; the image must survive the WAL trip
+// with its log and inputs intact, because replay restores from it alone.
+func TestWALInstallRecordRoundTrip(t *testing.T) {
+	in := step(t, fact("order", "time"))
+	img := &Image{
+		ID:     "shipped",
+		Model:  "short",
+		Mode:   "all",
+		DB:     relation.NewInstance(),
+		State:  relation.NewInstance(),
+		Logs:   relation.Sequence{in},
+		Inputs: relation.Sequence{in},
+		Steps:  1,
+	}
+	data, err := json.Marshal(&walRecord{T: recInstall, SID: "shipped", Image: img})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 1; i <= 3; i++ {
-		if _, err := w.append(&walRecord{T: recStep, SID: "s", Seq: i}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.close(); err != nil {
+	var back walRecord
+	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(path)
-	for cut := 1; cut < 12; cut += 5 { // tear the last record at several offsets
-		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		n, err := replayWAL(path, func(*walRecord) error { return nil })
-		if err != nil || n != 2 {
-			t.Fatalf("cut=%d: n=%d err=%v, want 2 records", cut, n, err)
-		}
-		st, _ := os.Stat(path)
-		if st.Size() >= int64(len(data)-cut) && cut > 0 {
-			t.Errorf("cut=%d: torn tail not truncated (size %d)", cut, st.Size())
-		}
-		// Replaying the truncated file again is clean and stable.
-		if n, err := replayWAL(path, func(*walRecord) error { return nil }); err != nil || n != 2 {
-			t.Fatalf("cut=%d second replay: n=%d err=%v", cut, n, err)
-		}
+	if back.T != recInstall || back.Image == nil {
+		t.Fatalf("install record mangled: %+v", back)
 	}
-}
-
-// TestWALCorruptPayload flips a payload byte; the CRC must catch it and
-// replay must stop at the previous record.
-func TestWALCorruptPayload(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "shard.wal")
-	w, err := openWAL(path, FsyncNever, 0)
+	if back.Image.Steps != 1 || len(back.Image.Logs) != 1 || !back.Image.Logs[0].Has("order", relation.Tuple{"time"}) {
+		t.Errorf("image mangled: %+v", back.Image)
+	}
+	s, err := back.Image.restore()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.append(&walRecord{T: recOpen, SID: "a", Model: "short"}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := w.append(&walRecord{T: recStep, SID: "a", Seq: 1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.close(); err != nil {
-		t.Fatal(err)
-	}
-	data, _ := os.ReadFile(path)
-	data[len(data)-2] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	n, err := replayWAL(path, func(*walRecord) error { return nil })
-	if err != nil || n != 1 {
-		t.Fatalf("n=%d err=%v, want the corrupt record dropped", n, err)
-	}
-}
-
-func TestWALAppendAfterReplayTruncation(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "shard.wal")
-	w, _ := openWAL(path, FsyncNever, 0)
-	w.append(&walRecord{T: recOpen, SID: "a", Model: "short"})
-	w.append(&walRecord{T: recStep, SID: "a", Seq: 1})
-	w.close()
-	data, _ := os.ReadFile(path)
-	os.WriteFile(path, data[:len(data)-3], 0o644) // torn second record
-	if n, err := replayWAL(path, func(*walRecord) error { return nil }); err != nil || n != 1 {
-		t.Fatalf("n=%d err=%v", n, err)
-	}
-	// A fresh appender continues from the truncated tail; the log stays
-	// well-formed end to end.
-	w2, err := openWAL(path, FsyncAlways, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := w2.append(&walRecord{T: recStep, SID: "a", Seq: 1}); err != nil {
-		t.Fatal(err)
-	}
-	w2.close()
-	if n, err := replayWAL(path, func(*walRecord) error { return nil }); err != nil || n != 2 {
-		t.Fatalf("after re-append: n=%d err=%v", n, err)
+	if s.id != "shipped" || s.steps != 1 {
+		t.Errorf("restored session mangled: id=%s steps=%d", s.id, s.steps)
 	}
 }
 
@@ -170,25 +108,4 @@ func TestParseFsyncPolicy(t *testing.T) {
 	if p, err := ParseFsyncPolicy(""); err != nil || p != FsyncAlways {
 		t.Errorf("empty policy: got %v, %v; want always", p, err)
 	}
-}
-
-func TestWALFsyncInterval(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "shard.wal")
-	w, err := openWAL(path, FsyncInterval, time.Hour)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := w.append(&walRecord{T: recOpen, SID: "a", Model: "short"}); err != nil {
-		t.Fatal(err)
-	}
-	if !w.dirty {
-		t.Error("append within interval should leave the wal dirty")
-	}
-	if err := w.sync(); err != nil {
-		t.Fatal(err)
-	}
-	if w.dirty {
-		t.Error("sync should clear dirty")
-	}
-	w.close()
 }

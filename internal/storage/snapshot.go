@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotWriter streams one snapshot: records are appended one at a time
+// (each CRC-framed, same framing as the WAL) into a temp file, and nothing
+// is visible to recovery until Commit renames it into place and flips the
+// manifest. The write path never holds more than one record in memory, so
+// snapshotting a shard with months of log does not balloon the heap the
+// way a single json.Marshal of every session did.
+type SnapshotWriter struct {
+	s    *Store
+	seq  int
+	tmp  string
+	f    *os.File
+	w    *bufio.Writer
+	done bool
+}
+
+// BeginSnapshot starts a snapshot covering every record appended so far.
+// The snapshot takes the sequence number one past the active segment;
+// committing it makes that the first live segment. Between BeginSnapshot
+// and Commit the owner must not Append (single-owner discipline — the
+// engine snapshots from inside the shard loop, where this holds by
+// construction).
+func (s *Store) BeginSnapshot() (*SnapshotWriter, error) {
+	if s.active == nil {
+		return nil, fmt.Errorf("storage: store is closed")
+	}
+	seq := s.activeSeq + 1
+	tmp := filepath.Join(s.dir, snapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotWriter{s: s, seq: seq, tmp: tmp, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append frames one record into the pending snapshot.
+func (sw *SnapshotWriter) Append(payload []byte) error {
+	if sw.done {
+		return fmt.Errorf("storage: snapshot writer already finished")
+	}
+	_, err := sw.w.Write(frame(payload))
+	return err
+}
+
+// Commit publishes the snapshot. Ordering is what makes every crash point
+// recoverable:
+//
+//  1. flush + fsync + rename the temp file to its final snapshot name
+//     (an incomplete snapshot can never carry the final name);
+//  2. seal the active segment and open the next one at the snapshot's
+//     sequence number (post-snapshot records land only in segments >= it);
+//  3. flip the manifest — the commit point;
+//  4. only then delete the superseded segments and old snapshot.
+//
+// A crash before 3 recovers from the old snapshot + old segments (Open
+// deletes the orphan new snapshot); a crash after 3 recovers from the new
+// snapshot, with Open sweeping whatever step 4 did not get to.
+func (sw *SnapshotWriter) Commit() error {
+	if sw.done {
+		return fmt.Errorf("storage: snapshot writer already finished")
+	}
+	sw.done = true
+	s := sw.s
+
+	if err := sw.w.Flush(); err != nil {
+		sw.discard()
+		return err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.discard()
+		return err
+	}
+	if err := sw.f.Close(); err != nil {
+		os.Remove(sw.tmp)
+		return err
+	}
+	final := snapName(sw.seq)
+	if err := os.Rename(sw.tmp, filepath.Join(s.dir, final)); err != nil {
+		os.Remove(sw.tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	oldStart := s.man.SegStart
+	oldSnap := s.man.Snapshot
+	if err := s.rotateTo(sw.seq); err != nil {
+		return err
+	}
+	if err := s.commitManifest(manifest{Version: 1, Snapshot: final, SegStart: sw.seq}); err != nil {
+		return err
+	}
+
+	for seq := oldStart; seq < sw.seq; seq++ {
+		os.Remove(filepath.Join(s.dir, segName(seq)))
+	}
+	if oldSnap != "" && oldSnap != final {
+		os.Remove(filepath.Join(s.dir, oldSnap))
+	}
+	return nil
+}
+
+// Abort discards the pending snapshot, leaving the store exactly as it
+// was.
+func (sw *SnapshotWriter) Abort() {
+	if sw.done {
+		return
+	}
+	sw.done = true
+	sw.discard()
+}
+
+func (sw *SnapshotWriter) discard() {
+	sw.f.Close()
+	os.Remove(sw.tmp)
+}
+
+// rotateTo seals the active segment and opens a fresh one at exactly seq.
+func (s *Store) rotateTo(seq int) error {
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	s.dirty = false
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	return s.openActive(seq)
+}

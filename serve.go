@@ -5,8 +5,10 @@ package spocus
 // internal/session for the engine and cmd/spocus-server for the binary.
 // The cluster layer (internal/cluster, cmd/spocus-router) lifts the
 // session shard boundary across processes: a consistent-hash router
-// fronting N servers, with health-based failover and deterministic-replay
-// session handoff. The live verification plane (internal/live) answers
+// fronting N servers, with health-based failover and session handoff by
+// WAL shipping (digest-verified state transfer) or deterministic replay.
+// Durability itself — segmented group-commit WALs and streaming snapshots —
+// lives in internal/storage, owned end-to-end by the session engine. The live verification plane (internal/live) answers
 // reachability, temporal, and progress queries against running sessions'
 // current prefixes, with memoized answers and admission control.
 
@@ -69,8 +71,16 @@ type (
 	// RingInfo is the ring snapshot served at GET /debug/shards.
 	RingInfo = cluster.Info
 	// SessionExport is a session's replayable input history, the unit of
-	// handoff between backends.
+	// replay-mode handoff between backends.
 	SessionExport = session.Export
+	// SessionImage is a session's full materialized state (database, state
+	// relations, logs, cumulated inputs) as written to snapshots and shipped
+	// between backends.
+	SessionImage = session.Image
+	// SessionStateExport is a frozen session's image plus a log digest, the
+	// unit of WAL-shipping handoff; the installing backend refuses the image
+	// if the digest does not match its restored logs.
+	SessionStateExport = session.StateExport
 )
 
 // Re-exported live-verification-plane types.
