@@ -220,12 +220,24 @@ func bench(args []string) {
 		url       = fs.String("url", "", "drive load over HTTP against this base URL (a spocus-server or spocus-router) instead of in-process")
 		verifyMix = fs.Float64("verify-mix", 0, "fraction of steps followed by a live verify query (e.g. 0.1: one query per 10 steps)")
 
+		scenarios        = fs.String("scenarios", "", "run a scenario fleet instead of the single-model bench: 'builtin' or a JSON fleet file; each scenario runs in-process AND through an in-process router over loopback TCP (see internal/scenario)")
+		scenarioBackends = fs.Int("scenario-backends", 2, "backends behind the router in the -scenarios router path")
+
 		fsyncMatrix   = fs.Bool("fsync-matrix", false, "run the in-process bench across the durability matrix (wal-never, wal-interval, wal-always-batch1, wal-always-group), each on a fresh temp dir; emits a JSON array")
 		handoffSteps  = fs.Int("handoff-steps", 0, "with -url pointing at a spocus-router: open one session, drive this many steps, then time replay- vs ship-mode handoffs")
 		handoffRounds = fs.Int("handoff-rounds", 5, "handoffs timed per mode under -handoff-steps")
 	)
 	build := engineFlags(fs, "never")
 	fs.Parse(args)
+
+	if *scenarios != "" {
+		cfg, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		benchScenarios(cfg, *scenarios, *scenarioBackends)
+		return
+	}
 
 	script, db, err := scriptFor(*model)
 	if err != nil {

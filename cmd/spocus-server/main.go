@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/models"
 	"repro/internal/session"
 )
 
@@ -62,14 +64,38 @@ func main() {
 		serve(os.Args[2:])
 	case "bench":
 		bench(os.Args[2:])
+	case "print-network":
+		printNetwork(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spocus-server serve|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spocus-server serve|bench|print-network [flags]")
 	os.Exit(2)
+}
+
+// printNetwork emits a generated network spec as JSON — the exact value
+// OpenRequest.Network accepts — so shell scripts can open network sessions
+// without hand-writing wiring:
+//
+//	curl -X POST $URL/sessions \
+//	  -d "{\"id\":\"n1\",\"network\":$(spocus-server print-network marketplace)}"
+func printNetwork(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spocus-server print-network marketplace|fraud|customization")
+		os.Exit(2)
+	}
+	spec := models.Network(args[0])
+	if spec == nil {
+		fatal(fmt.Errorf("unknown network %q (have %v)", args[0], models.NetworkNames()))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

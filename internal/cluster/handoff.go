@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/compose"
 	"repro/internal/session"
 )
 
@@ -227,13 +228,20 @@ func (rt *Router) ship(from, to, id string) (int, error) {
 
 // replay reconstructs the exported session on backend addr through the
 // ordinary open/input path, retrying individual steps on 429 backpressure.
+// A network session replays the same way — open with the network spec,
+// then re-feed the external inputs as joint steps; determinism recomputes
+// the wire traffic and per-node logs bit-for-bit.
 func (rt *Router) replay(addr string, exp *session.Export) error {
-	open := map[string]any{"id": exp.ID, "mode": exp.Mode, "db": exp.DB}
-	if exp.Model != "" {
-		open["model"] = exp.Model
-	}
-	if exp.Src != "" {
+	open := map[string]any{"id": exp.ID, "mode": exp.Mode}
+	switch {
+	case exp.Network != nil:
+		open["network"] = exp.Network
+	case exp.Src != "":
 		open["src"] = exp.Src
+		open["db"] = exp.DB
+	default:
+		open["model"] = exp.Model
+		open["db"] = exp.DB
 	}
 	// Open goes through the same bounded shard mailbox as inputs, so a
 	// busy target can 429 it too — and a busy target is not a failed
@@ -241,17 +249,31 @@ func (rt *Router) replay(addr string, exp *session.Export) error {
 	if err := rt.postJSONRetry(addr+"/sessions", open, nil); err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
-	for i, in := range exp.Inputs {
+	steps := len(exp.Inputs)
+	if exp.Network != nil {
+		steps = len(exp.NetInputs)
+	}
+	for i := 0; i < steps; i++ {
+		body := map[string]any{}
+		if exp.Network != nil {
+			netin := exp.NetInputs[i]
+			if netin == nil {
+				netin = compose.StepInputs{}
+			}
+			body["inputs"] = netin
+		} else {
+			body["input"] = exp.Inputs[i]
+		}
 		var res session.StepResult
-		if err := rt.postJSONRetry(addr+"/sessions/"+exp.ID+"/input", map[string]any{"input": in}, &res); err != nil {
+		if err := rt.postJSONRetry(addr+"/sessions/"+exp.ID+"/input", body, &res); err != nil {
 			return fmt.Errorf("replay step %d: %w", i+1, err)
 		}
 		if res.Seq != i+1 {
 			return fmt.Errorf("replay step %d: target reports seq %d", i+1, res.Seq)
 		}
 	}
-	if len(exp.Inputs) != exp.Steps {
-		return fmt.Errorf("export is inconsistent: %d inputs for %d steps", len(exp.Inputs), exp.Steps)
+	if steps != exp.Steps {
+		return fmt.Errorf("export is inconsistent: %d inputs for %d steps", steps, exp.Steps)
 	}
 	return nil
 }

@@ -164,22 +164,26 @@ func (rt *Router) Close() { rt.checker.stop() }
 // /sessions assigns an ID before routing so the created session has a home
 // the moment it exists, re-rolling the minted ID until it hashes to an up
 // backend (client-chosen IDs are never re-homed — a down owner is 503).
-// GET /sessions fans out to all up backends and merges. GET /models is
-// answered by any up backend.
+// GET /sessions fans out to all up backends and merges. GET /models and
+// GET /networks are answered by any up backend. A network session routes
+// like any other — one session ID, one owning backend for the whole
+// network.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", rt.handleOpen)
 	mux.HandleFunc("GET /sessions", rt.handleList)
 	mux.HandleFunc("/sessions/{id}", rt.handleSession)
 	mux.HandleFunc("/sessions/{id}/{rest...}", rt.handleSession)
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
-		addrs := rt.ring.UpMembers()
-		if len(addrs) == 0 {
-			rt.refuse(w, ErrNoBackends)
-			return
-		}
-		rt.forward(w, r, addrs[0], nil)
-	})
+	for _, route := range []string{"GET /models", "GET /networks"} {
+		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			addrs := rt.ring.UpMembers()
+			if len(addrs) == 0 {
+				rt.refuse(w, ErrNoBackends)
+				return
+			}
+			rt.forward(w, r, addrs[0], nil)
+		})
+	}
 	mux.HandleFunc("GET /debug/shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rt.ring.Snapshot())
 	})

@@ -21,7 +21,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relation"
-	"repro/internal/verify"
 )
 
 // Node is one participant: a named transducer with its own database.
@@ -42,11 +41,19 @@ type Wire struct {
 	Input  string // destination input relation
 }
 
-// Network is a set of nodes and wires.
+// Network is a set of nodes and wires. After Start it also carries the
+// inter-step run state: each node's state instance and the unit-delay
+// buffer of last-step outputs. StepOnce advances the whole network one
+// synchronous step at a time, which is what lets a serving layer drive a
+// network interactively instead of replaying it from scratch per stimulus.
 type Network struct {
 	nodes map[string]*Node
 	order []string
 	wires []Wire
+
+	started bool
+	steps   int
+	prevOut StepInputs
 }
 
 // New creates an empty network.
@@ -147,9 +154,16 @@ func (r *Run) ErrorFree() bool {
 	return true
 }
 
-// Execute runs the network for len(external) steps. Each node's state
-// starts empty; wired values are delayed one step.
-func (n *Network) Execute(external []StepInputs) (*Run, error) {
+// Node returns the named participant, or nil if unknown.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Steps returns how many joint steps have run since Start.
+func (n *Network) Steps() int { return n.steps }
+
+// Start (re)initializes the run: every node's state becomes empty and the
+// unit-delay buffer is cleared. StepOnce calls it lazily on first use;
+// Execute calls it so consecutive executions are independent.
+func (n *Network) Start() {
 	for _, node := range n.nodes {
 		st := relation.NewInstance()
 		for _, d := range node.M.Schema().State {
@@ -157,48 +171,176 @@ func (n *Network) Execute(external []StepInputs) (*Run, error) {
 		}
 		node.state = st
 	}
-	run := &Run{}
-	prevOut := StepInputs{}
-	for i := range external {
-		inStep := StepInputs{}
-		outStep := StepInputs{}
-		for _, name := range n.order {
-			node := n.nodes[name]
-			in := relation.NewInstance()
-			if ext, ok := external[i][name]; ok {
-				in.UnionWith(ext)
-			}
-			for _, w := range n.wires {
-				if w.To != name {
-					continue
-				}
-				src, ok := prevOut[w.From]
-				if !ok {
-					continue
-				}
-				if rel := src.Rel(w.Output); rel != nil && rel.Len() > 0 {
-					in.Ensure(w.Input, rel.Arity()).UnionWith(rel)
-				}
-			}
-			next, out, err := node.M.Step(in, node.state, node.DB)
-			if err != nil {
-				return nil, fmt.Errorf("compose: node %s step %d: %w", name, i+1, err)
-			}
-			node.state = next
-			inStep[name] = in
-			outStep[name] = out
+	n.started = true
+	n.steps = 0
+	n.prevOut = StepInputs{}
+}
+
+// WireDelta is the traffic one wire carried into a step: the facts the
+// source produced last step, delivered to the destination's input relation
+// this step (unit delay). Facts are in deterministic sorted order.
+type WireDelta struct {
+	From   string           `json:"from"`
+	Output string           `json:"output"`
+	To     string           `json:"to"`
+	Input  string           `json:"input"`
+	Facts  []relation.Tuple `json:"facts"`
+}
+
+// JointStep is the full exchange of one synchronous network step: what each
+// node consumed (external ∪ wired), what it produced, its log delta, and
+// the per-wire traffic delivered this step.
+type JointStep struct {
+	Seq      int        `json:"seq"`
+	Consumed StepInputs `json:"consumed"`
+	Outputs  StepInputs `json:"outputs"`
+	// Logs[v] is node v's log delta per its own schema's log declaration —
+	// the durable per-node object, exactly Definition 2.2 applied nodewise.
+	Logs StepInputs  `json:"logs"`
+	Wire []WireDelta `json:"wire,omitempty"`
+}
+
+// StepOnce advances every node one synchronous step: node v consumes the
+// external stimulus ext[v] unioned with the wired outputs its peers
+// produced on the previous step. Nodes step in insertion order, but the
+// unit delay makes the result order-independent: every node reads only
+// last-step outputs. An evaluation error aborts with the network state
+// unchanged (states are replaced only after every node stepped).
+func (n *Network) StepOnce(ext StepInputs) (*JointStep, error) {
+	if !n.started {
+		n.Start()
+	}
+	js := &JointStep{Seq: n.steps + 1, Consumed: StepInputs{}, Outputs: StepInputs{}, Logs: StepInputs{}}
+	for _, w := range n.wires {
+		src, ok := n.prevOut[w.From]
+		if !ok {
+			continue
 		}
-		run.Inputs = append(run.Inputs, inStep)
-		run.Outputs = append(run.Outputs, outStep)
-		prevOut = outStep
+		if rel := src.Rel(w.Output); rel != nil && rel.Len() > 0 {
+			js.Wire = append(js.Wire, WireDelta{From: w.From, Output: w.Output, To: w.To, Input: w.Input, Facts: rel.Tuples()})
+		}
+	}
+	nextStates := make(map[string]relation.Instance, len(n.order))
+	for _, name := range n.order {
+		node := n.nodes[name]
+		in := relation.NewInstance()
+		if e, ok := ext[name]; ok {
+			in.UnionWith(e)
+		}
+		for _, w := range n.wires {
+			if w.To != name {
+				continue
+			}
+			src, ok := n.prevOut[w.From]
+			if !ok {
+				continue
+			}
+			if rel := src.Rel(w.Output); rel != nil && rel.Len() > 0 {
+				in.Ensure(w.Input, rel.Arity()).UnionWith(rel)
+			}
+		}
+		next, out, err := node.M.Step(in, node.state, node.DB)
+		if err != nil {
+			return nil, fmt.Errorf("compose: node %s step %d: %w", name, n.steps+1, err)
+		}
+		nextStates[name] = next
+		js.Consumed[name] = in
+		js.Outputs[name] = out
+		js.Logs[name] = node.M.Schema().LogDelta(in, out)
+	}
+	for name, st := range nextStates {
+		n.nodes[name].state = st
+	}
+	n.prevOut = js.Outputs
+	n.steps++
+	return js, nil
+}
+
+// Execute runs the network for len(external) steps from a fresh start.
+// Each node's state starts empty; wired values are delayed one step.
+func (n *Network) Execute(external []StepInputs) (*Run, error) {
+	n.Start()
+	run := &Run{}
+	for i := range external {
+		js, err := n.StepOnce(external[i])
+		if err != nil {
+			return nil, err
+		}
+		run.Inputs = append(run.Inputs, js.Consumed)
+		run.Outputs = append(run.Outputs, js.Outputs)
 	}
 	return run, nil
+}
+
+// NetState is the serializable inter-step state of a network run: per-node
+// state instances plus the unit-delay buffer (last step's outputs). It is
+// everything a restarted process needs to continue a run without replay —
+// the network-session snapshot format.
+type NetState struct {
+	Steps  int                          `json:"steps"`
+	States map[string]relation.Instance `json:"states"`
+	// PrevOut is the delay buffer: what each node output on the last step,
+	// due to be delivered over the wires on the next one.
+	PrevOut map[string]relation.Instance `json:"prevOut,omitempty"`
+}
+
+// ExportState captures the run state after the last StepOnce. Instances
+// are deep-copied: the export stays stable while the network keeps running.
+func (n *Network) ExportState() *NetState {
+	if !n.started {
+		n.Start()
+	}
+	st := &NetState{Steps: n.steps, States: make(map[string]relation.Instance, len(n.order))}
+	for _, name := range n.order {
+		st.States[name] = n.nodes[name].state.Clone()
+	}
+	if len(n.prevOut) > 0 {
+		st.PrevOut = make(map[string]relation.Instance, len(n.prevOut))
+		for name, out := range n.prevOut {
+			st.PrevOut[name] = out.Clone()
+		}
+	}
+	return st
+}
+
+// RestoreState resumes a run from an exported state: the next StepOnce
+// continues at st.Steps+1 with st's delay buffer on the wires. Unknown
+// node names are rejected; nodes absent from st.States keep empty state.
+func (n *Network) RestoreState(st *NetState) error {
+	n.Start()
+	for name := range st.States {
+		if _, ok := n.nodes[name]; !ok {
+			return fmt.Errorf("compose: restore: unknown node %s", name)
+		}
+	}
+	for name := range st.PrevOut {
+		if _, ok := n.nodes[name]; !ok {
+			return fmt.Errorf("compose: restore: unknown node %s", name)
+		}
+	}
+	for name, s := range st.States {
+		n.nodes[name].state = s.Clone()
+	}
+	n.prevOut = StepInputs{}
+	for name, out := range st.PrevOut {
+		n.prevOut[name] = out.Clone()
+	}
+	n.steps = st.Steps
+	return nil
+}
+
+// GoalCondition is a predicate over one step's output instance.
+// *verify.Goal satisfies it; the indirection keeps compose free of a
+// dependency on the verification layer (whose tests sit above the model
+// registry, which in turn builds on compose).
+type GoalCondition interface {
+	Holds(output relation.Instance) bool
 }
 
 // Goal names a goal to achieve in a given node's output at the last step.
 type Goal struct {
 	Node string
-	G    *verify.Goal
+	G    GoalCondition
 }
 
 // CompatibleResult is the outcome of the bounded compatibility search.

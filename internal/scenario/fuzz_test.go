@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/compose"
+	"repro/internal/models"
+)
+
+// FuzzParse throws arbitrary bytes at the scenario-spec parser. The
+// invariant under fuzz: Parse either rejects the input or returns a spec
+// whose Plan succeeds with exactly the declared session count and whose
+// scripts are callable — no panics, no validated-but-unplannable specs.
+//
+// The seed corpus spans the interesting structure: the whole builtin
+// fleet, inline specs for the generated marketplace and fraud networks,
+// and near-miss corruptions (duplicate nodes, wire arity mismatches,
+// unknown wire endpoints, cyclic wiring — the last is legal).
+func FuzzParse(f *testing.F) {
+	seed := func(sp *Spec) {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, sp := range Fleet() {
+		seed(sp)
+	}
+
+	inline := func(mut func(s *compose.Spec)) *Spec {
+		cs := models.Network("marketplace")
+		if mut != nil {
+			mut(cs)
+		}
+		return &Spec{Name: "fz", Sessions: 2, Steps: 3, Mix: []Element{{Spec: cs}}}
+	}
+	seed(inline(nil))
+	seed(&Spec{Name: "fz-fraud", Sessions: 2, Steps: 3, Mix: []Element{{Spec: models.Network("fraud")}}})
+	// Duplicate node.
+	seed(inline(func(s *compose.Spec) { s.Nodes = append(s.Nodes, s.Nodes[0]) }))
+	// Wire arity mismatch.
+	seed(inline(func(s *compose.Spec) { s.Wires[0].Input = "pay" }))
+	// Wire to a node that doesn't exist.
+	seed(inline(func(s *compose.Spec) { s.Wires[0].To = "nobody" }))
+	// Self-loop (legal under unit delay).
+	seed(&Spec{Name: "fz-cycle", Sessions: 1, Steps: 2, Mix: []Element{{Spec: &compose.Spec{
+		Nodes: []compose.NodeSpec{{Name: "echo", Src: models.NetShipperSrc}},
+		Wires: []compose.WireSpec{{From: "echo", Output: "shipped", To: "echo", Input: "request"}},
+	}}}})
+	// Open-loop arrivals and per-element step overrides.
+	seed(&Spec{Name: "fz-open", Sessions: 4, Steps: 2, Arrival: Open, Rate: 50,
+		Mix: []Element{{Model: "auction", Weight: 3, Steps: 6}, {Network: "customization"}}})
+	// Junk.
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"x","sessions":1,"steps":1,"mix":[{"model":"short","network":"fraud"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		plans, err := sp.Plan("fz")
+		if err != nil {
+			t.Fatalf("validated spec failed to plan: %v\nspec: %s", err, data)
+		}
+		if len(plans) != sp.Sessions {
+			t.Fatalf("planned %d sessions for %d declared\nspec: %s", len(plans), sp.Sessions, data)
+		}
+		for _, p := range plans {
+			if p.IsNetwork() == (p.Model != "") {
+				t.Fatalf("plan %s is neither model nor network\nspec: %s", p.ID, data)
+			}
+			// Scripts are callable over the full step range (probe a few).
+			for _, j := range []int{0, 1, p.Steps - 1} {
+				if j < 0 {
+					continue
+				}
+				if p.IsNetwork() {
+					p.NetInput(j)
+				} else {
+					p.Input(j)
+				}
+			}
+		}
+		for i := 0; i < sp.Sessions; i++ {
+			if off := sp.StartOffset(i); off < 0 {
+				t.Fatalf("negative start offset %v\nspec: %s", off, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/compose"
+	"repro/internal/models"
+	"repro/internal/relation"
+)
+
+// Deterministic input scripts, one per registry model and generated
+// network. Scripts are pure functions of (session index, step index):
+// repeated runs of a scenario offer byte-identical stimulus, so reported
+// throughput differences are the serving stack's, not the workload's.
+
+// catalogSize is the shop-family catalogue: big enough that the order/pay
+// loop doesn't immediately revisit items (which the strict models flag as
+// errors — errors don't stop a session, but a mostly-well-behaved script
+// keeps output volume representative).
+const catalogSize = 12
+
+func catalogItem(p int) (item, price relation.Const) {
+	return relation.Const(fmt.Sprintf("item-%02d", p)), relation.Const(fmt.Sprint(100 + p))
+}
+
+// catalogDB is the shop-family database: catalogSize priced, available
+// products.
+func catalogDB() relation.Instance {
+	db := relation.NewInstance()
+	for p := 0; p < catalogSize; p++ {
+		item, price := catalogItem(p)
+		db.Add("price", relation.Tuple{item, price})
+		db.Add("available", relation.Tuple{item})
+	}
+	return db
+}
+
+// modelDB is the database a scenario opens the model with.
+func modelDB(model string) relation.Instance {
+	switch model {
+	case "short", "friendly", "restricted", "guarded", "payfirst", "strict", "stricter":
+		return catalogDB()
+	default:
+		return models.DefaultDB(model)
+	}
+}
+
+// shop is the Figure 1 loop: order an item, pay for it next step, moving
+// through the catalogue at a per-session offset.
+func shop(i, j int) relation.Instance {
+	p := (i + j/2) % catalogSize
+	item, price := catalogItem(p)
+	in := relation.NewInstance()
+	if j%2 == 0 {
+		in.Add("order", relation.Tuple{item})
+	} else {
+		in.Add("pay", relation.Tuple{item, price})
+	}
+	return in
+}
+
+// modelScript returns the step script for one session of the model.
+func modelScript(model string, i int) func(j int) relation.Instance {
+	switch model {
+	case "short", "restricted", "strict", "stricter":
+		return func(j int) relation.Instance { return shop(i, j) }
+	case "friendly":
+		// The shop loop with a pending-bills reminder sweep every fifth step.
+		return func(j int) relation.Instance {
+			if j%5 == 4 {
+				in := relation.NewInstance()
+				in.Ensure("pending-bills", 0).Add(relation.Tuple{})
+				return in
+			}
+			return shop(i, j)
+		}
+	case "guarded", "payfirst":
+		// The shop loop plus an occasional cancellation of a previously
+		// ordered item, exercising the cancellation guards.
+		return func(j int) relation.Instance {
+			if j%7 == 6 {
+				item, _ := catalogItem((i + j/2 - 1) % catalogSize)
+				in := relation.NewInstance()
+				in.Add("cancel", relation.Tuple{item})
+				return in
+			}
+			return shop(i, j)
+		}
+	case "abstar":
+		// A well-formed ab* prefix: one a, then b forever.
+		return func(j int) relation.Instance {
+			in := relation.NewInstance()
+			if j == 0 {
+				in.Ensure("ia", 0).Add(relation.Tuple{})
+			} else {
+				in.Ensure("ib", 0).Add(relation.Tuple{})
+			}
+			return in
+		}
+	case "auction":
+		// Three-step lots: list, bid (bidders from AuctionDB), accept.
+		return func(j int) relation.Instance {
+			lot := relation.Const(fmt.Sprintf("lot-%03d", j/3))
+			bidder := relation.Const([]string{"alice", "bob"}[(i+j/3)%2])
+			in := relation.NewInstance()
+			switch j % 3 {
+			case 0:
+				in.Add("list", relation.Tuple{lot})
+			case 1:
+				in.Add("bid", relation.Tuple{lot, bidder})
+			default:
+				in.Add("accept", relation.Tuple{lot, bidder})
+			}
+			return in
+		}
+	case "subscription":
+		// Four-step cycles per periodical: subscribe, remit, remind, cancel.
+		return func(j int) relation.Instance {
+			rates := [][2]relation.Const{{"economist", "120"}, {"nature", "199"}}
+			r := rates[(i+j/4)%2]
+			in := relation.NewInstance()
+			switch j % 4 {
+			case 0:
+				in.Add("subscribe", relation.Tuple{r[0]})
+			case 1:
+				in.Add("remit", relation.Tuple{r[0], r[1]})
+			case 2:
+				in.Ensure("remind", 0).Add(relation.Tuple{})
+			default:
+				in.Add("cancel", relation.Tuple{r[0]})
+			}
+			return in
+		}
+	default:
+		// Unknown models are rejected by Validate; an empty script keeps the
+		// zero value total (never reached in a validated plan).
+		return func(int) relation.Instance { return relation.NewInstance() }
+	}
+}
+
+// networkScript cycles the network's canonical conversation (see
+// models.NetworkScript) with a rotating product choice: each full cycle
+// re-runs the conversation for the next product.
+func networkScript(network string, i int) func(j int) compose.StepInputs {
+	products := models.NetProducts()
+	// The canonical script's length is the conversation period.
+	period := len(models.NetworkScript(network, products[0]))
+	cache := map[string][]compose.StepInputs{}
+	return func(j int) compose.StepInputs {
+		product := products[(i+j/period)%len(products)]
+		script, ok := cache[product]
+		if !ok {
+			script = models.NetworkScript(network, product)
+			cache[product] = script
+		}
+		return script[j%period]
+	}
+}

@@ -248,7 +248,7 @@ func (sh *shard) applyRecord(rec *walRecord) error {
 		if _, ok := sh.sessions[rec.SID]; ok {
 			return nil // covered by snapshot
 		}
-		s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB})
+		s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB, Network: rec.Network})
 		if err != nil {
 			return err
 		}
@@ -264,6 +264,12 @@ func (sh *shard) applyRecord(rec *walRecord) error {
 		}
 		if rec.Seq != s.steps+1 {
 			return fmt.Errorf("session %s: step %d after %d", rec.SID, rec.Seq, s.steps)
+		}
+		// The session's own kind decides how to replay the record: an empty
+		// joint step carries no netin field, so the shape alone cannot.
+		if s.net != nil {
+			_, err := s.applyNet(rec.NetIn)
+			return err
 		}
 		_, err := s.apply(rec.Input)
 		return err
@@ -600,6 +606,9 @@ func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 		if !ok {
 			return nil, &NotFoundError{ID: id}
 		}
+		if s.net != nil {
+			return nil, &BadInputError{Err: fmt.Errorf("session %s is a network session; address inputs per node", id)}
+		}
 		if s.frozen {
 			return nil, &FrozenError{ID: id}
 		}
@@ -673,6 +682,7 @@ type CloseResult struct {
 	// mode; for accept-at-end this is the definitive answer.
 	Valid bool              `json:"valid"`
 	Log   relation.Sequence `json:"log"`
+	Joint []JointLogEntry   `json:"joint,omitempty"` // network sessions
 }
 
 // Close ends the session, durably records the close, and returns the final
@@ -692,7 +702,11 @@ func (e *Engine) Close(id string) (*CloseResult, error) {
 		delete(sh.sessions, id)
 		sh.m.sessionsOpen.Add(-1)
 		sh.m.sessionsClosed.Add(1)
-		return &CloseResult{ID: id, Steps: s.steps, Valid: s.valid(), Log: s.logs}, nil
+		res := &CloseResult{ID: id, Steps: s.steps, Valid: s.valid(), Log: s.logs}
+		if s.net != nil {
+			res.Joint = s.net.joint
+		}
+		return res, nil
 	})
 	if err != nil {
 		return nil, err

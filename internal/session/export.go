@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/compose"
 	"repro/internal/relation"
 )
 
@@ -26,7 +27,9 @@ import (
 // target has acknowledged the full replay.
 
 // Export is a session's replayable history: everything needed to
-// reconstruct it on another engine by deterministic replay.
+// reconstruct it on another engine by deterministic replay. Network
+// sessions carry their spec and per-step external inputs instead of the
+// machine-shaped fields.
 type Export struct {
 	ID    string `json:"id"`
 	Model string `json:"model,omitempty"`
@@ -37,6 +40,10 @@ type Export struct {
 	DB     relation.Instance `json:"db"`
 	Steps  int               `json:"steps"`
 	Inputs relation.Sequence `json:"inputs"`
+	// Network session fields: the spec (identity) and the external inputs
+	// of every joint step (wired inputs are recomputed on replay).
+	Network   *compose.Spec        `json:"network,omitempty"`
+	NetInputs []compose.StepInputs `json:"netInputs,omitempty"`
 }
 
 // Export freezes the session against further mutation and returns its
@@ -52,6 +59,16 @@ func (e *Engine) Export(id string) (*Export, error) {
 		}
 		s.frozen = true
 		sh.m.exports.Add(1)
+		if s.net != nil {
+			return &Export{
+				ID:        s.id,
+				Mode:      s.mode.String(),
+				DB:        relation.NewInstance(),
+				Steps:     s.steps,
+				Network:   s.net.spec.Clone(),
+				NetInputs: cloneStepInputsSeq(s.net.inputs),
+			}, nil
+		}
 		return &Export{
 			ID:     s.id,
 			Model:  s.model,
@@ -116,7 +133,7 @@ func (e *Engine) ExportState(id string) (*StateExport, error) {
 		if err := json.Unmarshal(data, &copyImg); err != nil {
 			return nil, err
 		}
-		return &StateExport{Image: &copyImg, Digest: LogDigest(s.logs)}, nil
+		return &StateExport{Image: &copyImg, Digest: s.logDigest()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -142,7 +159,7 @@ func (e *Engine) Install(se *StateExport) (*Info, error) {
 	if err != nil {
 		return nil, &BadInputError{Err: fmt.Errorf("install: %w", err)}
 	}
-	if got := LogDigest(s.logs); got != se.Digest {
+	if got := s.logDigest(); got != se.Digest {
 		return nil, &BadInputError{Err: fmt.Errorf("install: log digest mismatch for %s: source %s, restored %s", id, se.Digest, got)}
 	}
 	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/compose"
 	"repro/internal/live"
 	"repro/internal/models"
 	"repro/internal/relation"
@@ -15,10 +16,14 @@ import (
 // Handler serves the engine over HTTP/JSON:
 //
 //	GET    /models                 list servable model names
+//	GET    /networks               list generated network names
 //	GET    /sessions               list open sessions
 //	POST   /sessions               open a session        {"model":"short","mode":"error-free","db":{...},"id":"..."}
+//	                               or a network session  {"network":{"nodes":[...],"wires":[...]}}
 //	GET    /sessions/{id}          session info
 //	POST   /sessions/{id}/input    apply one step        {"input":{"order":[["time"]]}}
+//	                               network joint step    {"node":"customer","facts":{"want":[["widget"]]}}
+//	                               or multi-node         {"inputs":{"customer":{...},"supplier":{...}}}
 //	GET    /sessions/{id}/log      the session's durable log
 //	GET    /sessions/{id}/verify   live verification     ?goal=deliver(X) | ?temporal=cond (repeatable)
 //	GET    /sessions/{id}/progress ranked next inputs    ?goal=deliver(X)&limit=5
@@ -49,6 +54,9 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"models": models.Names()})
+	})
+	mux.HandleFunc("GET /networks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"networks": models.NetworkNames()})
 	})
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req OpenRequest
@@ -81,14 +89,49 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/input", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Input relation.Instance `json:"input"`
+			// Network joint-step forms: either one node's facts
+			// ({"node":"customer","facts":{...}}) or several at once
+			// ({"inputs":{"customer":{...}}}). An empty joint step is
+			// {"inputs":{}}.
+			Node   string             `json:"node"`
+			Facts  relation.Instance  `json:"facts"`
+			Inputs compose.StepInputs `json:"inputs"`
 		}
 		if !readJSON(w, r, &req) {
+			return
+		}
+		id := r.PathValue("id")
+		if req.Node != "" || req.Inputs != nil {
+			ext := compose.StepInputs{}
+			for name, in := range req.Inputs {
+				ext[name] = in
+			}
+			if req.Node != "" {
+				facts := req.Facts
+				if facts == nil {
+					facts = req.Input
+				}
+				if facts == nil {
+					facts = relation.NewInstance()
+				}
+				if prev, ok := ext[req.Node]; ok {
+					prev.UnionWith(facts)
+				} else {
+					ext[req.Node] = facts
+				}
+			}
+			res, err := e.NetInput(id, ext)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, res)
 			return
 		}
 		if req.Input == nil {
 			req.Input = relation.NewInstance()
 		}
-		res, err := e.Input(r.PathValue("id"), req.Input)
+		res, err := e.Input(id, req.Input)
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -3,6 +3,7 @@ package session
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -18,7 +19,27 @@ import (
 // Each request snapshots the session between steps (Peek) and hands the
 // snapshot to the live.Service, which memoizes answers and applies
 // admission control; saturation surfaces as 429 + Retry-After, a per-query
-// deadline as 504.
+// deadline as 504. Network sessions are verified one member at a time:
+// ?node=<name> selects the member, and is required (400 otherwise).
+
+// liveSourceFor selects the verifiable machine inside a view: the session
+// itself, or — for a network session — the member named by ?node=.
+func liveSourceFor(view *View, node string) (live.Source, error) {
+	if view.Nodes == nil {
+		if node != "" {
+			return live.Source{}, errors.New("?node= applies only to network sessions")
+		}
+		return live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}, nil
+	}
+	if node == "" {
+		return live.Source{}, errors.New("network session: ?node= is required")
+	}
+	nv, ok := view.Nodes[node]
+	if !ok {
+		return live.Source{}, fmt.Errorf("network session has no node %q", node)
+	}
+	return live.Source{Model: nv.Model, Src: nv.Src, DB: nv.DB, Past: nv.Past}, nil
+}
 
 func handleVerify(e *Engine, lv *live.Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -27,7 +48,11 @@ func handleVerify(e *Engine, lv *live.Service) http.HandlerFunc {
 			writeErr(w, err)
 			return
 		}
-		src := live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+		src, err := liveSourceFor(view, r.URL.Query().Get("node"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
 		goal := r.URL.Query().Get("goal")
 		conds := r.URL.Query()["temporal"]
 		switch {
@@ -65,7 +90,11 @@ func handleProgress(e *Engine, lv *live.Service) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "?goal= is required"})
 			return
 		}
-		src := live.Source{Model: view.Model, Src: view.Src, DB: view.DB, Past: view.Past}
+		src, err := liveSourceFor(view, r.URL.Query().Get("node"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
 		a, err := lv.Progress(r.Context(), src, goal)
 		if err != nil {
 			writeVerifyErr(w, err)

@@ -8,6 +8,10 @@ import "repro/internal/relation"
 // taken between steps (shard FIFO), a View can never observe a torn
 // mid-step state, and because it shares nothing with the live session,
 // verification reads it freely while the session keeps stepping.
+//
+// For a network session Nodes is set instead of the machine-shaped fields:
+// one NodeView per member, each a verifiable machine in its own right
+// (verification queries address a node with ?node=).
 type View struct {
 	ID    string
 	Model string
@@ -18,6 +22,19 @@ type View struct {
 	// Past is the union of all inputs the session has absorbed (cloned) —
 	// for a Spocus machine, the whole of its verification-relevant state.
 	Past relation.Instance
+	// Nodes holds one view per network member (network sessions only).
+	Nodes map[string]*NodeView
+}
+
+// NodeView is one network member's verifiable identity: its machine (a
+// registry model name or inline source), database, and cumulated consumed
+// inputs — external stimulus and wired traffic alike, since both drive the
+// node's state.
+type NodeView struct {
+	Model string
+	Src   string
+	DB    relation.Instance
+	Past  relation.Instance
 }
 
 // Peek returns a View of the session. Unlike Export it does not freeze the
@@ -30,6 +47,24 @@ func (e *Engine) Peek(id string) (*View, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, &NotFoundError{ID: id}
+		}
+		if s.net != nil {
+			nodes := make(map[string]*NodeView, len(s.net.spec.Nodes))
+			for _, ns := range s.net.spec.Nodes {
+				past := s.net.past[ns.Name]
+				if past == nil {
+					past = relation.NewInstance()
+				} else {
+					past = past.Clone()
+				}
+				nodes[ns.Name] = &NodeView{
+					Model: ns.Model,
+					Src:   ns.Src,
+					DB:    s.net.nw.Node(ns.Name).DB.Clone(),
+					Past:  past,
+				}
+			}
+			return &View{ID: s.id, Steps: s.steps, Nodes: nodes}, nil
 		}
 		return &View{
 			ID:    s.id,

@@ -17,6 +17,7 @@ package session
 import (
 	"fmt"
 
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/relation"
@@ -54,21 +55,30 @@ type Session struct {
 	rate bucket
 
 	// Acceptance bookkeeping under the three disciplines of Section 4.
+	// For network sessions the flags aggregate across nodes: any node's
+	// error fact breaks error-freeness, ok/accept require every node.
 	errorFree  bool // no output so far contained an error fact
 	okEvery    bool // every output so far contained ok
 	lastAccept bool // the most recent output contained accept
+
+	// net is set iff this is a network session (see network.go); then mach,
+	// db, state, logs, inputs, and past above are unused (nil).
+	net *netRun
 }
 
 // OpenRequest describes a session to open. Exactly one of Model (a name
-// from internal/models' registry) or Src (an inline transducer program)
+// from internal/models' registry), Src (an inline transducer program), or
+// Network (a whole transducer network, stepped jointly — see network.go)
 // must be set. DB defaults to the model's demo database (registry models)
-// or empty (inline programs). Mode defaults to AcceptAll.
+// or empty (inline programs); network nodes carry their own databases.
+// Mode defaults to AcceptAll.
 type OpenRequest struct {
-	ID    string            `json:"id,omitempty"`
-	Model string            `json:"model,omitempty"`
-	Src   string            `json:"src,omitempty"`
-	Mode  string            `json:"mode,omitempty"`
-	DB    relation.Instance `json:"db,omitempty"`
+	ID      string            `json:"id,omitempty"`
+	Model   string            `json:"model,omitempty"`
+	Src     string            `json:"src,omitempty"`
+	Mode    string            `json:"mode,omitempty"`
+	DB      relation.Instance `json:"db,omitempty"`
+	Network *compose.Spec     `json:"network,omitempty"`
 }
 
 // getModel resolves a registry name to a fresh machine (nil if unknown);
@@ -78,15 +88,18 @@ func getModel(name string) *core.Machine { return models.Get(name) }
 // newSession validates req and builds the session in its initial state
 // (empty state instance, empty log). It is pure: no I/O, no registration.
 func newSession(id string, req *OpenRequest) (*Session, error) {
-	if req.Model == "" && req.Src == "" {
-		return nil, fmt.Errorf("open: one of model or src is required")
-	}
-	if req.Model != "" && req.Src != "" {
-		return nil, fmt.Errorf("open: model and src are mutually exclusive")
-	}
 	mode, err := core.ParseAcceptMode(req.Mode)
 	if err != nil {
 		return nil, fmt.Errorf("open: %w", err)
+	}
+	if req.Network != nil {
+		return newNetSession(id, req, mode)
+	}
+	if req.Model == "" && req.Src == "" {
+		return nil, fmt.Errorf("open: one of model, src, or network is required")
+	}
+	if req.Model != "" && req.Src != "" {
+		return nil, fmt.Errorf("open: model and src are mutually exclusive")
 	}
 	var mach *core.Machine
 	if req.Model != "" {
@@ -128,11 +141,18 @@ func newSession(id string, req *OpenRequest) (*Session, error) {
 
 // StepResult is what one transition returns to the client: the step's
 // outputs and log delta exactly as in Figure 1, plus acceptance flags.
+// Single-machine steps fill Output and Log; network joint steps fill the
+// per-node Outputs and Logs maps plus the consumed Wire traffic.
 type StepResult struct {
 	ID     string            `json:"id"`
 	Seq    int               `json:"seq"` // 1-based step number
 	Output relation.Instance `json:"output"`
 	Log    relation.Instance `json:"log"`
+	// Network joint-step fields: every node's outputs and log delta, and
+	// the unit-delay wire traffic this step consumed.
+	Outputs compose.StepInputs  `json:"outputs,omitempty"`
+	Logs    compose.StepInputs  `json:"logs,omitempty"`
+	Wire    []compose.WireDelta `json:"wire,omitempty"`
 	// Valid reports whether the run so far is valid under the session's
 	// acceptance mode (for accept-at-end: whether it would be valid if it
 	// ended now).
@@ -206,9 +226,24 @@ type Info struct {
 	Mode  string `json:"mode"`
 	Steps int    `json:"steps"`
 	Valid bool   `json:"valid"`
+	// Network session fields: Network marks the kind, Nodes lists the
+	// member names in wiring order.
+	Network bool     `json:"network,omitempty"`
+	Nodes   []string `json:"nodes,omitempty"`
 }
 
 func (s *Session) info() *Info {
+	if s.net != nil {
+		return &Info{
+			ID:      s.id,
+			Name:    "network",
+			Mode:    s.mode.String(),
+			Steps:   s.steps,
+			Valid:   s.valid(),
+			Network: true,
+			Nodes:   s.net.nw.Nodes(),
+		}
+	}
 	return &Info{
 		ID:    s.id,
 		Model: s.model,
@@ -220,19 +255,27 @@ func (s *Session) info() *Info {
 }
 
 // LogResult is the full durable log of a session: the sequence of per-step
-// log deltas of Definition 2.2.
+// log deltas of Definition 2.2 for a single machine, or the joint log
+// (per-node deltas + wire traffic per step) for a network session.
 type LogResult struct {
 	ID    string            `json:"id"`
 	Model string            `json:"model,omitempty"`
 	Steps int               `json:"steps"`
 	Log   relation.Sequence `json:"log"`
+	Joint []JointLogEntry   `json:"joint,omitempty"`
 }
 
 func (s *Session) logResult() *LogResult {
+	if s.net != nil {
+		return &LogResult{ID: s.id, Steps: s.steps, Joint: cloneJoint(s.net.joint)}
+	}
 	return &LogResult{ID: s.id, Model: s.model, Steps: s.steps, Log: s.logs.Clone()}
 }
 
 // openRecord renders the session's creation as a WAL record.
 func (s *Session) openRecord() *walRecord {
+	if s.net != nil {
+		return &walRecord{T: recOpen, SID: s.id, Mode: s.mode.String(), Network: s.net.spec}
+	}
 	return &walRecord{T: recOpen, SID: s.id, Model: s.model, Src: s.src, Mode: s.mode.String(), DB: s.db}
 }

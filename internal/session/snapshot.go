@@ -30,23 +30,42 @@ type snapHeader struct {
 }
 
 // Image is one session's full durable state: what snapshots persist and
-// what WAL-shipping handoff moves between nodes.
+// what WAL-shipping handoff moves between nodes. Network sessions fill Net
+// instead of the machine-shaped fields (DB, State, Logs, Inputs).
 type Image struct {
 	ID         string            `json:"id"`
 	Model      string            `json:"model,omitempty"`
 	Src        string            `json:"src,omitempty"`
 	Mode       string            `json:"mode"`
-	DB         relation.Instance `json:"db"`
-	State      relation.Instance `json:"state"`
-	Logs       relation.Sequence `json:"logs"`
+	DB         relation.Instance `json:"db,omitempty"`
+	State      relation.Instance `json:"state,omitempty"`
+	Logs       relation.Sequence `json:"logs,omitempty"`
 	Inputs     relation.Sequence `json:"inputs,omitempty"`
 	Steps      int               `json:"steps"`
 	ErrorFree  bool              `json:"errorFree"`
 	OkEvery    bool              `json:"okEvery"`
 	LastAccept bool              `json:"lastAccept"`
+	Net        *NetImage         `json:"net,omitempty"`
 }
 
 func snapOf(s *Session) Image {
+	if s.net != nil {
+		return Image{
+			ID:         s.id,
+			Mode:       s.mode.String(),
+			Steps:      s.steps,
+			ErrorFree:  s.errorFree,
+			OkEvery:    s.okEvery,
+			LastAccept: s.lastAccept,
+			Net: &NetImage{
+				Spec:   s.net.spec,
+				State:  s.net.nw.ExportState(),
+				Joint:  s.net.joint,
+				Inputs: s.net.inputs,
+				Past:   s.net.past,
+			},
+		}
+	}
 	return Image{
 		ID:         s.id,
 		Model:      s.model,
@@ -68,6 +87,9 @@ func (ss *Image) restore() (*Session, error) {
 	mode, err := core.ParseAcceptMode(ss.Mode)
 	if err != nil {
 		return nil, err
+	}
+	if ss.Net != nil {
+		return ss.restoreNet(mode)
 	}
 	var mach *core.Machine
 	if ss.Model != "" {
@@ -108,5 +130,43 @@ func (ss *Image) restore() (*Session, error) {
 		errorFree:  ss.ErrorFree,
 		okEvery:    ss.OkEvery,
 		lastAccept: ss.LastAccept,
+	}, nil
+}
+
+// restoreNet rebuilds a network session: the network is rebuilt from its
+// spec and its run state (per-node states + unit-delay buffer) restored, so
+// the next joint step continues exactly where the image left off.
+func (ss *Image) restoreNet(mode core.AcceptMode) (*Session, error) {
+	if ss.Net.Spec == nil {
+		return nil, fmt.Errorf("snapshot: network session %s has no spec", ss.ID)
+	}
+	nw, err := ss.Net.Spec.Build(netResolver)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	nw.Start()
+	if ss.Net.State != nil {
+		if err := nw.RestoreState(ss.Net.State); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	past := ss.Net.Past
+	if past == nil {
+		past = make(map[string]relation.Instance)
+	}
+	return &Session{
+		id:         ss.ID,
+		mode:       mode,
+		steps:      ss.Steps,
+		errorFree:  ss.ErrorFree,
+		okEvery:    ss.OkEvery,
+		lastAccept: ss.LastAccept,
+		net: &netRun{
+			spec:   ss.Net.Spec,
+			nw:     nw,
+			joint:  ss.Net.Joint,
+			inputs: ss.Net.Inputs,
+			past:   past,
+		},
 	}, nil
 }

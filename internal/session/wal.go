@@ -1,6 +1,7 @@
 package session
 
 import (
+	"repro/internal/compose"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -37,14 +38,23 @@ const (
 // are recomputed on replay rather than persisted. Install records are the
 // one exception — they carry a full state image, because the inputs that
 // produced it were logged on a different node.
+//
+// A network session's joint step is ONE record: NetIn holds the external
+// inputs of every node (wired inputs are recomputed on replay), so a joint
+// step is atomic in the log — it is either wholly durable or absent.
+// Whether a step record is single or joint is decided by the session it
+// replays into, not by the record shape (an empty joint step marshals with
+// no netin field at all).
 type walRecord struct {
-	T     string            `json:"t"`
-	SID   string            `json:"sid"`
-	Model string            `json:"model,omitempty"` // open: registry name ("" if Src given)
-	Src   string            `json:"src,omitempty"`   // open: inline transducer program
-	Mode  string            `json:"mode,omitempty"`  // open: acceptance mode
-	DB    relation.Instance `json:"db,omitempty"`    // open: database instance
-	Seq   int               `json:"seq,omitempty"`   // step: 1-based step number
-	Input relation.Instance `json:"input,omitempty"` // step: the input relation set
-	Image *Image            `json:"image,omitempty"` // install: full session state
+	T       string             `json:"t"`
+	SID     string             `json:"sid"`
+	Model   string             `json:"model,omitempty"`   // open: registry name ("" if Src given)
+	Src     string             `json:"src,omitempty"`     // open: inline transducer program
+	Mode    string             `json:"mode,omitempty"`    // open: acceptance mode
+	DB      relation.Instance  `json:"db,omitempty"`      // open: database instance
+	Network *compose.Spec      `json:"network,omitempty"` // open: network spec (network sessions)
+	Seq     int                `json:"seq,omitempty"`     // step: 1-based step number
+	Input   relation.Instance  `json:"input,omitempty"`   // step: the input relation set
+	NetIn   compose.StepInputs `json:"netin,omitempty"`   // step: per-node external inputs (network sessions)
+	Image   *Image             `json:"image,omitempty"`   // install: full session state
 }

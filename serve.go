@@ -16,6 +16,7 @@ import (
 	"net/http"
 
 	"repro/internal/cluster"
+	"repro/internal/compose"
 	"repro/internal/live"
 	"repro/internal/models"
 	"repro/internal/session"
@@ -44,6 +45,14 @@ type (
 	EngineStats = session.Stats
 	// FsyncPolicy selects WAL durability (always, interval, never).
 	FsyncPolicy = session.FsyncPolicy
+	// NetworkSpec describes a transducer network (members and wires) for a
+	// network session: set OpenRequest.Network to open one. Each POST /input
+	// then advances every member one synchronous unit-delay step, atomically
+	// and durably (one WAL record per joint step).
+	NetworkSpec = compose.Spec
+	// JointLogEntry is one step of a network session's durable joint log:
+	// every member's log delta plus the consumed wire traffic.
+	JointLogEntry = session.JointLogEntry
 )
 
 // WAL fsync policies.
@@ -134,3 +143,11 @@ func NewRing(vnodes int) *Ring { return cluster.NewRing(vnodes) }
 
 // ModelNames lists the named business models servable by an Engine.
 func ModelNames() []string { return models.Names() }
+
+// NetworkNames lists the generated transducer networks openable as
+// network sessions by name on the HTTP surface (GET /networks).
+func NetworkNames() []string { return models.NetworkNames() }
+
+// GeneratedNetwork returns a fresh spec for a named generated network
+// (marketplace, fraud, customization), or nil if the name is unknown.
+func GeneratedNetwork(name string) *NetworkSpec { return models.Network(name) }
