@@ -12,12 +12,21 @@
 //	              [-vnodes 128] [-health-interval 1s] [-health-timeout 500ms]
 //	              [-health-fail-after 2] [-health-max-backoff 5s]
 //	              [-handoff-mode ship|replay]
+//	              [-follower-reads] [-follower-max-lag 0] [-auto-promote]
 //
 // Exposes the spocus-server session API (routed per session) plus:
 //
 //	GET  /debug/shards                 the live ring: members, health, keyspace shares, pins
 //	POST /admin/handoff?session=&to=   move one session to another backend
+//	POST /admin/promote?backend=       fail a dead backend's sessions over to its follower
 //	GET  /healthz, /debug/vars
+//
+// With -follower-reads, GET /sessions/{id}/log, /verify, and /progress are
+// served by the owner's warm follower (spocus-server -follow) whenever its
+// replication lag is within -follower-max-lag, falling back to the primary
+// otherwise; responses served this way carry X-Spocus-Served-By. With
+// -auto-promote, marking a backend down triggers promotion of its follower
+// automatically.
 package main
 
 import (
@@ -50,6 +59,9 @@ func main() {
 		healthFails   = flag.Int("health-fail-after", 2, "consecutive probe failures before marking a backend down")
 		healthBackoff = flag.Duration("health-max-backoff", 5*time.Second, "probe backoff cap while a backend is down")
 		handoffMode   = flag.String("handoff-mode", "ship", "default session handoff transport: ship (state image + log digest) | replay (re-step input history)")
+		followerReads = flag.Bool("follower-reads", false, "serve GET log/verify/progress from the owner's follower when within -follower-max-lag")
+		followerLag   = flag.Int64("follower-max-lag", 0, "max WAL records a follower may trail the primary and still serve reads")
+		autoPromote   = flag.Bool("auto-promote", false, "promote a backend's follower automatically when health marks it down")
 	)
 	flag.Parse()
 
@@ -65,9 +77,12 @@ func main() {
 	}
 
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Backends:    urls,
-		Vnodes:      *vnodes,
-		HandoffMode: *handoffMode,
+		Backends:       urls,
+		Vnodes:         *vnodes,
+		HandoffMode:    *handoffMode,
+		FollowerReads:  *followerReads,
+		FollowerMaxLag: *followerLag,
+		AutoPromote:    *autoPromote,
 		Health: cluster.HealthConfig{
 			Interval:   *healthEvery,
 			Timeout:    *healthTimeout,

@@ -1,0 +1,353 @@
+package main
+
+// The acceptance test of the replication plane: three real spocus-server
+// processes in a follow ring (backend b runs a warm standby of backend
+// b-1) behind a real spocus-router, semi-sync replication on, concurrent
+// scripted load over plain sessions AND a network session, SIGKILL of one
+// backend mid-group-commit — and then promotion instead of restart: the
+// dead backend's follower installs its standby copies into its own serving
+// engine and the router pins the sessions there.
+//
+// The contract under test is stronger than failover_test's: the victim is
+// never restarted, its WAL directory is never read again, and yet every
+// step any client was told succeeded must be present and byte-identical to
+// the single-node oracle. Semi-sync (-repl-sync-wait) is what makes that
+// falsifiable — an acked step is durable on the follower before the client
+// sees its 2xx, so not even the kill window can lose one.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compose"
+	"repro/internal/models"
+	"repro/internal/session"
+)
+
+// reservePorts picks n free listening addresses and releases them so child
+// processes can bind them. The tiny race against other port users is the
+// standard price for needing the follow-ring URLs before any server exists.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// netOracleJoint replays steps empty joint steps of the named network on a
+// fresh in-process engine and returns the joint log, JSON-encoded.
+func netOracleJoint(t *testing.T, network string, steps int) []byte {
+	t.Helper()
+	eng, err := session.NewEngine(session.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Shutdown()
+	if _, err := eng.Open(&session.OpenRequest{ID: "oracle", Network: models.Network(network)}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < steps; j++ {
+		if _, err := eng.NetInput("oracle", compose.StepInputs{}); err != nil {
+			t.Fatalf("oracle joint step %d: %v", j+1, err)
+		}
+	}
+	lr, err := eng.Log("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(lr.Joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPromotionFailover is the promotion crash suite of ISSUE 7: SIGKILL a
+// primary under concurrent load, promote its follower, and assert no acked
+// step was lost and every served log is byte-identical to the oracle — for
+// plain and network sessions — then keep stepping the promoted sessions.
+func TestPromotionFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	bins := t.TempDir()
+	serverBin := build(t, bins, "spocus-server", "repro/cmd/spocus-server")
+	routerBin := build(t, bins, "spocus-router", "repro/cmd/spocus-router")
+
+	// A follow ring over reserved ports: backend b is the warm standby of
+	// backend b-1, so primary b's follower is backend b+1.
+	const nBackends = 3
+	addrs := reservePorts(t, nBackends)
+	urls := make([]string, nBackends)
+	for b := range urls {
+		urls[b] = "http://" + addrs[b]
+	}
+	procs := make([]*exec.Cmd, nBackends)
+	for b := 0; b < nBackends; b++ {
+		procs[b], _ = startProc(t, serverBin, "serve",
+			"-addr", addrs[b], "-dir", t.TempDir(), "-fsync", "always",
+			"-repl-sync-wait", "2s",
+			"-follow", urls[(b+nBackends-1)%nBackends], "-follow-dir", t.TempDir())
+	}
+	_, router := startProc(t, routerBin,
+		"-addr", "127.0.0.1:0",
+		"-backends", strings.Join(urls, ","),
+		"-health-interval", "100ms", "-health-timeout", "500ms",
+		"-health-fail-after", "2", "-health-max-backoff", "500ms")
+
+	// One network session decides the victim; plain sessions fill the ring
+	// (more opened until the victim owns at least one and a survivor does
+	// too, so neither half of the assertion is vacuous).
+	const netName, netID = "marketplace", "prm-net"
+	if st := postJSON(t, router+"/sessions", map[string]any{"id": netID, "network": models.Network(netName)}, nil); st != http.StatusCreated {
+		t.Fatalf("open %s: status %d", netID, st)
+	}
+	ownerOf := func(id string) int {
+		home := -1
+		for b, u := range urls {
+			if getStatus(u+"/sessions/"+id, nil) == http.StatusOK {
+				if home >= 0 {
+					t.Fatalf("session %s has two homes", id)
+				}
+				home = b
+			}
+		}
+		if home < 0 {
+			t.Fatalf("session %s has no home", id)
+		}
+		return home
+	}
+	victim := ownerOf(netID)
+	follower := (victim + 1) % nBackends
+
+	db := models.MagazineDB()
+	var plainIDs []string
+	owner := make(map[string]int)
+	onVictim, elsewhere := 0, 0
+	for i := 0; len(plainIDs) < 40 && (len(plainIDs) < 6 || onVictim == 0 || elsewhere == 0); i++ {
+		id := fmt.Sprintf("prm-%02d", i)
+		if st := postJSON(t, router+"/sessions", map[string]any{"id": id, "model": "short", "db": db}, nil); st != http.StatusCreated {
+			t.Fatalf("open %s: status %d", id, st)
+		}
+		plainIDs = append(plainIDs, id)
+		owner[id] = ownerOf(id)
+		if owner[id] == victim {
+			onVictim++
+		} else {
+			elsewhere++
+		}
+	}
+	if onVictim == 0 || elsewhere == 0 {
+		t.Fatalf("degenerate placement: %d on victim, %d elsewhere", onVictim, elsewhere)
+	}
+	t.Logf("victim backend %d (follower %d) owns the network session and %d/%d plain sessions",
+		victim, follower, onVictim, len(plainIDs))
+
+	// driveAcked feeds steps [from,to) and returns how many are acked: a 2xx
+	// is an ack, transient refusals (429 backpressure, 503 freeze) retry,
+	// anything else — including the transport errors and 502s of the kill —
+	// ends the run. The returned count is the exact consistency obligation
+	// the promoted follower must meet.
+	driveAcked := func(id string, i, from, to int) int {
+		acked := from
+		for j := from; j < to; j++ {
+			var st int
+			for attempt := 0; attempt < 8; attempt++ {
+				var res session.StepResult
+				st = postJSON(t, fmt.Sprintf("%s/sessions/%s/input", router, id), map[string]any{"input": scriptInput(i, j)}, &res)
+				if st/100 == 2 {
+					if res.Seq != j+1 {
+						t.Errorf("session %s step %d: seq %d", id, j+1, res.Seq)
+					}
+					break
+				}
+				if st != http.StatusTooManyRequests && st != http.StatusServiceUnavailable {
+					return acked
+				}
+				time.Sleep(time.Duration(10<<attempt) * time.Millisecond)
+			}
+			if st/100 != 2 {
+				return acked
+			}
+			acked = j + 1
+		}
+		return acked
+	}
+	driveNetAcked := func(from, to int) int {
+		acked := from
+		for j := from; j < to; j++ {
+			var st int
+			for attempt := 0; attempt < 8; attempt++ {
+				var res session.StepResult
+				st = postJSON(t, fmt.Sprintf("%s/sessions/%s/input", router, netID), map[string]any{"inputs": map[string]any{}}, &res)
+				if st/100 == 2 {
+					if res.Seq != j+1 {
+						t.Errorf("network session step %d: seq %d", j+1, res.Seq)
+					}
+					break
+				}
+				if st != http.StatusTooManyRequests && st != http.StatusServiceUnavailable {
+					return acked
+				}
+				time.Sleep(time.Duration(10<<attempt) * time.Millisecond)
+			}
+			if st/100 != 2 {
+				return acked
+			}
+			acked = j + 1
+		}
+		return acked
+	}
+
+	// Phase 1: a fully-acked prefix everywhere, so by the kill every shard
+	// holding a victim session has an acking follower and semi-sync is
+	// engaged for all of them.
+	const warm, goal = 6, 30
+	var wg sync.WaitGroup
+	for i, id := range plainIDs {
+		wg.Add(1)
+		go func(id string, i int) {
+			defer wg.Done()
+			if got := driveAcked(id, i, 0, warm); got != warm {
+				t.Errorf("warmup %s stopped at %d/%d", id, got, warm)
+			}
+		}(id, i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if got := driveNetAcked(0, warm); got != warm {
+			t.Errorf("warmup %s stopped at %d/%d", netID, got, warm)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: everyone races toward goal while the victim is SIGKILLed
+	// mid-load. Per-session acked counts are the assertion input.
+	acked := make([]int, len(plainIDs))
+	var netAcked int
+	var wg2 sync.WaitGroup
+	for i, id := range plainIDs {
+		wg2.Add(1)
+		go func(id string, i int) {
+			defer wg2.Done()
+			acked[i] = driveAcked(id, i, warm, goal)
+		}(id, i)
+	}
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		netAcked = driveNetAcked(warm, goal)
+	}()
+	time.Sleep(250 * time.Millisecond)
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+	wg2.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, id := range plainIDs {
+		if owner[id] != victim && acked[i] != goal {
+			t.Fatalf("survivor session %s stopped at %d/%d", id, acked[i], goal)
+		}
+	}
+
+	// Promote the dead backend's follower through the router.
+	waitRing(t, router, urls[victim], false)
+	var pres struct {
+		Backend  string   `json:"backend"`
+		Follower string   `json:"follower"`
+		Sessions []string `json:"sessions"`
+		TookMs   float64  `json:"took_ms"`
+	}
+	if st := postJSON(t, router+"/admin/promote?backend="+urls[victim], nil, &pres); st != http.StatusOK {
+		t.Fatalf("promote: status %d", st)
+	}
+	if pres.Follower != urls[follower] {
+		t.Fatalf("promoted to %s, expected the ring follower %s", pres.Follower, urls[follower])
+	}
+	promoted := make(map[string]bool, len(pres.Sessions))
+	for _, id := range pres.Sessions {
+		promoted[id] = true
+	}
+	t.Logf("promotion moved %d sessions in %.1fms", len(pres.Sessions), pres.TookMs)
+
+	// Every victim plain session: present on the follower, no acked step
+	// lost, served log byte-identical to the oracle — and still live, two
+	// more steps deep, after the promotion.
+	for i, id := range plainIDs {
+		if owner[id] != victim {
+			assertOracleLog(t, router, id, i, goal)
+			continue
+		}
+		if !promoted[id] {
+			t.Fatalf("victim session %s missing from promotion result %v", id, pres.Sessions)
+		}
+		var lr session.LogResult
+		if st := getStatus(fmt.Sprintf("%s/sessions/%s/log", router, id), &lr); st != http.StatusOK {
+			t.Fatalf("log %s after promotion: status %d", id, st)
+		}
+		if lr.Steps < acked[i] {
+			t.Fatalf("session %s lost acked steps: served %d < acked %d", id, lr.Steps, acked[i])
+		}
+		assertOracleLog(t, router, id, i, lr.Steps)
+		if err := driveSteps(t, router, id, i, lr.Steps, lr.Steps+2); err != nil {
+			t.Fatalf("post-promotion steps on %s: %v", id, err)
+		}
+		assertOracleLog(t, router, id, i, lr.Steps+2)
+	}
+
+	// The network session: same contract against the joint-log oracle. Its
+	// WAL records (one per joint step) replicated like any other.
+	if !promoted[netID] {
+		t.Fatalf("network session missing from promotion result %v", pres.Sessions)
+	}
+	var nlr session.LogResult
+	if st := getStatus(fmt.Sprintf("%s/sessions/%s/log", router, netID), &nlr); st != http.StatusOK {
+		t.Fatalf("network log after promotion: status %d", st)
+	}
+	if nlr.Steps < netAcked {
+		t.Fatalf("network session lost acked steps: served %d < acked %d", nlr.Steps, netAcked)
+	}
+	got, err := json.Marshal(nlr.Joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netOracleJoint(t, netName, nlr.Steps); !bytes.Equal(got, want) {
+		t.Fatalf("network joint log differs from oracle after promotion:\n got %s\nwant %s", got, want)
+	}
+	if n := driveNetAcked(nlr.Steps, nlr.Steps+1); n != nlr.Steps+1 {
+		t.Fatalf("post-promotion joint step refused at %d", n)
+	}
+	var nlr2 session.LogResult
+	if st := getStatus(fmt.Sprintf("%s/sessions/%s/log", router, netID), &nlr2); st != http.StatusOK || nlr2.Steps != nlr.Steps+1 {
+		t.Fatalf("network log after post-promotion step: status %d steps %d", st, nlr2.Steps)
+	}
+	got2, err := json.Marshal(nlr2.Joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want2 := netOracleJoint(t, netName, nlr2.Steps); !bytes.Equal(got2, want2) {
+		t.Fatalf("network joint log diverged after post-promotion step:\n got %s\nwant %s", got2, want2)
+	}
+}

@@ -42,11 +42,11 @@ type benchResult struct {
 		MaxMicros float64 `json:"max_us"`
 	} `json:"step_latency"`
 	// Verify* report the live-verification side load when -verify-mix > 0.
-	VerifyMix     float64       `json:"verify_mix,omitempty"`
-	VerifyTotal   int           `json:"verify_total,omitempty"`
-	VerifyCached  int           `json:"verify_cached_total,omitempty"`
-	VerifyHitRate float64       `json:"verify_cache_hit_rate,omitempty"`
-	VerifyLatency *verifySplits `json:"verify_latency,omitempty"`
+	VerifyMix     float64        `json:"verify_mix,omitempty"`
+	VerifyTotal   int            `json:"verify_total,omitempty"`
+	VerifyCached  int            `json:"verify_cached_total,omitempty"`
+	VerifyHitRate float64        `json:"verify_cache_hit_rate,omitempty"`
+	VerifyLatency *verifySplits  `json:"verify_latency,omitempty"`
 	Engine        *session.Stats `json:"engine,omitempty"`
 }
 
@@ -74,9 +74,9 @@ type benchTarget interface {
 }
 
 type engineTarget struct {
-	eng *session.Engine
-	lv  *live.Service
-	mu  sync.Mutex
+	eng     *session.Engine
+	lv      *live.Service
+	mu      sync.Mutex
 	retries int64
 }
 
@@ -222,8 +222,12 @@ func bench(args []string) {
 
 		scenarios        = fs.String("scenarios", "", "run a scenario fleet instead of the single-model bench: 'builtin' or a JSON fleet file; each scenario runs in-process AND through an in-process router over loopback TCP (see internal/scenario)")
 		scenarioBackends = fs.Int("scenario-backends", 2, "backends behind the router in the -scenarios router path")
+		scenarioRepl     = fs.Bool("scenario-replication", false, "with -scenarios: attach a warm follower to every router-path backend and report replication-lag percentiles; implies durable engines (a temp dir is used when -dir is unset)")
 
 		fsyncMatrix   = fs.Bool("fsync-matrix", false, "run the in-process bench across the durability matrix (wal-never, wal-interval, wal-always-batch1, wal-always-group), each on a fresh temp dir; emits a JSON array")
+		replication   = fs.Bool("replication", false, "measure the replication plane: the -fsync always workload with and without a live follower streaming every shard, plus promotion-vs-replay timings at -promote-steps")
+		promoteSteps  = fs.Int("promote-steps", 1000, "session size for the -replication promotion-vs-replay comparison")
+		promoteRounds = fs.Int("promote-rounds", 3, "rounds per mode in the -replication promotion comparison")
 		handoffSteps  = fs.Int("handoff-steps", 0, "with -url pointing at a spocus-router: open one session, drive this many steps, then time replay- vs ship-mode handoffs")
 		handoffRounds = fs.Int("handoff-rounds", 5, "handoffs timed per mode under -handoff-steps")
 	)
@@ -235,7 +239,7 @@ func bench(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		benchScenarios(cfg, *scenarios, *scenarioBackends)
+		benchScenarios(cfg, *scenarios, *scenarioBackends, *scenarioRepl)
 		return
 	}
 
@@ -257,6 +261,14 @@ func bench(args []string) {
 			fatal(err)
 		}
 		benchFsyncMatrix(cfg, *model, db, script, *nSessions, *nSteps, *verifyMix)
+		return
+	}
+	if *replication {
+		cfg, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		benchReplication(cfg, *model, db, script, *nSessions, *nSteps, *promoteSteps, *promoteRounds)
 		return
 	}
 
@@ -321,7 +333,7 @@ func runLoad(target benchTarget, script func(int, int) relation.Instance, db rel
 	// poll the progress service mid-checkout.
 	verifyEvery := 0
 	if verifyMix > 0 {
-		verifyEvery = int(math.Max(1, math.Round(1 / verifyMix)))
+		verifyEvery = int(math.Max(1, math.Round(1/verifyMix)))
 	}
 	type verifySample struct {
 		d      time.Duration

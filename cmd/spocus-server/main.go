@@ -13,6 +13,8 @@
 //	                    [-session-rate 0] [-session-burst 0]
 //	                    [-verify-workers N] [-verify-queue N]
 //	                    [-verify-timeout 2s] [-verify-conflicts 0]
+//	                    [-follow http://primary:8080 -follow-dir standby]
+//	                    [-repl-sync-wait 250ms]
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
 //	                    [-shards N] [-dir DIR] [-fsync never]
 //	                    [-url http://router:8090] [-verify-mix 0.1]
@@ -28,6 +30,12 @@
 //	GET    /sessions/{id}/progress  ranked next-input suggestions (?goal=)
 //	DELETE /sessions/{id}           close the session
 //	GET    /models, /sessions, /healthz, /debug/vars, /debug/pprof/...
+//	GET    /admin/wal/stream        long-poll committed WAL records (replication)
+//
+// With -follow, the server additionally runs a warm standby of another
+// backend (see internal/replica): GET /replica/* serves read-only views
+// from the standby and POST /admin/replica/promote fails its sessions over
+// into this server's own engine.
 //
 // Sessions are sharded across goroutine-owned shards; every applied step is
 // written ahead to a per-shard log and compacted into snapshots, so logs
@@ -47,11 +55,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/live"
 	"repro/internal/models"
+	"repro/internal/replica"
 	"repro/internal/session"
 )
 
@@ -119,6 +129,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 		mailbox       = fs.Int("mailbox", 1024, "per-shard mailbox depth; overflow is rejected with 429")
 		sessionRate   = fs.Float64("session-rate", 0, "per-session step rate limit in steps/sec (0: unlimited); excess steps get 429 + Retry-After")
 		sessionBurst  = fs.Int("session-burst", 0, "per-session burst allowance under -session-rate (0: max(1, ceil(rate)))")
+		replSyncWait  = fs.Duration("repl-sync-wait", 0, "semi-sync replication: hold each group commit's acks until the follower acked it, up to this long (0: async)")
 	)
 	return func() (session.Config, error) {
 		policy, err := session.ParseFsyncPolicy(*fsync)
@@ -137,6 +148,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 			MailboxDepth:      *mailbox,
 			SessionRate:       *sessionRate,
 			SessionBurst:      *sessionBurst,
+			ReplSyncWait:      *replSyncWait,
 		}, nil
 	}
 }
@@ -149,6 +161,9 @@ func serve(args []string) {
 		verifyQueue     = fs.Int("verify-queue", 0, "additional queries allowed to wait (0: 2x workers, -1: none); overflow gets 429")
 		verifyTimeout   = fs.Duration("verify-timeout", 2*time.Second, "per-query wall-clock budget; overrun gets 504")
 		verifyConflicts = fs.Int64("verify-conflicts", 0, "SAT conflict budget per query (0: unlimited, bounded by -verify-timeout)")
+		follow          = fs.String("follow", "", "base URL of a primary to follow as a warm standby (enables /replica/* and /admin/replica/promote)")
+		followDir       = fs.String("follow-dir", "", "durability directory for the standby engine (required with -follow)")
+		followShards    = fs.Int("follow-shards", 0, "standby engine shards (0: GOMAXPROCS)")
 	)
 	build := engineFlags(fs, "always")
 	fs.Parse(args)
@@ -172,6 +187,28 @@ func serve(args []string) {
 		fmt.Printf("recovered %d sessions (%d WAL records) in %.1fms\n",
 			st.SessionsOpen, st.ReplayRecords, st.ReplayMillis)
 	}
+	handler := session.HandlerWith(eng, lv)
+	var follower *replica.Follower
+	if *follow != "" {
+		if *followDir == "" {
+			fatal(fmt.Errorf("-follow requires -follow-dir"))
+		}
+		follower, err = replica.New(replica.Config{
+			Primary: strings.TrimRight(*follow, "/"),
+			Dir:     *followDir,
+			Shards:  *followShards,
+			Fsync:   cfg.Fsync,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = replica.Handler(follower, eng, lv, handler)
+		follower.Start()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -180,7 +217,7 @@ func serve(args []string) {
 	// scripts rely on its exact shape.
 	fmt.Printf("spocus-server listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: session.HandlerWith(eng, lv)}
+	srv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -196,6 +233,11 @@ func serve(args []string) {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			srv.Close() // drain timed out: cut the stragglers loose
+		}
+		if follower != nil {
+			if err := follower.Stop(); err != nil {
+				fatal(err)
+			}
 		}
 		if err := eng.Shutdown(); err != nil {
 			fatal(err)

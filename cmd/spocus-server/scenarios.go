@@ -41,6 +41,20 @@ type pathReport struct {
 	OpenSec     float64      `json:"open_s"`
 	Retried429  int64        `json:"retried_429,omitempty"`
 	Latency     latQuantiles `json:"step_latency"`
+	// ReplLag summarizes follower lag sampled while the path ran; present
+	// only under -scenario-replication, and only on the router path.
+	ReplLag *replLagQuantiles `json:"repl_lag_records,omitempty"`
+}
+
+// replLagQuantiles summarizes sampled replication lag, in WAL records:
+// every ~5ms during the run, each backend contributes one sample — its
+// committed LSN minus its follower's last acked LSN, summed over shards.
+type replLagQuantiles struct {
+	Samples int   `json:"samples"`
+	P50     int64 `json:"p50"`
+	P90     int64 `json:"p90"`
+	P99     int64 `json:"p99"`
+	Max     int64 `json:"max"`
 }
 
 // scenarioReport is one scenario's entry in the fleet report.
@@ -252,10 +266,51 @@ func (b *backendServer) stop() {
 	b.eng.Shutdown()
 }
 
+// sampleReplLag polls each backend's replication-lag gauge (committed LSN
+// minus the follower's last ack, summed over shards) every 5ms until the
+// returned stop function is called, which reports the percentiles of what
+// it saw. Backends whose follower has not acked yet read as zero lag, so
+// the first few samples understate — a wash over a multi-second run.
+func sampleReplLag(backends []*backendServer) func() *replLagQuantiles {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var samples []int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for _, bs := range backends {
+					samples = append(samples, bs.eng.Stats().ReplLag)
+				}
+			}
+		}
+	}()
+	return func() *replLagQuantiles {
+		close(done)
+		wg.Wait()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := &replLagQuantiles{Samples: len(samples)}
+		if len(samples) == 0 {
+			return q
+		}
+		at := func(f float64) int64 { return samples[int(f*float64(len(samples)-1))] }
+		q.P50, q.P90, q.P99, q.Max = at(0.50), at(0.90), at(0.99), at(1.0)
+		return q
+	}
+}
+
 // benchScenarios runs the fleet: for each scenario, once in-process and
 // once through a router over real loopback TCP, on fresh engines each
-// time so no scenario warms another's caches or WAL.
-func benchScenarios(cfg session.Config, src string, nBackends int) {
+// time so no scenario warms another's caches or WAL. With replicate set,
+// every router-path backend also feeds a warm follower, and the report
+// carries percentiles of the lag sampled while the scenario ran.
+func benchScenarios(cfg session.Config, src string, nBackends int, replicate bool) {
 	var fleet []*scenario.Spec
 	if src == "builtin" {
 		fleet = scenario.Fleet()
@@ -270,6 +325,15 @@ func benchScenarios(cfg session.Config, src string, nBackends int) {
 	}
 	if nBackends < 1 {
 		fatal(fmt.Errorf("bench: -scenario-backends must be >= 1"))
+	}
+	if replicate && cfg.Dir == "" {
+		// Streaming needs a WAL: memory-only engines have nothing to ship.
+		tmp, err := os.MkdirTemp("", "spocus-scenarios-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		cfg.Dir = tmp
 	}
 
 	dirFor := func(parts ...string) string {
@@ -337,6 +401,21 @@ func benchScenarios(cfg session.Config, src string, nBackends int) {
 		rsrv := &http.Server{Handler: rt.Handler()}
 		go rsrv.Serve(rln)
 
+		// With replication on, every backend feeds a warm follower and a
+		// sampler polls each backend's lag gauge while the scenario runs.
+		var stopFollowers []func()
+		var stopSampler func() *replLagQuantiles
+		if replicate {
+			for _, bs := range backends {
+				_, stopFol, err := attachStandby(bs.url, bs.eng.Shards())
+				if err != nil {
+					fatal(err)
+				}
+				stopFollowers = append(stopFollowers, stopFol)
+			}
+			stopSampler = sampleReplLag(backends)
+		}
+
 		ht := &scenarioHTTPTarget{httpTarget: &httpTarget{
 			base: "http://" + rln.Addr().String(),
 			client: &http.Client{
@@ -350,10 +429,16 @@ func benchScenarios(cfg session.Config, src string, nBackends int) {
 		}}
 		pr := runScenarioPath(sp, plans, ht, "router")
 		pr.Backends = nBackends
+		if stopSampler != nil {
+			pr.ReplLag = stopSampler()
+		}
 		rep.Paths = append(rep.Paths, pr)
 
 		rsrv.Close()
 		rt.Close()
+		for _, stopFol := range stopFollowers {
+			stopFol()
+		}
 		for _, bs := range backends {
 			bs.stop()
 		}

@@ -176,6 +176,19 @@ func (rt *Router) HandoffWith(id, to, mode string) (*HandoffResult, error) {
 		res.Steps = exp.Steps
 	}
 
+	// The health checker may have marked the target down while the move was
+	// in flight (its prober and our transfer race freely). Pinning the
+	// session to a down backend after forgetting the source would strand
+	// it — and if the target really died, lose it — so re-check before the
+	// point of no return and roll the move back instead.
+	if !rt.ring.Up(to) {
+		rt.deleteSession(to, id)
+		if uerr := rt.postJSON(from+"/admin/sessions/"+id+"/unfreeze", nil, nil); uerr != nil {
+			return nil, fmt.Errorf("handoff: target %s went down mid-handoff AND unfreeze on %s failed (%v): session %s needs manual thaw", to, from, uerr, id)
+		}
+		return nil, fmt.Errorf("handoff: target %s went down mid-handoff: %w (source unfrozen)", to, &BackendDownError{Addr: to})
+	}
+
 	// Retire the source copy and flip the ring.
 	if err := rt.postJSON(from+"/admin/sessions/"+id+"/forget", nil, nil); err != nil {
 		var nf *notFoundError

@@ -33,34 +33,57 @@ type RouterConfig struct {
 	// re-steps the exported input history on the target. A ?mode= query
 	// parameter overrides per call.
 	HandoffMode string
+	// FollowerReads routes read-only session traffic (GET .../log, /verify,
+	// /progress) to the owner's follower when one exists and its reported
+	// replication lag is within FollowerMaxLag. Any follower trouble —
+	// missing, lagging, erroring — falls back to the primary transparently.
+	FollowerReads bool
+	// FollowerMaxLag is the staleness bound for follower reads, in WAL
+	// records behind the primary (default 0: only a fully caught-up
+	// follower serves reads).
+	FollowerMaxLag int64
+	// AutoPromote promotes a backend's follower automatically when the
+	// health checker marks it down. Off by default: a flapping backend
+	// would fail its sessions over on a transient blip.
+	AutoPromote bool
 }
 
 // Router fronts N spocus-server backends: it owns the consistent-hash ring
 // mapping sessionID → backend, proxies the session API, health-checks
 // backends, and serves handoff. See Handler for the HTTP surface.
 type Router struct {
-	ring        *Ring
-	client      *http.Client
-	checker     *checker
-	handoffMode string
-	m           routerMetrics
+	ring           *Ring
+	client         *http.Client
+	checker        *checker
+	handoffMode    string
+	followerReads  bool
+	followerMaxLag int64
+	m              routerMetrics
 
 	// handoffBusy serializes handoffs per session ID (see lockSession).
 	handoffMu   sync.Mutex
 	handoffBusy map[string]chan struct{}
+
+	// followerCache maps primary → discovered follower (see promote.go).
+	followersMu   sync.Mutex
+	followerCache map[string]followerInfo
 }
 
 // routerMetrics counts the router's data plane, exported under the expvar
 // key "spocus_router".
 type routerMetrics struct {
-	proxied       atomic.Int64 // requests forwarded to a backend
-	backendErrors atomic.Int64 // forwards that failed at the transport
-	rejected      atomic.Int64 // 429s passed through from backends
+	proxied          atomic.Int64 // requests forwarded to a backend
+	backendErrors    atomic.Int64 // forwards that failed at the transport
+	rejected         atomic.Int64 // 429s passed through from backends
 	unroutable       atomic.Int64 // requests refused: backend down / ring empty
 	handoffs         atomic.Int64 // completed session handoffs
 	handoffsShipped  atomic.Int64 // handoffs completed by WAL shipping (no replay)
 	handoffFallbacks atomic.Int64 // ship attempts that fell back to replay
 	pinsRecovered    atomic.Int64 // pins rebuilt by startup recovery
+	promotions       atomic.Int64 // follower promotions completed
+	followerReads    atomic.Int64 // reads served by a follower
+	followerFallback atomic.Int64 // follower reads that fell back to the primary
+	keyedRetries     atomic.Int64 // idempotent POSTs retried after a transport error
 }
 
 func (m *routerMetrics) snapshot() map[string]int64 {
@@ -73,6 +96,10 @@ func (m *routerMetrics) snapshot() map[string]int64 {
 		"handoffs_shipped_total":  m.handoffsShipped.Load(),
 		"handoff_fallbacks_total": m.handoffFallbacks.Load(),
 		"pins_recovered_total":    m.pinsRecovered.Load(),
+		"promotions_total":        m.promotions.Load(),
+		"follower_reads_total":    m.followerReads.Load(),
+		"follower_fallback_total": m.followerFallback.Load(),
+		"keyed_retries_total":     m.keyedRetries.Load(),
 	}
 }
 
@@ -103,12 +130,28 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if mode != HandoffShip && mode != HandoffReplay {
 		return nil, fmt.Errorf("cluster: unknown handoff mode %q", mode)
 	}
-	rt := &Router{ring: NewRing(cfg.Vnodes), client: client, handoffMode: mode, handoffBusy: make(map[string]chan struct{})}
+	rt := &Router{
+		ring:           NewRing(cfg.Vnodes),
+		client:         client,
+		handoffMode:    mode,
+		followerReads:  cfg.FollowerReads,
+		followerMaxLag: cfg.FollowerMaxLag,
+		handoffBusy:    make(map[string]chan struct{}),
+		followerCache:  make(map[string]followerInfo),
+	}
 	for _, b := range cfg.Backends {
 		rt.ring.Add(b)
 	}
 	rt.recoverPins()
-	rt.checker = startChecker(rt.ring, cfg.Health, client, nil)
+	var onFlip func(string, bool)
+	if cfg.AutoPromote {
+		onFlip = func(addr string, up bool) {
+			if !up {
+				go rt.Promote(addr, false)
+			}
+		}
+	}
+	rt.checker = startChecker(rt.ring, cfg.Health, client, onFlip)
 	return rt, nil
 }
 
@@ -181,6 +224,11 @@ func (rt *Router) Handler() http.Handler {
 				rt.refuse(w, ErrNoBackends)
 				return
 			}
+			// Registry reads are identical on every backend; a caught-up
+			// follower may answer them too and spare the primaries entirely.
+			if rt.followerReads && rt.tryFollowerRead(w, r, addrs[0]) {
+				return
+			}
 			rt.forward(w, r, addrs[0], nil)
 		})
 	}
@@ -188,6 +236,7 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rt.ring.Snapshot())
 	})
 	mux.HandleFunc("POST /admin/handoff", rt.handleHandoff)
+	mux.HandleFunc("POST /admin/promote", rt.handlePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "backends_up": len(rt.ring.UpMembers())})
 	})
@@ -237,13 +286,74 @@ func (rt *Router) handleOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSession routes everything under /sessions/{id} by the ID hash.
+// Read-only subresources may be served by the owner's follower instead
+// (see tryFollowerRead); everything else goes to the owner.
 func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 	addr, err := rt.ring.Lookup(r.PathValue("id"))
 	if err != nil {
+		// A keyed POST whose owner is down is worth holding on to: the
+		// retry loop in forward re-resolves the owner between attempts, so
+		// if a promotion re-homes the session within the window the client
+		// never sees the failure.
+		var down *BackendDownError
+		if errors.As(err, &down) && r.Method == http.MethodPost && r.Header.Get("Idempotency-Key") != "" {
+			rt.forward(w, r, down.Addr, nil)
+			return
+		}
 		rt.refuse(w, err)
 		return
 	}
+	if rt.followerReads && r.Method == http.MethodGet {
+		switch r.PathValue("rest") {
+		case "log", "verify", "progress":
+			if rt.tryFollowerRead(w, r, addr) {
+				return
+			}
+		}
+	}
 	rt.forward(w, r, addr, nil)
+}
+
+// tryFollowerRead serves one read from the owner's follower when the
+// follower's self-reported replication lag is within the configured bound.
+// It reports false — and touches nothing of the response — whenever the
+// primary should answer instead: no follower, lagging, transport error, or
+// any non-2xx (a 404 may just mean the session has not streamed over yet).
+// The served-by header makes the data path observable in tests and curls.
+func (rt *Router) tryFollowerRead(w http.ResponseWriter, r *http.Request, owner string) bool {
+	fol, lag, ok := rt.followerFor(owner)
+	if !ok || lag > rt.followerMaxLag {
+		rt.m.followerFallback.Add(1)
+		return false
+	}
+	url := fol + "/replica" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		rt.m.followerFallback.Add(1)
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.m.followerFallback.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		rt.m.followerFallback.Add(1)
+		return false
+	}
+	rt.m.followerReads.Add(1)
+	rt.m.proxied.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Spocus-Served-By", fol)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
 }
 
 // handleList fans GET /sessions out to every up backend and merges the
@@ -296,49 +406,99 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// keyedRetryAttempts bounds the transparent re-sends of an idempotent POST
+// after a transport failure (backoff 100ms, 200ms, ... between attempts —
+// wide enough for a mark-down plus promotion to land in between).
+const keyedRetryAttempts = 5
+
 // forward proxies one request to addr, preserving method, path, query,
 // and body. A transport failure marks the backend down immediately — the
 // client sees 502 now, and hashed keys remap on the next lookup.
+//
+// Exception: a POST carrying an Idempotency-Key is safe to re-send — the
+// backend answers a duplicate from its key table instead of re-applying —
+// so instead of surfacing an ambiguous 502, the router retries it
+// transparently, re-resolving the session's owner between attempts. If the
+// owner died and a promotion pins the session to its follower within the
+// retry window, the client's request lands there and succeeds; the client
+// never learns there was a failover.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, body []byte) {
-	if !rt.ring.Up(addr) {
-		rt.refuse(w, &BackendDownError{Addr: addr})
-		return
-	}
-	var rd io.Reader = r.Body
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	url := addr + r.URL.Path
-	if r.URL.RawQuery != "" {
-		url += "?" + r.URL.RawQuery
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		rt.m.backendErrors.Add(1)
-		rt.checker.markDown(addr)
-		writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("backend %s: %v", addr, err)})
-		return
-	}
-	defer resp.Body.Close()
-	rt.m.proxied.Add(1)
-	if resp.StatusCode == http.StatusTooManyRequests {
-		rt.m.rejected.Add(1)
-	}
-	for _, k := range []string{"Content-Type", "Retry-After"} {
-		if v := resp.Header.Get(k); v != "" {
-			w.Header().Set(k, v)
+	retryable := r.Method == http.MethodPost && r.Header.Get("Idempotency-Key") != ""
+	if retryable && body == nil {
+		var err error
+		if body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
 		}
 	}
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if rt.ring.Up(addr) {
+			var rd io.Reader = r.Body
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			url := addr + r.URL.Path
+			if r.URL.RawQuery != "" {
+				url += "?" + r.URL.RawQuery
+			}
+			req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+				return
+			}
+			for _, k := range []string{"Content-Type", "Idempotency-Key"} {
+				if v := r.Header.Get(k); v != "" {
+					req.Header.Set(k, v)
+				}
+			}
+			resp, err := rt.client.Do(req)
+			if err == nil {
+				defer resp.Body.Close()
+				rt.m.proxied.Add(1)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					rt.m.rejected.Add(1)
+				}
+				for _, k := range []string{"Content-Type", "Retry-After"} {
+					if v := resp.Header.Get(k); v != "" {
+						w.Header().Set(k, v)
+					}
+				}
+				w.WriteHeader(resp.StatusCode)
+				io.Copy(w, resp.Body)
+				return
+			}
+			lastErr = err
+			rt.m.backendErrors.Add(1)
+			rt.checker.markDown(addr)
+		}
+		if !retryable || attempt >= keyedRetryAttempts {
+			break
+		}
+		rt.m.keyedRetries.Add(1)
+		stop := false
+		select {
+		case <-r.Context().Done(): // the client hung up: stop retrying
+			lastErr = r.Context().Err()
+			stop = true
+		case <-time.After(time.Duration(100<<attempt) * time.Millisecond):
+		}
+		if stop {
+			break
+		}
+		// Re-resolve: the failure may have re-homed the session (mark-down
+		// plus promotion flips the pin to the follower).
+		if id := r.PathValue("id"); id != "" {
+			if newAddr, err := rt.ring.Lookup(id); err == nil {
+				addr = newAddr
+			}
+		}
+	}
+	if lastErr != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("backend %s: %v", addr, lastErr)})
+		return
+	}
+	rt.refuse(w, &BackendDownError{Addr: addr})
 }
 
 // refuse maps routing failures onto statuses: no backend or a down

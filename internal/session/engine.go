@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/relation"
@@ -63,6 +64,17 @@ type Config struct {
 	// SessionBurst is the bucket capacity: how many steps a fresh or idle
 	// session may issue back-to-back (default max(1, ⌈SessionRate⌉)).
 	SessionBurst int
+	// ReplSyncWait, when positive, upgrades replication to semi-synchronous:
+	// each group commit's acknowledgements are additionally held until the
+	// shard's follower has acked the batch's last LSN, or the wait elapses
+	// (then the shard degrades to async — repl_sync_timeouts ticks and the
+	// hold stays off until the follower acks again). The hold engages only
+	// once a follower has acked at least one LSN, so an engine nobody
+	// follows never waits. Under
+	// semi-sync an acked step is durable on BOTH the primary and its
+	// follower — which is what makes promotion lose nothing the client was
+	// told succeeded.
+	ReplSyncWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +149,15 @@ type shard struct {
 	// replies are released together, after the batch's shared Commit.
 	pending  []pendingReply
 	segGauge int // last value pushed to the walSegments metric
+
+	// acked is the highest LSN a replication follower has confirmed
+	// applying for this shard's WAL stream. Written by HTTP goroutines
+	// (AckWAL), read by Stats — atomic, not shard-owned.
+	acked atomic.Int64
+	// ackWake carries a token whenever acked advances, waking a shard
+	// blocked in holdForReplica (semi-sync). Buffered at 1: a stale token
+	// costs one spurious re-check of acked, never a missed wake.
+	ackWake chan struct{}
 }
 
 // pendingReply is one executed request awaiting the group commit.
@@ -165,6 +186,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			m:        e.m,
 			ch:       make(chan request, cfg.MailboxDepth),
 			sessions: make(map[string]*Session),
+			ackWake:  make(chan struct{}, 1),
 		}
 		if cfg.Dir != "" {
 			if err := sh.recover(filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))); err != nil {
@@ -268,17 +290,25 @@ func (sh *shard) applyRecord(rec *walRecord) error {
 		// The session's own kind decides how to replay the record: an empty
 		// joint step carries no netin field, so the shape alone cannot.
 		if s.net != nil {
-			_, err := s.applyNet(rec.NetIn)
+			if _, err := s.applyNet(rec.NetIn); err != nil {
+				return err
+			}
+		} else if _, err := s.apply(rec.Input); err != nil {
 			return err
 		}
-		_, err := s.apply(rec.Input)
-		return err
+		s.noteKey(rec.Key, rec.Seq)
+		return nil
 	case recInstall:
-		if _, ok := sh.sessions[rec.SID]; ok {
-			return nil // covered by snapshot
-		}
 		if rec.Image == nil {
 			return fmt.Errorf("install record for %s has no image", rec.SID)
+		}
+		// A session can be installed more than once over its life (handoff
+		// there and back, follower promotion), so the WAL may hold several
+		// install records for one ID. The furthest-along image wins: an
+		// existing session at >= the image's step count is either the
+		// snapshot covering this record or a later install.
+		if prev, ok := sh.sessions[rec.SID]; ok && prev.steps >= rec.Image.Steps {
+			return nil
 		}
 		s, err := rec.Image.restore()
 		if err != nil {
@@ -420,11 +450,47 @@ func (sh *shard) commitPending() {
 			sh.m.walSyncs.Add(1)
 		}
 		sh.refreshSegGauge()
+		if sh.cfg.ReplSyncWait > 0 && sh.broken == nil {
+			sh.holdForReplica()
+		}
 	}
 	for i := range sh.pending {
 		sh.pending[i].ch <- reply{sh.pending[i].v, sh.pending[i].err}
 	}
 	sh.pending = sh.pending[:0]
+}
+
+// holdForReplica is the semi-sync gate: it blocks the batch's
+// acknowledgements until the follower has acked every LSN this commit
+// published, or ReplSyncWait elapses (then the batch degrades to async and
+// repl_sync_timeouts ticks). It engages only once a follower has acked at
+// least one LSN, so a primary nobody follows pays nothing. Deadlock-free by
+// construction: the ack path (StreamWAL long-poll → follower apply → next
+// fetch's acked= → AckWAL) touches only the store's replication view and
+// the shard's atomic, never the shard goroutine blocked here.
+func (sh *shard) holdForReplica() {
+	if sh.acked.Load() == 0 {
+		return
+	}
+	target := sh.store.ReplState().Committed
+	if sh.acked.Load() >= target {
+		return
+	}
+	timer := time.NewTimer(sh.cfg.ReplSyncWait)
+	defer timer.Stop()
+	for sh.acked.Load() < target {
+		select {
+		case <-sh.ackWake:
+		case <-timer.C:
+			// Degrade: the follower stopped acking (dead or partitioned).
+			// Resetting the gauge disengages the hold — only this one batch
+			// pays the full wait — until the follower acks again, which
+			// re-engages semi-sync automatically.
+			sh.acked.Store(0)
+			sh.m.replSyncTimeouts.Add(1)
+			return
+		}
+	}
 }
 
 func (sh *shard) refreshSegGauge() {
@@ -511,11 +577,19 @@ func (sh *shard) maybeSnapshot(force bool) error {
 	return nil
 }
 
-// shardFor routes a session ID to its owning shard.
-func (e *Engine) shardFor(id string) *shard {
+// ShardOf computes the shard index a session ID hashes to in an engine
+// with the given shard count. Exported because a replication follower
+// needs to reproduce the PRIMARY's placement: the primary shard of a
+// session decides which WAL stream its records arrive on.
+func ShardOf(id string, shards int) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
+	return int(h.Sum32() % uint32(shards))
+}
+
+// shardFor routes a session ID to its owning shard.
+func (e *Engine) shardFor(id string) *shard {
+	return e.shards[ShardOf(id, len(e.shards))]
 }
 
 // send runs do inside the shard goroutine owning id and waits for the
@@ -600,6 +674,17 @@ func (e *Engine) Open(req *OpenRequest) (*Info, error) {
 // outputs and log delta, exactly the exchange of Figure 1. The step is
 // durable (per the fsync policy) before it is acknowledged.
 func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
+	return e.InputKey(id, "", in)
+}
+
+// InputKey is Input with a client idempotency key: when key is non-empty
+// and the session has already applied a step under it, the input is NOT
+// applied again — the recorded step is answered back with Duplicate set.
+// The (key → seq) table travels in the step's WAL record and in snapshot
+// images, so dedupe holds across crash recovery, handoff, and follower
+// promotion; that is what lets the router retry an ambiguous 502 without
+// risking a double step.
+func (e *Engine) InputKey(id, key string, in relation.Instance) (*StepResult, error) {
 	start := time.Now()
 	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {
 		s, ok := sh.sessions[id]
@@ -608,6 +693,12 @@ func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 		}
 		if s.net != nil {
 			return nil, &BadInputError{Err: fmt.Errorf("session %s is a network session; address inputs per node", id)}
+		}
+		if key != "" {
+			if seq, ok := s.keys[key]; ok {
+				sh.m.dedupedSteps.Add(1)
+				return s.dupResult(seq), nil
+			}
 		}
 		if s.frozen {
 			return nil, &FrozenError{ID: id}
@@ -621,7 +712,7 @@ func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 		if err := s.validateInput(in); err != nil {
 			return nil, &BadInputError{Err: err}
 		}
-		if err := sh.appendWAL(&walRecord{T: recStep, SID: id, Seq: s.steps + 1, Input: in}); err != nil {
+		if err := sh.appendWAL(&walRecord{T: recStep, SID: id, Seq: s.steps + 1, Input: in, Key: key}); err != nil {
 			return nil, err
 		}
 		res, err := s.apply(in)
@@ -630,6 +721,7 @@ func (e *Engine) Input(id string, in relation.Instance) (*StepResult, error) {
 			// memory and log stay consistent. Surface it as a client error.
 			return nil, &BadInputError{Err: err}
 		}
+		s.noteKey(key, res.Seq)
 		sh.m.stepsTotal.Add(1)
 		sh.sinceSnap++
 		if err := sh.maybeSnapshot(false); err != nil {
@@ -746,8 +838,29 @@ func (e *Engine) Snapshot() error {
 	return nil
 }
 
-// Stats returns the engine's metrics snapshot.
-func (e *Engine) Stats() Stats { return e.m.stats() }
+// Stats returns the engine's metrics snapshot, including replication lag
+// computed from each shard's committed LSN against its follower's last
+// ack. Shards never acked (no follower attached) contribute nothing, so
+// an unreplicated engine reports zero lag rather than infinity.
+func (e *Engine) Stats() Stats {
+	st := e.m.stats()
+	for _, sh := range e.shards {
+		if sh.store == nil {
+			continue
+		}
+		acked := sh.acked.Load()
+		if acked == 0 {
+			continue
+		}
+		rs := sh.store.ReplState()
+		st.ReplCommitted += rs.Committed
+		st.ReplAcked += acked
+		if lag := rs.Committed - acked; lag > 0 {
+			st.ReplLag += lag
+		}
+	}
+	return st
+}
 
 // Shards returns the number of shards (for reporting).
 func (e *Engine) Shards() int { return len(e.shards) }

@@ -6,6 +6,8 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 
 	"repro/internal/compose"
 	"repro/internal/live"
@@ -96,11 +98,20 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 			Node   string             `json:"node"`
 			Facts  relation.Instance  `json:"facts"`
 			Inputs compose.StepInputs `json:"inputs"`
+			// Key is the client idempotency key (the Idempotency-Key header
+			// wins when both are present): a step already applied under it is
+			// answered from the log with "duplicate":true instead of being
+			// applied again.
+			Key string `json:"key"`
 		}
 		if !readJSON(w, r, &req) {
 			return
 		}
 		id := r.PathValue("id")
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			key = req.Key
+		}
 		if req.Node != "" || req.Inputs != nil {
 			ext := compose.StepInputs{}
 			for name, in := range req.Inputs {
@@ -120,7 +131,7 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 					ext[req.Node] = facts
 				}
 			}
-			res, err := e.NetInput(id, ext)
+			res, err := e.NetInputKey(id, key, ext)
 			if err != nil {
 				writeErr(w, err)
 				return
@@ -131,7 +142,7 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 		if req.Input == nil {
 			req.Input = relation.NewInstance()
 		}
-		res, err := e.Input(id, req.Input)
+		res, err := e.InputKey(id, key, req.Input)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -202,6 +213,51 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	mux.HandleFunc("GET /admin/wal/state", func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.WALState()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"shards": st})
+	})
+	mux.HandleFunc("GET /admin/wal/stream", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		shard, err := strconv.Atoi(q.Get("shard"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad shard: " + err.Error()})
+			return
+		}
+		from := int64(1)
+		if v := q.Get("from"); v != "" {
+			if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad from: " + err.Error()})
+				return
+			}
+		}
+		// acked piggybacks the follower's applied LSN on the poll, so lag is
+		// observable on the primary without a separate ack endpoint.
+		if v := q.Get("acked"); v != "" {
+			if lsn, err := strconv.ParseInt(v, 10, 64); err == nil {
+				e.AckWAL(shard, lsn)
+			}
+		}
+		wait := 25 * time.Second
+		if v := q.Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad wait: " + err.Error()})
+				return
+			}
+			wait = d
+		}
+		b, err := e.StreamWAL(r.Context(), shard, from, wait)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -259,6 +315,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.As(err, &frozen):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotDurable):
+		status = http.StatusPreconditionFailed
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -163,6 +163,14 @@ func (s *Session) applyNet(ext compose.StepInputs) (*StepResult, error) {
 // regardless). The whole joint step is durable (per the fsync policy)
 // before it is acknowledged — one WAL record per network step.
 func (e *Engine) NetInput(id string, ext compose.StepInputs) (*StepResult, error) {
+	return e.NetInputKey(id, "", ext)
+}
+
+// NetInputKey is NetInput with a client idempotency key, with exactly the
+// dedupe contract of InputKey: a key the session has already applied a
+// joint step under answers that step back (Duplicate set) instead of
+// advancing the network again.
+func (e *Engine) NetInputKey(id, key string, ext compose.StepInputs) (*StepResult, error) {
 	start := time.Now()
 	v, err := e.trySend(e.shardFor(id), func(sh *shard) (any, error) {
 		s, ok := sh.sessions[id]
@@ -171,6 +179,12 @@ func (e *Engine) NetInput(id string, ext compose.StepInputs) (*StepResult, error
 		}
 		if s.net == nil {
 			return nil, &BadInputError{Err: fmt.Errorf("session %s is not a network session", id)}
+		}
+		if key != "" {
+			if seq, ok := s.keys[key]; ok {
+				sh.m.dedupedSteps.Add(1)
+				return s.dupResult(seq), nil
+			}
 		}
 		if s.frozen {
 			return nil, &FrozenError{ID: id}
@@ -184,7 +198,7 @@ func (e *Engine) NetInput(id string, ext compose.StepInputs) (*StepResult, error
 		if err := s.validateNetInput(ext); err != nil {
 			return nil, &BadInputError{Err: err}
 		}
-		if err := sh.appendWAL(&walRecord{T: recStep, SID: id, Seq: s.steps + 1, NetIn: ext}); err != nil {
+		if err := sh.appendWAL(&walRecord{T: recStep, SID: id, Seq: s.steps + 1, NetIn: ext, Key: key}); err != nil {
 			return nil, err
 		}
 		res, err := s.applyNet(ext)
@@ -193,6 +207,7 @@ func (e *Engine) NetInput(id string, ext compose.StepInputs) (*StepResult, error
 			// memory and log stay consistent. Surface it as a client error.
 			return nil, &BadInputError{Err: err}
 		}
+		s.noteKey(key, res.Seq)
 		sh.m.stepsTotal.Add(1)
 		sh.sinceSnap++
 		if err := sh.maybeSnapshot(false); err != nil {

@@ -1,0 +1,312 @@
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// The engine's two replication faces.
+//
+// Primary side: StreamWAL serves committed WAL records (and, after
+// compaction, snapshot images) for one shard as long-pollable batches, and
+// AckWAL books the follower's applied LSN so Stats can report lag. Both are
+// safe from any goroutine: they touch only the store's mutex-guarded
+// replication view and an atomic, never the shard's owned state.
+//
+// Follower side: ApplyReplicated feeds a streamed record through the shard
+// goroutine into a standby engine — the same idempotent logic WAL replay
+// uses, plus an append to the standby's OWN WAL, so a record acknowledged
+// to the stream is durable on the follower under its fsync policy. A
+// record that cannot apply (unknown session, step gap) returns
+// ReplGapError: the follower's cue to restart from the primary's snapshot.
+
+// Batch size bounds for one stream response; both soft in the sense that a
+// single over-sized record still goes through alone.
+const (
+	streamMaxRecords = 4096
+	streamMaxBytes   = 4 << 20
+)
+
+// ErrNotDurable reports a replication operation against a memory-only
+// engine: with no WAL there is nothing to stream.
+var ErrNotDurable = errors.New("session: engine has no durable store to stream")
+
+// WALBatch is one stream response for one primary shard.
+type WALBatch struct {
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"` // the primary's shard count (stream topology)
+	// Reset tells the follower its requested LSN was compacted: discard its
+	// notion of this shard, install the Snapshot images, resume at Base+1.
+	Reset bool `json:"reset,omitempty"`
+	// Base is the LSN covered by the primary's snapshot; Committed is the
+	// highest LSN this batch could have served (records beyond the batch's
+	// size bounds arrive on the next poll).
+	Base      int64 `json:"base"`
+	Committed int64 `json:"committed"`
+	// Snapshot carries the primary shard's snapshot images on Reset.
+	Snapshot []json.RawMessage `json:"snapshot,omitempty"`
+	// Records are consecutive committed WAL records starting at the
+	// requested LSN.
+	Records []storage.ReplRecord `json:"records,omitempty"`
+}
+
+// ReplShardState summarizes one shard's stream position.
+type ReplShardState struct {
+	Shard     int   `json:"shard"`
+	Base      int64 `json:"base"`
+	Committed int64 `json:"committed"`
+	Acked     int64 `json:"acked"`
+}
+
+// ReplGapError reports a replicated record the standby cannot apply in
+// order — the follower must bootstrap from the primary's snapshot.
+type ReplGapError struct {
+	SID  string
+	Seq  int // the record's step number (0 for a missing session)
+	Have int // the standby's step count
+}
+
+func (err *ReplGapError) Error() string {
+	if err.Seq == 0 {
+		return fmt.Sprintf("replica gap: no session %s on standby", err.SID)
+	}
+	return fmt.Sprintf("replica gap: session %s step %d after %d", err.SID, err.Seq, err.Have)
+}
+
+// WALState reports every shard's stream position. ErrNotDurable for
+// memory-only engines.
+func (e *Engine) WALState() ([]ReplShardState, error) {
+	out := make([]ReplShardState, 0, len(e.shards))
+	for i, sh := range e.shards {
+		if sh.store == nil {
+			return nil, ErrNotDurable
+		}
+		rs := sh.store.ReplState()
+		out = append(out, ReplShardState{Shard: i, Base: rs.Base, Committed: rs.Committed, Acked: sh.acked.Load()})
+	}
+	return out, nil
+}
+
+// AckWAL records the follower's applied LSN for one shard (monotonic: a
+// stale ack never regresses the gauge) and wakes the shard if it is holding
+// a semi-sync commit for this LSN. Safe from any goroutine.
+func (e *Engine) AckWAL(shard int, lsn int64) {
+	if shard < 0 || shard >= len(e.shards) {
+		return
+	}
+	sh := e.shards[shard]
+	for {
+		old := sh.acked.Load()
+		if lsn <= old {
+			return
+		}
+		if sh.acked.CompareAndSwap(old, lsn) {
+			if sh.store != nil {
+				// Replication slot: snapshot compaction keeps WAL the
+				// follower has not acked yet, so the stream survives
+				// snapshots without a reset.
+				sh.store.SetRetain(lsn)
+			}
+			select {
+			case sh.ackWake <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// StreamWAL returns the next batch of committed WAL records for one shard,
+// starting at LSN from (1-based). With wait > 0 and nothing new to serve,
+// it long-polls until a commit arrives, the wait elapses, or ctx is done —
+// gating on group-commit completion by construction, because the store
+// publishes an LSN only at its ack points. A from that has been compacted
+// into a snapshot comes back as a Reset batch carrying the snapshot
+// images.
+func (e *Engine) StreamWAL(ctx context.Context, shard int, from int64, wait time.Duration) (*WALBatch, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return nil, &BadInputError{Err: fmt.Errorf("no shard %d (engine has %d)", shard, len(e.shards))}
+	}
+	sh := e.shards[shard]
+	if sh.store == nil {
+		return nil, ErrNotDurable
+	}
+	if from < 1 {
+		from = 1
+	}
+	if wait > 0 {
+		if st := sh.store.ReplState(); from > st.Committed && from > st.Base {
+			wctx, cancel := context.WithTimeout(ctx, wait)
+			sh.store.WaitCommitted(wctx, from-1)
+			cancel()
+		}
+	}
+	recs, st, err := sh.store.ReadCommitted(from, streamMaxRecords, streamMaxBytes)
+	b := &WALBatch{Shard: shard, Shards: len(e.shards), Base: st.Base, Committed: st.Committed}
+	if err == storage.ErrCompacted {
+		first := true
+		base, serr := sh.store.SnapshotRecords(func(p []byte) error {
+			if first {
+				first = false // the snapHeader record is shard-local, not streamed
+				return nil
+			}
+			b.Snapshot = append(b.Snapshot, append(json.RawMessage(nil), p...))
+			return nil
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		b.Reset, b.Base = true, base
+		if b.Committed < base {
+			b.Committed = base
+		}
+		e.m.replBatches.Add(1)
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.Records = recs
+	e.m.replBatches.Add(1)
+	return b, nil
+}
+
+// ApplyReplicated applies one streamed WAL record (the raw payload from a
+// WALBatch) to this engine as a standby: idempotent like WAL replay, and
+// appended to this engine's own WAL before the session mutates, so a nil
+// return means the record is as durable here as a locally-acked step.
+func (e *Engine) ApplyReplicated(payload []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return &BadInputError{Err: fmt.Errorf("replicated record: %w", err)}
+	}
+	if rec.SID == "" {
+		return &BadInputError{Err: fmt.Errorf("replicated record has no session id")}
+	}
+	if _, err := e.send(e.shardFor(rec.SID), func(sh *shard) (any, error) {
+		return nil, sh.applyReplicated(&rec)
+	}); err != nil {
+		return err
+	}
+	e.m.replApplied.Add(1)
+	return nil
+}
+
+// InstallReplicated applies one bootstrap snapshot image (from a Reset
+// batch) to the standby, replacing any older copy of the session.
+func (e *Engine) InstallReplicated(payload []byte) error {
+	var img Image
+	if err := json.Unmarshal(payload, &img); err != nil {
+		return &BadInputError{Err: fmt.Errorf("replicated image: %w", err)}
+	}
+	if img.ID == "" {
+		return &BadInputError{Err: fmt.Errorf("replicated image has no session id")}
+	}
+	rec := walRecord{T: recInstall, SID: img.ID, Image: &img}
+	if _, err := e.send(e.shardFor(img.ID), func(sh *shard) (any, error) {
+		return nil, sh.applyReplicated(&rec)
+	}); err != nil {
+		return err
+	}
+	e.m.replApplied.Add(1)
+	return nil
+}
+
+// CloseReplicated retires a standby session that a bootstrap reset proved
+// no longer exists on the primary (closed while the follower was behind).
+// A close record lands in the standby WAL so replay does not resurrect it.
+func (e *Engine) CloseReplicated(id string) error {
+	rec := walRecord{T: recClose, SID: id}
+	_, err := e.send(e.shardFor(id), func(sh *shard) (any, error) {
+		return nil, sh.applyReplicated(&rec)
+	})
+	return err
+}
+
+// applyReplicated is applyRecord's standby twin: the same idempotence
+// rules, but mutating records are first appended to this shard's own WAL
+// (the group commit acks them durably), install records replace older
+// copies, and out-of-order steps surface as ReplGapError instead of
+// corrupting recovery.
+func (sh *shard) applyReplicated(rec *walRecord) error {
+	switch rec.T {
+	case recOpen:
+		if _, ok := sh.sessions[rec.SID]; ok {
+			return nil
+		}
+		s, err := newSession(rec.SID, &OpenRequest{Model: rec.Model, Src: rec.Src, Mode: rec.Mode, DB: rec.DB, Network: rec.Network})
+		if err != nil {
+			return err
+		}
+		if err := sh.appendWAL(rec); err != nil {
+			return err
+		}
+		sh.sessions[rec.SID] = s
+		sh.m.sessionsOpen.Add(1)
+		sh.m.sessionsOpened.Add(1)
+	case recStep:
+		s, ok := sh.sessions[rec.SID]
+		if !ok {
+			return &ReplGapError{SID: rec.SID}
+		}
+		if rec.Seq <= s.steps {
+			return nil // already applied (stream overlap after reconnect)
+		}
+		if rec.Seq != s.steps+1 {
+			return &ReplGapError{SID: rec.SID, Seq: rec.Seq, Have: s.steps}
+		}
+		if err := sh.appendWAL(rec); err != nil {
+			return err
+		}
+		if s.net != nil {
+			if _, err := s.applyNet(rec.NetIn); err != nil {
+				return err
+			}
+		} else if _, err := s.apply(rec.Input); err != nil {
+			return err
+		}
+		s.noteKey(rec.Key, rec.Seq)
+		sh.m.stepsTotal.Add(1)
+		sh.sinceSnap++
+		return sh.maybeSnapshot(false)
+	case recClose:
+		if _, ok := sh.sessions[rec.SID]; !ok {
+			return nil
+		}
+		if err := sh.appendWAL(rec); err != nil {
+			return err
+		}
+		delete(sh.sessions, rec.SID)
+		sh.m.sessionsOpen.Add(-1)
+		sh.m.sessionsClosed.Add(1)
+	case recInstall:
+		if rec.Image == nil {
+			return fmt.Errorf("replicated install for %s has no image", rec.SID)
+		}
+		prev, existed := sh.sessions[rec.SID]
+		if existed && prev.steps >= rec.Image.Steps {
+			return nil // standby already at or past the image
+		}
+		s, err := rec.Image.restore()
+		if err != nil {
+			return err
+		}
+		if err := sh.appendWAL(rec); err != nil {
+			return err
+		}
+		sh.sessions[rec.SID] = s
+		if !existed {
+			sh.m.sessionsOpen.Add(1)
+			sh.m.sessionsOpened.Add(1)
+		}
+		sh.m.installs.Add(1)
+	default:
+		return fmt.Errorf("unknown replicated record type %q", rec.T)
+	}
+	return nil
+}

@@ -53,6 +53,13 @@ type Session struct {
 	// rate is the session's step-rate token bucket (see ratelimit.go).
 	// In-memory policy only, never persisted.
 	rate bucket
+	// keys maps client idempotency keys to the 1-based step each first
+	// produced. The table is persisted (keys travel in step WAL records and
+	// in snapshot images), so dedupe survives recovery, handoff, and
+	// promotion: a retried step is answered from the log instead of being
+	// applied twice. Unbounded by design — sessions are short-lived and a
+	// key costs a few dozen bytes.
+	keys map[string]int
 
 	// Acceptance bookkeeping under the three disciplines of Section 4.
 	// For network sessions the flags aggregate across nodes: any node's
@@ -157,6 +164,40 @@ type StepResult struct {
 	// acceptance mode (for accept-at-end: whether it would be valid if it
 	// ended now).
 	Valid bool `json:"valid"`
+	// Duplicate marks a step answered from the idempotency-key table: the
+	// input was NOT applied again; Seq and the log fields describe the step
+	// the key first produced. Outputs are not retained, so Output stays
+	// empty on a duplicate.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// noteKey records that key produced step seq, lazily allocating the table.
+func (s *Session) noteKey(key string, seq int) {
+	if key == "" {
+		return
+	}
+	if s.keys == nil {
+		s.keys = make(map[string]int)
+	}
+	s.keys[key] = seq
+}
+
+// dupResult answers a deduped step from the durable log: the seq the key
+// first produced, the step's log delta, and current validity. Outputs are
+// not retained, so they are absent — callers retrying after an ambiguous
+// failure care that the step landed, not what it printed.
+func (s *Session) dupResult(seq int) *StepResult {
+	res := &StepResult{ID: s.id, Seq: seq, Valid: s.valid(), Duplicate: true}
+	if s.net != nil {
+		if seq >= 1 && seq <= len(s.net.joint) {
+			je := s.net.joint[seq-1]
+			res.Logs = cloneStepInputs(je.Logs)
+			res.Wire = append([]compose.WireDelta(nil), je.Wire...)
+		}
+	} else if seq >= 1 && seq <= len(s.logs) {
+		res.Log = s.logs[seq-1].Clone()
+	}
+	return res
 }
 
 // validateInput rejects unknown or wrongly-typed input relations before

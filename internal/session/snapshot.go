@@ -45,7 +45,10 @@ type Image struct {
 	ErrorFree  bool              `json:"errorFree"`
 	OkEvery    bool              `json:"okEvery"`
 	LastAccept bool              `json:"lastAccept"`
-	Net        *NetImage         `json:"net,omitempty"`
+	// Keys is the idempotency-key dedupe table (key → step seq); persisting
+	// it is what makes dedupe survive compaction, handoff, and promotion.
+	Keys map[string]int `json:"keys,omitempty"`
+	Net  *NetImage      `json:"net,omitempty"`
 }
 
 func snapOf(s *Session) Image {
@@ -57,6 +60,7 @@ func snapOf(s *Session) Image {
 			ErrorFree:  s.errorFree,
 			OkEvery:    s.okEvery,
 			LastAccept: s.lastAccept,
+			Keys:       s.keys,
 			Net: &NetImage{
 				Spec:   s.net.spec,
 				State:  s.net.nw.ExportState(),
@@ -79,6 +83,7 @@ func snapOf(s *Session) Image {
 		ErrorFree:  s.errorFree,
 		OkEvery:    s.okEvery,
 		LastAccept: s.lastAccept,
+		Keys:       s.keys,
 	}
 }
 
@@ -130,6 +135,7 @@ func (ss *Image) restore() (*Session, error) {
 		errorFree:  ss.ErrorFree,
 		okEvery:    ss.OkEvery,
 		lastAccept: ss.LastAccept,
+		keys:       ss.Keys,
 	}, nil
 }
 
@@ -161,6 +167,7 @@ func (ss *Image) restoreNet(mode core.AcceptMode) (*Session, error) {
 		errorFree:  ss.ErrorFree,
 		okEvery:    ss.OkEvery,
 		lastAccept: ss.LastAccept,
+		keys:       ss.Keys,
 		net: &netRun{
 			spec:   ss.Net.Spec,
 			nw:     nw,

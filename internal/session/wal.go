@@ -56,5 +56,6 @@ type walRecord struct {
 	Seq     int                `json:"seq,omitempty"`     // step: 1-based step number
 	Input   relation.Instance  `json:"input,omitempty"`   // step: the input relation set
 	NetIn   compose.StepInputs `json:"netin,omitempty"`   // step: per-node external inputs (network sessions)
+	Key     string             `json:"key,omitempty"`     // step: client idempotency key, replayed into the dedupe table
 	Image   *Image             `json:"image,omitempty"`   // install: full session state
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // SnapshotWriter streams one snapshot: records are appended one at a time
@@ -91,23 +92,67 @@ func (sw *SnapshotWriter) Commit() error {
 		return err
 	}
 
-	oldStart := s.man.SegStart
 	oldSnap := s.man.Snapshot
 	if err := s.rotateTo(sw.seq); err != nil {
 		return err
 	}
-	if err := s.commitManifest(manifest{Version: 1, Snapshot: final, SegStart: sw.seq}); err != nil {
+	// Between BeginSnapshot and here the owner appended nothing, so s.lsn
+	// is exactly the LSN the snapshot covers: it becomes the new base.
+	if err := s.commitManifest(manifest{Version: 1, Snapshot: final, SegStart: sw.seq, Base: s.lsn}); err != nil {
 		return err
 	}
+	// Replication slot: segments holding records a follower has not acked
+	// yet survive compaction (they keep serving the stream, so a live
+	// follower never resets just because the primary snapshotted), bounded
+	// by maxRetainSegments so a dead follower cannot pin disk forever — one
+	// that far behind bootstraps from the snapshot instead. Retained
+	// segments are a live-process courtesy only: the manifest's SegStart
+	// does not cover them, so a restart sweeps them and followers reset.
+	type oldSeg struct {
+		seq   int
+		first int64
+	}
+	var olds []oldSeg
+	for seq, first := range s.segFirst {
+		if seq < sw.seq {
+			olds = append(olds, oldSeg{seq, first})
+		}
+	}
+	sort.Slice(olds, func(i, j int) bool { return olds[i].seq < olds[j].seq })
+	cut := len(olds)
+	if retain := s.retain.Load(); retain > 0 {
+		for k := range olds {
+			last := s.lsn
+			if k+1 < len(olds) {
+				last = olds[k+1].first - 1
+			}
+			if last > retain {
+				cut = k
+				break
+			}
+		}
+		if len(olds)-cut > maxRetainSegments {
+			cut = len(olds) - maxRetainSegments
+		}
+	}
+	for k := 0; k < cut; k++ {
+		delete(s.segFirst, olds[k].seq)
+	}
+	s.publish()
 
-	for seq := oldStart; seq < sw.seq; seq++ {
-		os.Remove(filepath.Join(s.dir, segName(seq)))
+	for k := 0; k < cut; k++ {
+		os.Remove(filepath.Join(s.dir, segName(olds[k].seq)))
 	}
 	if oldSnap != "" && oldSnap != final {
 		os.Remove(filepath.Join(s.dir, oldSnap))
 	}
 	return nil
 }
+
+// maxRetainSegments bounds how many pre-snapshot segments the replication
+// slot may keep alive. Beyond this the follower is better served by a
+// snapshot bootstrap than by replaying a long WAL tail.
+const maxRetainSegments = 4
 
 // Abort discards the pending snapshot, leaving the store exactly as it
 // was.

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,6 +32,12 @@ type manifest struct {
 	Version  int    `json:"version"`
 	Snapshot string `json:"snapshot,omitempty"`
 	SegStart int    `json:"segstart"`
+	// Base is the LSN covered by the snapshot: records 1..Base are folded
+	// into it and no longer exist as WAL frames. The first live WAL record
+	// has LSN Base+1. Reconstructing a lost manifest resets Base to zero,
+	// which breaks LSN continuity for any replication follower — see the
+	// warning on Open.
+	Base int64 `json:"base,omitempty"`
 }
 
 func segName(seq int) string  { return fmt.Sprintf("seg-%010d.wal", seq) }
@@ -63,6 +70,38 @@ type Store struct {
 	lastSync time.Time
 	appends  int64
 	syncs    int64
+
+	// lsn is the log sequence number of the last appended record, counted
+	// over the store's whole history (snapshot-covered records included):
+	// record k ever appended has LSN k, so lsn = man.Base + live records.
+	lsn int64
+	// segFirst maps each live segment's sequence number to the LSN its
+	// first record has (or will have, for a still-empty segment).
+	segFirst map[int]int64
+
+	// repl is the replication view: the only part of a Store that may be
+	// read concurrently by goroutines other than the owner (see repl.go).
+	repl replView
+
+	// retain is the replication slot: the highest LSN a follower has acked,
+	// set from any goroutine via SetRetain. Snapshot compaction keeps WAL
+	// segments holding records beyond it (bounded by maxRetainSegments) so
+	// a live stream is not forced into a snapshot reset every time the
+	// primary compacts. <= 0 means no follower: compact everything.
+	retain atomic.Int64
+}
+
+// SetRetain records the replication slot position: WAL records with LSN
+// > lsn are still needed by a follower and survive snapshot compaction
+// while the slot is within maxRetainSegments of the head. Monotonic;
+// thread-safe.
+func (s *Store) SetRetain(lsn int64) {
+	for {
+		old := s.retain.Load()
+		if lsn <= old || s.retain.CompareAndSwap(old, lsn) {
+			return
+		}
+	}
 }
 
 // Open prepares dir (creating it if needed), loads or reconstructs the
@@ -73,7 +112,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts.withDefaults(), lastSync: time.Now()}
+	s := &Store{dir: dir, opts: opts.withDefaults(), lastSync: time.Now(), segFirst: make(map[int]int64)}
+	s.repl.notify = make(chan struct{})
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -158,6 +198,7 @@ func (s *Store) Recover(onSnap, onWAL func(payload []byte) error) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.lsn = s.man.Base
 	replayed := 0
 	for i, seq := range segs {
 		path := filepath.Join(s.dir, segName(seq))
@@ -165,8 +206,10 @@ func (s *Store) Recover(onSnap, onWAL func(payload []byte) error) (int, error) {
 		if err != nil {
 			return replayed, err
 		}
+		s.segFirst[seq] = s.lsn + 1
 		n, off, err := readFrames(data, onWAL)
 		replayed += n
+		s.lsn += int64(n)
 		if err != nil {
 			return replayed, err
 		}
@@ -176,6 +219,7 @@ func (s *Store) Recover(onSnap, onWAL func(payload []byte) error) (int, error) {
 			}
 		}
 		if off == 0 && i < len(segs)-1 {
+			delete(s.segFirst, seq)
 			if err := os.Remove(path); err != nil {
 				return replayed, err
 			}
@@ -189,6 +233,7 @@ func (s *Store) Recover(onSnap, onWAL func(payload []byte) error) (int, error) {
 	if err := s.openActive(next); err != nil {
 		return replayed, err
 	}
+	s.publish()
 	return replayed, nil
 }
 
@@ -218,6 +263,7 @@ func (s *Store) openActive(seq int) error {
 		return err
 	}
 	s.active, s.activeSeq, s.activeSize = f, seq, info.Size()
+	s.segFirst[seq] = s.lsn + 1
 	return syncDir(s.dir)
 }
 
@@ -240,6 +286,7 @@ func (s *Store) Append(payload []byte) (int, error) {
 	}
 	s.activeSize += int64(len(buf))
 	s.appends++
+	s.lsn++
 	s.dirty = true
 	return len(buf), nil
 }
@@ -260,11 +307,16 @@ func (s *Store) rotate() error {
 // Commit makes the records appended since the last sync durable according
 // to the store's fsync policy, reporting whether an fsync actually ran.
 // Under FsyncAlways this is the group-commit point: however many appends
-// preceded it share the one sync.
+// preceded it share the one sync. Commit is also the ack point, so it
+// publishes the appended records to the replication view regardless of
+// whether this particular call synced: a record is streamable exactly when
+// it is ackable, which makes a follower never more durable-looking than
+// the primary's own ack contract.
 func (s *Store) Commit() (bool, error) {
 	if !s.dirty {
 		return false, nil
 	}
+	defer s.publish()
 	switch s.opts.Fsync {
 	case FsyncAlways:
 		return true, s.Sync()
@@ -288,6 +340,7 @@ func (s *Store) Sync() error {
 	s.dirty = false
 	s.lastSync = time.Now()
 	s.syncs++
+	s.publish()
 	return nil
 }
 
