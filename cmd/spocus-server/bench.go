@@ -225,6 +225,7 @@ func bench(args []string) {
 		scenarioRepl     = fs.Bool("scenario-replication", false, "with -scenarios: attach a warm follower to every router-path backend and report replication-lag percentiles; implies durable engines (a temp dir is used when -dir is unset)")
 
 		fsyncMatrix   = fs.Bool("fsync-matrix", false, "run the in-process bench across the durability matrix (wal-never, wal-interval, wal-always-batch1, wal-always-group), each on a fresh temp dir; emits a JSON array")
+		engineMatrix  = fs.Bool("engine-matrix", false, "compare the tree-walking evaluator against the compiled RA engine on E3/E4/E12 verification workloads and the in-memory session step path; emits a JSON array")
 		replication   = fs.Bool("replication", false, "measure the replication plane: the -fsync always workload with and without a live follower streaming every shard, plus promotion-vs-replay timings at -promote-steps")
 		promoteSteps  = fs.Int("promote-steps", 1000, "session size for the -replication promotion-vs-replay comparison")
 		promoteRounds = fs.Int("promote-rounds", 3, "rounds per mode in the -replication promotion comparison")
@@ -253,6 +254,10 @@ func bench(args []string) {
 			fatal(fmt.Errorf("-handoff-steps needs -url pointing at a spocus-router"))
 		}
 		benchHandoff(strings.TrimRight(*url, "/"), *model, db, script, *handoffSteps, *handoffRounds)
+		return
+	}
+	if *engineMatrix {
+		benchEngineMatrix(*model)
 		return
 	}
 	if *fsyncMatrix {

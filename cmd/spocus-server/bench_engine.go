@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/tsdi"
+	"repro/internal/verify"
+)
+
+// engineMatrixRow is one (workload, engine) cell of `bench -engine-matrix`.
+type engineMatrixRow struct {
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	SpeedupVsTree float64 `json:"speedup_vs_tree,omitempty"`
+}
+
+// benchEngineMatrix compares the tree-walking evaluator against the
+// compiled RA engine on the serving session step path (whose hot loop is
+// rule evaluation) and on the E3/E4/E12 verification procedures. The
+// verification rows are the control group: with -SkipReplay they are
+// SAT-solver-bound and should sit near 1.0×, so any spread there flags a
+// harness artifact rather than an engine effect. Every workload runs under
+// both engines; ra rows carry the tree/ra speedup.
+func benchEngineMatrix(model string) {
+	workloads := []struct {
+		name  string
+		setup func() (func() error, func(), error)
+	}{
+		{"E3-log-validity/steps=4", setupE3},
+		{"E4-arity-echo/arity=3", setupE4},
+		{"E12-error-free", setupE12},
+		{"session-step/" + model, func() (func() error, func(), error) { return setupSessionStep(model) }},
+	}
+	var rows []engineMatrixRow
+	treeNs := map[string]float64{}
+	for _, engine := range []core.StepEngine{core.EngineTree, core.EngineRA} {
+		prev := core.SetStepEngine(engine)
+		for _, w := range workloads {
+			f, cleanup, err := w.setup()
+			if err != nil {
+				core.SetStepEngine(prev)
+				fatal(err)
+			}
+			iters, ns, err := timeWorkload(f)
+			if cleanup != nil {
+				cleanup()
+			}
+			// Drop the workload's retained state before the next cell:
+			// leftover live heap would tax every later cell's GC cycles
+			// and skew cross-engine comparisons.
+			runtime.GC()
+			if err != nil {
+				core.SetStepEngine(prev)
+				fatal(fmt.Errorf("%s under %s: %w", w.name, engine, err))
+			}
+			row := engineMatrixRow{Workload: w.name, Engine: engine.String(), Iterations: iters, NsPerOp: ns}
+			if engine == core.EngineTree {
+				treeNs[w.name] = ns
+			} else if t := treeNs[w.name]; t > 0 {
+				row.SpeedupVsTree = t / ns
+			}
+			rows = append(rows, row)
+		}
+		core.SetStepEngine(prev)
+	}
+	emit(rows)
+}
+
+// timeWorkload calibrates an iteration count off one warm-up run (which
+// also populates plan caches), then reports the mean ns per operation.
+func timeWorkload(f func() error) (int, float64, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, 0, err
+	}
+	est := time.Since(start)
+	iters := int(300*time.Millisecond/(est+1)) + 1
+	if iters < 5 {
+		iters = 5
+	}
+	if iters > 50000 {
+		iters = 50000
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return iters, float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// setupE3 mirrors BenchmarkE3LogValidity at run length 4: Theorem 3.1 log
+// validity of a genuine SHORT log.
+func setupE3() (func() error, func(), error) {
+	m := models.Short()
+	db := models.MagazineDB()
+	mags := []string{"time", "newsweek", "le-monde"}
+	prices := map[string]string{"time": "855", "newsweek": "845", "le-monde": "8350"}
+	var inputs relation.Sequence
+	for i := 0; i < 4; i++ {
+		step := relation.NewInstance()
+		if i%2 == 0 {
+			step.Add("order", relation.Tuple{relation.Const(mags[i%3])})
+		} else {
+			prev := mags[(i-1)%3]
+			step.Add("pay", relation.Tuple{relation.Const(prev), relation.Const(prices[prev])})
+		}
+		inputs = append(inputs, step)
+	}
+	run, err := m.Execute(db, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func() error {
+		res, err := verify.LogValidity(m, db, run.Logs, &verify.Options{SkipReplay: true})
+		if err != nil {
+			return err
+		}
+		if !res.Valid {
+			return fmt.Errorf("genuine log rejected")
+		}
+		return nil
+	}, nil, nil
+}
+
+// setupE4 mirrors BenchmarkE4ArityShape at arity 3: one-step log validity
+// of an echo transducer.
+func setupE4() (func() error, func(), error) {
+	const k = 3
+	vars := "X1,X2,X3"
+	src := fmt.Sprintf(`
+transducer echo%d
+schema
+  input: in/%d;
+  output: out/%d;
+  log: out;
+state rules
+  past-in(%s) +:- in(%s);
+output rules
+  out(%s) :- in(%s);
+`, k, k, k, vars, vars, vars, vars)
+	m := core.MustParseProgram(src)
+	tup := relation.Tuple{"c0", "c1", "c2"}
+	logStep := relation.NewInstance()
+	logStep.Add("out", tup)
+	logSeq := relation.Sequence{logStep}
+	return func() error {
+		res, err := verify.LogValidity(m, nil, logSeq, &verify.Options{SkipReplay: true})
+		if err != nil {
+			return err
+		}
+		if !res.Valid {
+			return fmt.Errorf("echo log rejected")
+		}
+		return nil
+	}, nil, nil
+}
+
+// setupE12 mirrors BenchmarkE12ErrorFreeVerify: Theorem 4.4 on STRICT.
+func setupE12() (func() error, func(), error) {
+	m := models.Strict()
+	db := models.MagazineDB()
+	s := tsdi.MustParse("pay(X,Y) => price(X,Y)")
+	return func() error {
+		res, err := verify.CheckErrorFree(m, db, s, &verify.Options{SkipReplay: true})
+		if err != nil {
+			return err
+		}
+		if !res.Holds {
+			return fmt.Errorf("enforced sentence rejected")
+		}
+		return nil
+	}, nil, nil
+}
+
+// setupSessionStep drives one in-memory session through the scripted
+// shopping loop; each op is one engine step (the serving hot path).
+func setupSessionStep(model string) (func() error, func(), error) {
+	script, db, err := scriptFor(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := session.NewEngine(session.Config{Shards: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := eng.Open(&session.OpenRequest{ID: "engine-matrix", Model: model, DB: db}); err != nil {
+		eng.Shutdown()
+		return nil, nil, err
+	}
+	j := 0
+	return func() error {
+		_, err := eng.Input("engine-matrix", script(0, j))
+		j++
+		return err
+	}, func() { eng.Shutdown() }, nil
+}

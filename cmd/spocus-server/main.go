@@ -14,11 +14,11 @@
 //	                    [-verify-workers N] [-verify-queue N]
 //	                    [-verify-timeout 2s] [-verify-conflicts 0]
 //	                    [-follow http://primary:8080 -follow-dir standby]
-//	                    [-repl-sync-wait 250ms]
+//	                    [-repl-sync-wait 250ms] [-step-engine ra|tree]
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
 //	                    [-shards N] [-dir DIR] [-fsync never]
 //	                    [-url http://router:8090] [-verify-mix 0.1]
-//	                    [-fsync-matrix]
+//	                    [-fsync-matrix] [-engine-matrix]
 //	                    [-handoff-steps 1000 -handoff-rounds 5]
 //
 // serve exposes:
@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/models"
 	"repro/internal/replica"
@@ -130,8 +131,14 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 		sessionRate   = fs.Float64("session-rate", 0, "per-session step rate limit in steps/sec (0: unlimited); excess steps get 429 + Retry-After")
 		sessionBurst  = fs.Int("session-burst", 0, "per-session burst allowance under -session-rate (0: max(1, ceil(rate)))")
 		replSyncWait  = fs.Duration("repl-sync-wait", 0, "semi-sync replication: hold each group commit's acks until the follower acked it, up to this long (0: async)")
+		stepEngine    = fs.String("step-engine", "ra", "rule evaluation engine: ra (compiled plans) | tree (walker)")
 	)
 	return func() (session.Config, error) {
+		engine, err := core.ParseStepEngine(*stepEngine)
+		if err != nil {
+			return session.Config{}, err
+		}
+		core.SetStepEngine(engine)
 		policy, err := session.ParseFsyncPolicy(*fsync)
 		if err != nil {
 			return session.Config{}, err

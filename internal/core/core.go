@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dlog"
+	"repro/internal/ra"
 	"repro/internal/relation"
 )
 
@@ -114,8 +116,23 @@ func (s *Schema) LogSchema() relation.Schema {
 // (Definition 2.2) and the durable object the session engine persists.
 func (s *Schema) LogDelta(input, output relation.Instance) relation.Instance {
 	combined := relation.NewInstance()
-	combined.UnionWith(input.Restrict(s.Log))
-	combined.UnionWith(output.Restrict(s.Log))
+	for _, n := range s.Log {
+		ir, iok := input[n]
+		or, ook := output[n]
+		switch {
+		case iok && ook:
+			r := ir.Clone()
+			r.UnionWith(or)
+			combined[n] = r
+		case ook:
+			// The output instance is freshly built by this step and treated
+			// as an immutable value, so the delta can share its relation.
+			combined[n] = or
+		case iok:
+			// Inputs are caller-owned; copy before retaining.
+			combined[n] = ir.Clone()
+		}
+	}
 	return combined
 }
 
@@ -199,6 +216,40 @@ type Machine struct {
 	schema      *Schema
 	stateRules  dlog.Program
 	outputRules dlog.Program
+	// plans is the machine's lazily compiled relational-algebra form (see
+	// engine.go); resolved through the fingerprint-keyed plan cache.
+	plans atomic.Pointer[machinePlans]
+	// cumulative caches the state-rule heads with cumulative semantics,
+	// computed once at construction so the per-step merge never rebuilds it.
+	cumulative map[string]bool
+	// raCache memoizes interned EDB relations across this machine's steps:
+	// the fixed database interns once per machine, and state relations
+	// shared across steps by the copy-on-write merge hit it too.
+	raCache atomic.Pointer[ra.Cache]
+}
+
+// stepCache returns the machine's interned-relation cache, creating it on
+// first use (atomically, so concurrent steppers share one).
+func (m *Machine) stepCache() *ra.Cache {
+	if c := m.raCache.Load(); c != nil {
+		return c
+	}
+	c := ra.NewCache()
+	if m.raCache.CompareAndSwap(nil, c) {
+		return c
+	}
+	return m.raCache.Load()
+}
+
+// cumulativeHeads returns the set of cumulative state-rule heads.
+func cumulativeHeads(p dlog.Program) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range p {
+		if r.Cumulative {
+			out[r.Head.Pred] = true
+		}
+	}
+	return out
 }
 
 // Name returns the machine's (possibly empty) name.
@@ -276,11 +327,13 @@ func NewSpocus(schema *Schema, outputRules dlog.Program) (*Machine, error) {
 	if err := checkOutputRules(s, outputRules); err != nil {
 		return nil, err
 	}
+	stateRules := pastStateRules(s.In)
 	return &Machine{
 		kind:        KindSpocus,
 		schema:      s,
-		stateRules:  pastStateRules(s.In),
+		stateRules:  stateRules,
 		outputRules: outputRules,
+		cumulative:  cumulativeHeads(stateRules),
 	}, nil
 }
 
@@ -326,11 +379,13 @@ func NewExtended(schema *Schema, extraStateRules, outputRules dlog.Program) (*Ma
 	if err := checkOutputRules(s, outputRules); err != nil {
 		return nil, err
 	}
+	stateRules := append(pastStateRules(s.In), extraStateRules...)
 	return &Machine{
 		kind:        KindExtended,
 		schema:      s,
-		stateRules:  append(pastStateRules(s.In), extraStateRules...),
+		stateRules:  stateRules,
 		outputRules: outputRules,
+		cumulative:  cumulativeHeads(stateRules),
 	}, nil
 }
 
@@ -371,6 +426,7 @@ func NewGeneral(schema *Schema, stateRules, outputRules dlog.Program) (*Machine,
 		schema:      s,
 		stateRules:  stateRules,
 		outputRules: outputRules,
+		cumulative:  cumulativeHeads(stateRules),
 	}, nil
 }
 
@@ -413,8 +469,29 @@ func checkOutputRules(s *Schema, p dlog.Program) error {
 // Sᵢ = σ(Iᵢ, Sᵢ₋₁, D) and Oᵢ = ω(Iᵢ, Sᵢ₋₁, D). Both functions see the
 // *previous* state, per the paper's run semantics. The input instance is not
 // mutated; the returned state is freshly allocated.
+//
+// Under the default step engine the rule programs run as compiled
+// relational-algebra plans (package ra), resolved once per machine through
+// the fingerprint-keyed plan cache; -step-engine=tree (or a program the
+// planner cannot lower) falls back to the tree-walking dlog evaluator.
+// The two engines are observationally identical — the differential suite
+// in internal/ra pins Plan.Eval ≡ dlog.EvalStratified tuple for tuple.
 func (m *Machine) Step(input, state, db relation.Instance) (relation.Instance, relation.Instance, error) {
 	edb := dlog.MultiDB{input, state, db}
+	if CurrentStepEngine() == EngineRA {
+		if p, err := m.Compile(); err == nil {
+			output, err := m.evalOutputRA(p, edb)
+			if err != nil {
+				return nil, nil, err
+			}
+			next, err := m.evalStateRA(p, edb, state)
+			if err != nil {
+				return nil, nil, err
+			}
+			return next, output, nil
+		}
+		ra.NoteTreeFallback()
+	}
 	output, err := m.evalOutput(edb)
 	if err != nil {
 		return nil, nil, err
@@ -466,25 +543,49 @@ func (m *Machine) evalState(edb dlog.DB, prev relation.Instance) (relation.Insta
 	for name, rel := range tagged {
 		derived[strings.TrimPrefix(name, nextPrefix)] = rel
 	}
+	return m.mergeState(derived, prev), nil
+}
+
+// mergeState combines freshly derived state facts with the previous state
+// under cumulative semantics: cumulative heads keep the previous contents;
+// non-cumulative heads are recomputed from scratch each step.
+//
+// The merge is copy-on-write: a cumulative relation with no new facts this
+// step is carried into the next state by pointer instead of being copied.
+// Relations are add-only and step results are treated as immutable values
+// everywhere (inputs are cloned before retention, logs and snapshots only
+// read), so sharing is safe and turns the per-step merge cost from
+// O(total state) into O(changed state).
+func (m *Machine) mergeState(derived, prev relation.Instance) relation.Instance {
 	next := relation.NewInstance()
 	for _, d := range m.schema.State {
 		next.Ensure(d.Name, d.Arity)
 	}
-	// Cumulative heads keep the previous contents; non-cumulative heads are
-	// recomputed from scratch each step.
-	cumulative := make(map[string]bool)
-	for _, r := range m.stateRules {
-		if r.Cumulative {
-			cumulative[r.Head.Pred] = true
+	for name, prevRel := range prev {
+		if !m.cumulative[name] {
+			continue
+		}
+		if d := derived[name]; d != nil && d.Len() > 0 && !d.SubsetOf(prevRel) {
+			merged := prevRel.Clone()
+			merged.UnionWith(d)
+			next[name] = merged
+		} else if prevRel.Len() > 0 {
+			next[name] = prevRel
 		}
 	}
-	for name := range prev {
-		if cumulative[name] {
-			next.Ensure(name, prev[name].Arity()).UnionWith(prev[name])
+	for name, d := range derived {
+		if m.cumulative[name] {
+			if _, ok := prev[name]; ok {
+				continue // merged above
+			}
+		}
+		if cur, ok := next[name]; ok && cur.Len() > 0 {
+			cur.UnionWith(d)
+		} else if d.Len() > 0 || !ok {
+			next[name] = d
 		}
 	}
-	next.UnionWith(derived)
-	return next, nil
+	return next
 }
 
 // Run is the trace of a transducer on a database and an input sequence: the

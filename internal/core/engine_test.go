@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseStepEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want StepEngine
+		err  bool
+	}{
+		{"", EngineRA, false},
+		{"ra", EngineRA, false},
+		{"tree", EngineTree, false},
+		{"turbo", EngineRA, true},
+	} {
+		got, err := ParseStepEngine(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseStepEngine(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
+func TestStepEnginesAgreeOnShort(t *testing.T) {
+	db := magazineDB()
+	inputs := relation.Sequence{step("order(time)"), step("pay(time, 855)")}
+
+	prev := SetStepEngine(EngineTree)
+	defer SetStepEngine(prev)
+	treeRun, err := MustParseProgram(shortSrc).Execute(db, inputs)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	SetStepEngine(EngineRA)
+	raRun, err := MustParseProgram(shortSrc).Execute(db, inputs)
+	if err != nil {
+		t.Fatalf("ra: %v", err)
+	}
+	if !treeRun.Outputs.Equal(raRun.Outputs) {
+		t.Fatalf("outputs differ\ntree: %v\nra:   %v", treeRun.Outputs, raRun.Outputs)
+	}
+	if !treeRun.States.Equal(raRun.States) {
+		t.Fatalf("states differ\ntree: %v\nra:   %v", treeRun.States, raRun.States)
+	}
+	if !treeRun.Logs.Equal(raRun.Logs) {
+		t.Fatal("logs differ")
+	}
+}
+
+func TestPlanCacheSharedByFingerprint(t *testing.T) {
+	m1 := MustParseProgram(shortSrc)
+	m2 := MustParseProgram(shortSrc)
+	p1, err := m1.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p2, err := m2.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatal("two machines with the same fingerprint got distinct plans")
+	}
+	if p1.output.Interner() != p1.state.Interner() {
+		t.Fatal("output and state plans do not share the machine's intern table")
+	}
+}
+
+func TestExplainPlanRendersBothPrograms(t *testing.T) {
+	m := MustParseProgram(shortSrc)
+	got, err := m.ExplainPlan()
+	if err != nil {
+		t.Fatalf("ExplainPlan: %v", err)
+	}
+	for _, want := range []string{"output plan:", "state plan", "sendbill", "past-order", "scan"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("ExplainPlan missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -199,12 +199,88 @@ func EvalRuleBindings(body []Literal, db DB, f func(Binding) bool) error {
 	return err
 }
 
-// orderBody reorders literals for evaluation: positive atoms stay in the
-// author's order (a reasonable join order for hand-written rules); negative
-// atoms and comparisons are deferred until their variables are bound, which
-// the search loop handles by scanning for the next evaluable literal.
+// orderBody reorders literals into a statically safe evaluation order:
+// positive atoms keep the author's relative order (a reasonable join order
+// for hand-written rules), while negated atoms and comparisons are placed
+// at the earliest point where every one of their variables is bound — and
+// never before. Equality literals participate in binding: X = c (or X = Y
+// with Y bound) resolves X, which can in turn make a negation evaluable, so
+// the discharge loop iterates until no more filters can be placed before
+// the next join. Literals that never become evaluable (an unsafe body) are
+// appended at the end, where the search loop reports the unsafe-body error.
+//
+// The search loop re-checks boundness dynamically as a backstop, but the
+// static order guarantees on its own that a negated literal is never
+// scheduled ahead of the positive literals that ground it, whatever order
+// the author wrote the body in.
 func orderBody(body []Literal) []Literal {
-	return body
+	bound := make(map[string]bool)
+	resolved := func(t Term) bool { return !t.Var || bound[t.Name] }
+	evaluable := func(l Literal) bool {
+		switch l.Kind {
+		case LitNeg, LitNeq:
+			for _, v := range l.Vars() {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		case LitEq:
+			return resolved(l.Left) || resolved(l.Right)
+		}
+		return false
+	}
+
+	out := make([]Literal, 0, len(body))
+	pending := make([]Literal, len(body))
+	copy(pending, body)
+	for len(pending) > 0 {
+		// Discharge every evaluable filter before the next join; an equality
+		// may bind a variable that unlocks a negation, so loop to fixpoint.
+		progressed := true
+		for progressed {
+			progressed = false
+			for i := 0; i < len(pending); i++ {
+				l := pending[i]
+				if l.Kind == LitPos || !evaluable(l) {
+					continue
+				}
+				if l.Kind == LitEq {
+					if l.Left.Var {
+						bound[l.Left.Name] = true
+					}
+					if l.Right.Var {
+						bound[l.Right.Name] = true
+					}
+				}
+				out = append(out, l)
+				pending = append(pending[:i], pending[i+1:]...)
+				progressed = true
+				i--
+			}
+		}
+		// Next positive atom in author order binds its variables.
+		next := -1
+		for i, l := range pending {
+			if l.Kind == LitPos {
+				next = i
+				break
+			}
+		}
+		if next == -1 {
+			// Only unevaluable filters remain: unsafe body. Append them so
+			// the search loop surfaces the error.
+			out = append(out, pending...)
+			break
+		}
+		l := pending[next]
+		for _, v := range l.Vars() {
+			bound[v] = true
+		}
+		out = append(out, l)
+		pending = append(pending[:next], pending[next+1:]...)
+	}
+	return out
 }
 
 // search enumerates bindings satisfying lits[done:] by picking, at each

@@ -1,0 +1,108 @@
+package dlog
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// checkSafeOrder asserts the orderBody invariant: every negated atom and
+// inequality appears only after all of its variables are bound by earlier
+// positive atoms or discharged equalities.
+func checkSafeOrder(t *testing.T, body []Literal) {
+	t.Helper()
+	ordered := orderBody(body)
+	if len(ordered) != len(body) {
+		t.Fatalf("orderBody changed length: %d -> %d", len(body), len(ordered))
+	}
+	bound := map[string]bool{}
+	for i, l := range ordered {
+		switch l.Kind {
+		case LitNeg, LitNeq:
+			for _, v := range l.Vars() {
+				if !bound[v] {
+					t.Fatalf("position %d: literal %q scheduled with unbound variable %s (order %v)", i, l, v, ordered)
+				}
+			}
+		case LitPos:
+			for _, v := range l.Vars() {
+				bound[v] = true
+			}
+		case LitEq:
+			if l.Left.Var {
+				bound[l.Left.Name] = true
+			}
+			if l.Right.Var {
+				bound[l.Right.Name] = true
+			}
+		}
+	}
+}
+
+func TestOrderBodyDefersNegation(t *testing.T) {
+	// Author order puts the negation first; the static order must not.
+	p := MustParseProgram(`out(X) :- NOT blocked(X), item(X);`)
+	checkSafeOrder(t, p[0].Body)
+	ordered := orderBody(p[0].Body)
+	if ordered[0].Kind != LitPos || ordered[0].Atom.Pred != "item" {
+		t.Fatalf("want item(X) scheduled first, got %v", ordered)
+	}
+	if ordered[1].Kind != LitNeg {
+		t.Fatalf("want NOT blocked(X) second, got %v", ordered)
+	}
+}
+
+func TestOrderBodyEqualityBindsForNegation(t *testing.T) {
+	// X = apple resolves X immediately, which grounds the negation before
+	// any positive atom runs.
+	p := MustParseProgram(`out(Y) :- NOT blocked(X), X = apple, item(Y);`)
+	checkSafeOrder(t, p[0].Body)
+	ordered := orderBody(p[0].Body)
+	if ordered[0].Kind != LitEq {
+		t.Fatalf("want X = apple first, got %v", ordered)
+	}
+	if ordered[1].Kind != LitNeg {
+		t.Fatalf("want NOT blocked(X) second (grounded by the equality), got %v", ordered)
+	}
+}
+
+func TestOrderBodyInequalityAfterBothBound(t *testing.T) {
+	p := MustParseProgram(`out(X,Y) :- X <> Y, a(X), b(Y);`)
+	checkSafeOrder(t, p[0].Body)
+	ordered := orderBody(p[0].Body)
+	if ordered[2].Kind != LitNeq {
+		t.Fatalf("want X <> Y last, got %v", ordered)
+	}
+}
+
+func TestOrderBodyUnsafeLeftoverAppended(t *testing.T) {
+	// Z is never bound: the unsafe literal must survive reordering (at the
+	// end) so evaluation reports the unsafe-body error.
+	p := MustParseProgram(`out(X) :- a(X), NOT b(Z);`)
+	ordered := orderBody(p[0].Body)
+	if len(ordered) != 2 || ordered[1].Kind != LitNeg {
+		t.Fatalf("want unsafe negation appended last, got %v", ordered)
+	}
+	db := MultiDB{inst("a(x)")}
+	if _, err := Eval(p, db); err == nil {
+		t.Fatal("want unsafe-body error, got nil")
+	}
+}
+
+// TestEvalNegationFirstInBody is the end-to-end regression: a rule whose
+// author order leads with a negation evaluates correctly (it used to rely
+// solely on the search loop's dynamic deferral).
+func TestEvalNegationFirstInBody(t *testing.T) {
+	p := MustParseProgram(`
+		ship(X) :- NOT held(X), order(X);
+	`)
+	db := MultiDB{inst("order(a)", "order(b)", "held(b)")}
+	out, err := Eval(p, db)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	ship := out.Rel("ship")
+	if ship == nil || ship.Len() != 1 || !ship.Has(relation.Tuple{"a"}) {
+		t.Fatalf("want ship(a) only, got %v", out)
+	}
+}

@@ -1,0 +1,79 @@
+package ra
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Cache memoizes interned EDB relations across Evals. relation.Rel is
+// add-only (Add and UnionWith are the only mutators), so a cached interned
+// copy is valid exactly while the relation's length is unchanged — the
+// (pointer, length) pair identifies the contents. The cache makes the
+// per-step cost of interning incremental: a session's database relations
+// intern once, and with copy-on-write state merging the unchanged state
+// relations keep their pointers across steps and hit here too.
+//
+// Two generations bound the size: lookups hit the current generation first,
+// then promote from the previous one; when the current generation fills,
+// it becomes the previous and entries untouched for a full generation are
+// dropped (per-step input relations age out this way).
+type Cache struct {
+	mu   sync.Mutex
+	cur  map[*relation.Rel]*cachedRel
+	prev map[*relation.Rel]*cachedRel
+}
+
+type cachedRel struct {
+	n  int // rel.Len() at intern time
+	ir *iRel
+}
+
+// cacheGenSize is the per-generation entry budget; at most 2x this many
+// entries are retained.
+const cacheGenSize = 256
+
+// NewCache returns an empty interned-relation cache.
+func NewCache() *Cache {
+	return &Cache{cur: make(map[*relation.Rel]*cachedRel)}
+}
+
+// intern returns the interned form of rel, reusing a cached copy when the
+// relation has not grown since it was built. need carries the calling
+// plan's access-structure flags; any structure the plan will use is built
+// here, under the lock, before the iRel is handed out — cached iRels are
+// never mutated by readers, so concurrent Evals can share them.
+func (c *Cache) intern(rel *relation.Rel, in *Interner, need uint8) *iRel {
+	n := rel.Len()
+	c.mu.Lock()
+	if e, ok := c.cur[rel]; ok && e.n == n {
+		e.ir.build(need)
+		c.mu.Unlock()
+		return e.ir
+	}
+	if e, ok := c.prev[rel]; ok && e.n == n {
+		e.ir.build(need)
+		c.promote(rel, e)
+		c.mu.Unlock()
+		return e.ir
+	}
+	c.mu.Unlock()
+	// Intern outside the lock: concurrent misses on the same relation
+	// waste a little work instead of serializing every Eval.
+	ir := internRel(rel, in)
+	ir.build(need)
+	c.mu.Lock()
+	c.promote(rel, &cachedRel{n: n, ir: ir})
+	c.mu.Unlock()
+	return ir
+}
+
+// promote stores the entry in the current generation, rotating when full.
+// Callers hold c.mu.
+func (c *Cache) promote(rel *relation.Rel, e *cachedRel) {
+	if len(c.cur) >= cacheGenSize {
+		c.prev = c.cur
+		c.cur = make(map[*relation.Rel]*cachedRel, cacheGenSize)
+	}
+	c.cur[rel] = e
+}

@@ -1,0 +1,80 @@
+// Package ra is the compiled streaming relational-algebra step engine: it
+// lowers a dlog.Program once into a Plan — selections, index-backed joins,
+// projections, and (anti-)semijoins for negated literals — that is then
+// executed per step as composed pull loops over interned relations, with no
+// materialized intermediates except the per-stratum fixpoint deltas.
+//
+// The tree-walking evaluator in package dlog re-derives everything about a
+// program on every call: dependency layers, literal scheduling, and
+// variable bindings held in string-keyed maps. A Plan does all of that
+// once at compile time — variables become integer registers, constants
+// become interned integer symbols, literal order is fixed by a join-order
+// planner — so the per-step hot loop is array indexing and integer
+// equality. Plan.Eval is observationally equivalent to dlog.EvalStratified
+// (the differential suite in this package pins that, tuple for tuple).
+package ra
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Interner assigns dense integer symbols to constants so tuple comparison
+// in the executor's hot loop is integer equality instead of string
+// equality. One Interner is shared by a machine's output and state plans
+// (the "store"), persists across Eval calls, and is safe for concurrent
+// use — many sessions of one model share the cached plans.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[relation.Const]uint32
+	syms []relation.Const
+}
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[relation.Const]uint32)}
+}
+
+// ID interns c, returning its stable symbol.
+func (in *Interner) ID(c relation.Const) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[c]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[c]; ok {
+		return id
+	}
+	id = uint32(len(in.syms))
+	in.ids[c] = id
+	in.syms = append(in.syms, c)
+	return id
+}
+
+// Sym returns the constant a symbol denotes. Symbols only come from ID, so
+// the index is always in range.
+func (in *Interner) Sym(id uint32) relation.Const {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.syms[id]
+}
+
+// Len returns the number of interned constants.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.syms)
+}
+
+// snapshot returns the current symbol table; the returned slice is
+// append-only shared state and must be treated as read-only. An Eval call
+// resolves symbols through it without per-symbol locking.
+func (in *Interner) snapshot() []relation.Const {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.syms
+}

@@ -173,26 +173,56 @@ func (s Schema) String() string {
 	return strings.Join(parts, ", ")
 }
 
-// Rel is a finite set of tuples of a fixed arity. Relations of positive
-// arity maintain a hash index on the first column, which the datalog
-// evaluator uses for joins.
+// Rel is a finite set of tuples of a fixed arity. Small relations (the
+// overwhelmingly common case on the step path: inputs, outputs, and state
+// deltas hold a handful of tuples) store their tuples in a plain slice with
+// linear-scan membership — no hash maps, no key strings. Past smallRelMax
+// tuples the relation spills into a tuple map plus a hash index on the
+// first column, which the datalog evaluator uses for joins.
 type Rel struct {
 	arity   int
-	tuples  map[string]Tuple
-	byFirst map[Const][]Tuple
+	small   []Tuple           // linear storage; nil once spilled
+	tuples  map[string]Tuple  // non-nil exactly when spilled
+	byFirst map[Const][]Tuple // spilled relations of positive arity only
 }
+
+// smallRelMax is the linear-storage capacity: relations spill to hashed
+// storage on the insert that would exceed it. Linear dup-checks are at most
+// smallRelMax tuple comparisons, cheaper than one key-string allocation.
+const smallRelMax = 8
 
 // NewRel creates an empty relation of the given arity.
 func NewRel(arity int) *Rel {
-	r := &Rel{arity: arity, tuples: make(map[string]Tuple)}
-	if arity > 0 {
-		r.byFirst = make(map[Const][]Tuple)
-	}
-	return r
+	return &Rel{arity: arity}
 }
 
 // Arity returns the relation's arity.
 func (r *Rel) Arity() int { return r.arity }
+
+// tupleEq compares two same-arity tuples componentwise.
+func tupleEq(a, b Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spill moves linear storage into the hashed representation.
+func (r *Rel) spill() {
+	r.tuples = make(map[string]Tuple, len(r.small)+1)
+	if r.arity > 0 {
+		r.byFirst = make(map[Const][]Tuple, len(r.small)+1)
+	}
+	for _, t := range r.small {
+		r.tuples[t.Key()] = t
+		if r.arity > 0 {
+			r.byFirst[t[0]] = append(r.byFirst[t[0]], t)
+		}
+	}
+	r.small = nil
+}
 
 // Add inserts a tuple, returning true if it was not already present.
 // It panics if the tuple's length differs from the relation's arity; this is
@@ -200,6 +230,18 @@ func (r *Rel) Arity() int { return r.arity }
 func (r *Rel) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: tuple %v has arity %d, want %d", t, len(t), r.arity))
+	}
+	if r.tuples == nil {
+		for _, u := range r.small {
+			if tupleEq(u, t) {
+				return false
+			}
+		}
+		if len(r.small) < smallRelMax {
+			r.small = append(r.small, t)
+			return true
+		}
+		r.spill()
 	}
 	k := t.Key()
 	if _, ok := r.tuples[k]; ok {
@@ -218,6 +260,11 @@ func (r *Rel) Range(f func(Tuple) bool) {
 	if r == nil {
 		return
 	}
+	for _, t := range r.small {
+		if !f(t) {
+			return
+		}
+	}
 	for _, t := range r.tuples {
 		if !f(t) {
 			return
@@ -229,8 +276,13 @@ func (r *Rel) Range(f func(Tuple) bool) {
 // unspecified order), stopping early if f returns false. It is a no-op on
 // nil or zero-arity relations.
 func (r *Rel) RangeFirst(c Const, f func(Tuple) bool) {
-	if r == nil || r.byFirst == nil {
+	if r == nil || r.arity == 0 {
 		return
+	}
+	for _, t := range r.small {
+		if t[0] == c && !f(t) {
+			return
+		}
 	}
 	for _, t := range r.byFirst[c] {
 		if !f(t) {
@@ -244,6 +296,14 @@ func (r *Rel) Has(t Tuple) bool {
 	if r == nil || len(t) != r.arity {
 		return false
 	}
+	if r.tuples == nil {
+		for _, u := range r.small {
+			if tupleEq(u, t) {
+				return true
+			}
+		}
+		return false
+	}
 	_, ok := r.tuples[t.Key()]
 	return ok
 }
@@ -253,7 +313,7 @@ func (r *Rel) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.tuples)
+	return len(r.small) + len(r.tuples)
 }
 
 // Empty reports whether the relation holds no tuples.
@@ -264,7 +324,8 @@ func (r *Rel) Tuples() []Tuple {
 	if r == nil {
 		return nil
 	}
-	out := make([]Tuple, 0, len(r.tuples))
+	out := make([]Tuple, 0, r.Len())
+	out = append(out, r.small...)
 	for _, t := range r.tuples {
 		out = append(out, t)
 	}
@@ -272,23 +333,34 @@ func (r *Rel) Tuples() []Tuple {
 	return out
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy. Tuples are immutable and shared;
+// spilled maps are copied directly so keys are not recomputed.
 func (r *Rel) Clone() *Rel {
-	c := NewRel(r.arity)
-	for _, t := range r.tuples {
-		c.Add(t)
+	c := &Rel{arity: r.arity}
+	if len(r.small) > 0 {
+		c.small = append(make([]Tuple, 0, len(r.small)), r.small...)
+	}
+	if r.tuples != nil {
+		c.tuples = make(map[string]Tuple, len(r.tuples))
+		for k, t := range r.tuples {
+			c.tuples[k] = t
+		}
+		if r.byFirst != nil {
+			c.byFirst = make(map[Const][]Tuple, len(r.byFirst))
+			for f, ts := range r.byFirst {
+				c.byFirst[f] = append([]Tuple(nil), ts...)
+			}
+		}
 	}
 	return c
 }
 
 // UnionWith adds every tuple of s into r (s may be nil).
 func (r *Rel) UnionWith(s *Rel) {
-	if s == nil {
-		return
-	}
-	for _, t := range s.tuples {
+	s.Range(func(t Tuple) bool {
 		r.Add(t)
-	}
+		return true
+	})
 }
 
 // Equal reports whether two relations hold exactly the same tuples.
@@ -296,31 +368,26 @@ func (r *Rel) Equal(s *Rel) bool {
 	if r.Len() != s.Len() {
 		return false
 	}
-	if r == nil || s == nil {
-		return true // both empty
-	}
-	for k := range r.tuples {
-		if _, ok := s.tuples[k]; !ok {
-			return false
+	eq := true
+	r.Range(func(t Tuple) bool {
+		if !s.Has(t) {
+			eq = false
 		}
-	}
-	return true
+		return eq
+	})
+	return eq
 }
 
 // SubsetOf reports whether every tuple of r is in s.
 func (r *Rel) SubsetOf(s *Rel) bool {
-	if r.Len() == 0 {
-		return true
-	}
-	if s == nil {
-		return false
-	}
-	for k := range r.tuples {
-		if _, ok := s.tuples[k]; !ok {
-			return false
+	sub := true
+	r.Range(func(t Tuple) bool {
+		if !s.Has(t) {
+			sub = false
 		}
-	}
-	return true
+		return sub
+	})
+	return sub
 }
 
 func (r *Rel) String() string {
@@ -463,11 +530,12 @@ func (in Instance) Names() []string {
 func (in Instance) ActiveDomain() []Const {
 	seen := make(map[Const]bool)
 	for _, r := range in {
-		for _, t := range r.tuples {
+		r.Range(func(t Tuple) bool {
 			for _, c := range t {
 				seen[c] = true
 			}
-		}
+			return true
+		})
 	}
 	out := make([]Const, 0, len(seen))
 	for c := range seen {

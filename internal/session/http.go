@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -31,7 +32,8 @@ import (
 //	GET    /sessions/{id}/progress ranked next inputs    ?goal=deliver(X)&limit=5
 //	DELETE /sessions/{id}          close the session, returning the final log
 //	GET    /healthz                liveness
-//	GET    /debug/vars             expvar ("spocus" engine metrics, "spocus_live" verification metrics)
+//	GET    /debug/plan             compiled RA plan of a model   ?model=short
+//	GET    /debug/vars             expvar ("spocus" engine metrics, "spocus_live" verification metrics, "spocus_ra" plan-engine metrics)
 //	GET    /debug/pprof/...        pprof profiles
 //
 // Cluster-internal admin surface (used by spocus-router for handoff):
@@ -260,6 +262,21 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /debug/plan", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("model")
+		m := models.Get(name)
+		if m == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown model %q (have %v)", name, models.Names())})
+			return
+		}
+		plan, err := m.ExplainPlan()
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, plan)
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
