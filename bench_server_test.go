@@ -234,7 +234,47 @@ func BenchmarkSessionGroupCommit(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
 			if b.N > 0 {
 				b.ReportMetric(float64(st.WALSyncs)/float64(b.N), "syncs/op")
+				b.ReportMetric(float64(st.WALBytesTotal)/float64(b.N), "walB/op")
 			}
 		})
+	}
+}
+
+// TestGroupCommitCodecDensity drives the group-commit workload under both
+// WAL codecs and asserts the binary encoding's headline win: at least 2x
+// fewer WAL bytes per step than JSON. The shard encoder's intern table is
+// segment-scoped, so batched steps share constants — exactly the group
+// commit path this guards.
+func TestGroupCommitCodecDensity(t *testing.T) {
+	const nSessions, nSteps = 16, 20
+	bytesPerStep := func(codec session.Codec) float64 {
+		e, err := session.NewEngine(session.Config{
+			Dir:    t.TempDir(),
+			Shards: 1,
+			Fsync:  session.FsyncNever, // density, not sync cost
+			Codec:  codec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Shutdown()
+		for i := 0; i < nSessions; i++ {
+			id := fmt.Sprintf("d-%03d", i)
+			if _, err := e.Open(&session.OpenRequest{ID: id, Model: "short"}); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < nSteps; j++ {
+				if _, err := e.Input(id, shopStep(i, j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return float64(e.Stats().WALBytesTotal) / float64(nSessions*nSteps)
+	}
+	jsonB := bytesPerStep(session.CodecJSON)
+	binB := bytesPerStep(session.CodecBinary)
+	t.Logf("wal bytes/step: json=%.1f binary=%.1f (%.2fx)", jsonB, binB, jsonB/binB)
+	if binB*2 > jsonB {
+		t.Errorf("binary codec too fat: %.1f B/step vs %.1f B/step JSON (want >= 2x denser)", binB, jsonB)
 	}
 }

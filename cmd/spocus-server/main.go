@@ -15,6 +15,8 @@
 //	                    [-verify-timeout 2s] [-verify-conflicts 0]
 //	                    [-follow http://primary:8080 -follow-dir standby]
 //	                    [-repl-sync-wait 250ms] [-step-engine ra|tree]
+//	                    [-wal-codec binary|json]
+//	spocus-server waldump <shard-dir | engine-dir>
 //	spocus-server bench [-sessions 1000] [-steps 30] [-model short]
 //	                    [-shards N] [-dir DIR] [-fsync never]
 //	                    [-url http://router:8090] [-verify-mix 0.1]
@@ -77,13 +79,15 @@ func main() {
 		bench(os.Args[2:])
 	case "print-network":
 		printNetwork(os.Args[2:])
+	case "waldump":
+		waldump(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spocus-server serve|bench|print-network [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spocus-server serve|bench|print-network|waldump [flags]")
 	os.Exit(2)
 }
 
@@ -132,6 +136,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 		sessionBurst  = fs.Int("session-burst", 0, "per-session burst allowance under -session-rate (0: max(1, ceil(rate)))")
 		replSyncWait  = fs.Duration("repl-sync-wait", 0, "semi-sync replication: hold each group commit's acks until the follower acked it, up to this long (0: async)")
 		stepEngine    = fs.String("step-engine", "ra", "rule evaluation engine: ra (compiled plans) | tree (walker)")
+		walCodec      = fs.String("wal-codec", "binary", "encoding for new WAL + snapshot records: binary | json (reads auto-detect either)")
 	)
 	return func() (session.Config, error) {
 		engine, err := core.ParseStepEngine(*stepEngine)
@@ -140,6 +145,10 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 		}
 		core.SetStepEngine(engine)
 		policy, err := session.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			return session.Config{}, err
+		}
+		cdc, err := session.ParseCodec(*walCodec)
 		if err != nil {
 			return session.Config{}, err
 		}
@@ -156,6 +165,7 @@ func engineFlags(fs *flag.FlagSet, defaultFsync string) func() (session.Config, 
 			SessionRate:       *sessionRate,
 			SessionBurst:      *sessionBurst,
 			ReplSyncWait:      *replSyncWait,
+			Codec:             cdc,
 		}, nil
 	}
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/session"
+)
+
+// waldump pretty-prints the durable files of shard directories: one line
+// per record (type, LSN, payload size, encoding, intern-table growth), in
+// either codec, plus torn-tail reports. Point it at a single shard dir
+// (data/shard-000) or at an engine dir, in which case every shard-* child
+// is dumped.
+//
+//	spocus-server waldump data/shard-000
+//	spocus-server waldump data
+func waldump(args []string) {
+	fs := flag.NewFlagSet("waldump", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spocus-server waldump <shard-dir | engine-dir>")
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+	shards, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(shards)
+	if len(shards) == 0 {
+		shards = []string{dir}
+	}
+	for i, shard := range shards {
+		if len(shards) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== %s ==\n", shard)
+		}
+		if err := session.DumpWAL(os.Stdout, shard); err != nil {
+			fatal(err)
+		}
+	}
+}

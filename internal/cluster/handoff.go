@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/compose"
@@ -219,8 +221,14 @@ func (rt *Router) finishHandoff(id, to string, res *HandoffResult) {
 // ship moves the session in one round trip per side: export-state on the
 // source (freeze + state image + log digest), install on the target
 // (restore + digest verification + an install WAL record). Returns the
-// shipped session's step count.
+// shipped session's step count. The image travels as one canonical binary
+// codec record when both ends speak it; any binary-transport failure falls
+// back to the JSON StateExport round trip (ExportState is idempotent on the
+// frozen session, so re-exporting is safe).
 func (rt *Router) ship(from, to, id string) (int, error) {
+	if steps, err := rt.shipBinary(from, to, id); err == nil {
+		return steps, nil
+	}
 	var se session.StateExport
 	if err := rt.postJSON(from+"/admin/sessions/"+id+"/export-state", nil, &se); err != nil {
 		return 0, fmt.Errorf("export-state from %s: %w", from, err)
@@ -237,6 +245,41 @@ func (rt *Router) ship(from, to, id string) (int, error) {
 		return 0, fmt.Errorf("install on %s: reports %d steps, image has %d", to, info.Steps, se.Image.Steps)
 	}
 	return se.Image.Steps, nil
+}
+
+// shipBinary ships the session as one opaque binary image: the router never
+// decodes it, it just moves bytes. A source that answers JSON (no binary
+// support yet) or any other failure aborts the attempt; the caller retries
+// over JSON. Integrity holds end to end regardless: the target decodes the
+// same bytes the source encoded and verifies the log digest before the
+// session goes live.
+func (rt *Router) shipBinary(from, to, id string) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, from+"/admin/sessions/"+id+"/export-state", bytes.NewReader(nil))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "application/octet-stream")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return 0, fmt.Errorf("export-state from %s: status %d", from, resp.StatusCode)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "application/octet-stream") {
+		return 0, fmt.Errorf("export-state from %s: no binary transport", from)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("export-state from %s: %w", from, err)
+	}
+	// Install can hit the same bounded mailbox as any open, so retry 429s.
+	var info session.Info
+	if err := rt.postRetry(to+"/admin/install", "application/octet-stream", data, &info); err != nil {
+		return 0, fmt.Errorf("install on %s: %w", to, err)
+	}
+	return info.Steps, nil
 }
 
 // replay reconstructs the exported session on backend addr through the
@@ -316,9 +359,19 @@ func (err *notFoundError) Error() string { return fmt.Sprintf("%s: not found", e
 // postJSONRetry is postJSON with exponential backoff while the backend
 // answers 429 backpressure.
 func (rt *Router) postJSONRetry(url string, body any, out any) error {
+	data, err := marshalBody(body)
+	if err != nil {
+		return err
+	}
+	return rt.postRetry(url, "application/json", data, out)
+}
+
+// postRetry is post with exponential backoff while the backend answers 429
+// backpressure.
+func (rt *Router) postRetry(url, contentType string, body []byte, out any) error {
 	var err error
 	for attempt := 0; attempt < 5; attempt++ {
-		err = rt.postJSON(url, body, out)
+		err = rt.post(url, contentType, body, out)
 		var retry *retryableError
 		if err == nil || !errors.As(err, &retry) {
 			return err
@@ -328,21 +381,27 @@ func (rt *Router) postJSONRetry(url string, body any, out any) error {
 	return err
 }
 
+func marshalBody(body any) ([]byte, error) {
+	if body == nil {
+		return nil, nil
+	}
+	return json.Marshal(body)
+}
+
 // postJSON posts body (nil for empty) to url and decodes the 2xx response
 // into out (when non-nil). Non-2xx responses become errors carrying the
 // backend's error message; 429 is marked retryable, 404 not-found.
 func (rt *Router) postJSON(url string, body any, out any) error {
-	var rd *bytes.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(data)
-	} else {
-		rd = bytes.NewReader(nil)
+	data, err := marshalBody(body)
+	if err != nil {
+		return err
 	}
-	resp, err := rt.client.Post(url, "application/json", rd)
+	return rt.post(url, "application/json", data, out)
+}
+
+// post sends raw bytes under contentType; responses are always JSON.
+func (rt *Router) post(url, contentType string, body []byte, out any) error {
+	resp, err := rt.client.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -182,7 +182,7 @@ func (f *Follower) Start() {
 		f.logf("replica: following %s (%d shards)", f.cfg.Primary, shards)
 		for i := 0; i < shards; i++ {
 			f.wg.Add(1)
-			go f.tail(i)
+			go f.tail(i, session.NewReplDecoder())
 		}
 	}()
 }
@@ -213,7 +213,10 @@ func (f *Follower) discoverShards() (int, error) {
 }
 
 // tail is one primary shard's apply loop: long-poll, apply, ack, persist.
-func (f *Follower) tail(shard int) {
+// dec is the shard stream's intern-table decoder; its table length rides on
+// every poll (the itab handshake), so the primary's stream encoder and this
+// decoder re-align automatically after any divergence.
+func (f *Follower) tail(shard int, dec *session.ReplDecoder) {
 	defer f.wg.Done()
 	backoff := 100 * time.Millisecond
 	for {
@@ -224,7 +227,7 @@ func (f *Follower) tail(shard int) {
 		from := f.st.Pos[shard].Applied + 1
 		acked := f.st.Pos[shard].Applied
 		f.mu.Unlock()
-		batch, err := f.fetch(shard, from, acked)
+		batch, err := f.fetch(shard, from, acked, dec.TableLen())
 		if err != nil {
 			select {
 			case <-f.ctx.Done():
@@ -237,7 +240,7 @@ func (f *Follower) tail(shard int) {
 			continue
 		}
 		backoff = 100 * time.Millisecond
-		if err := f.applyBatch(shard, batch); err != nil {
+		if err := f.applyBatch(shard, batch, dec); err != nil {
 			var gap *session.ReplGapError
 			if isGap(err, &gap) {
 				// Out-of-order stream (e.g. the primary was rebuilt): restart
@@ -262,9 +265,9 @@ func (f *Follower) tail(shard int) {
 	}
 }
 
-func (f *Follower) fetch(shard int, from, acked int64) (*session.WALBatch, error) {
-	u := fmt.Sprintf("%s/admin/wal/stream?shard=%d&from=%d&acked=%d&wait=%s",
-		f.cfg.Primary, shard, from, acked, url.QueryEscape(f.cfg.Poll.String()))
+func (f *Follower) fetch(shard int, from, acked int64, itab int) (*session.WALBatch, error) {
+	u := fmt.Sprintf("%s/admin/wal/stream?shard=%d&from=%d&acked=%d&wait=%s&itab=%d",
+		f.cfg.Primary, shard, from, acked, url.QueryEscape(f.cfg.Poll.String()), itab)
 	var b session.WALBatch
 	if err := f.getJSON(u, &b); err != nil {
 		return nil, err
@@ -276,7 +279,7 @@ func (f *Follower) fetch(shard int, from, acked int64) (*session.WALBatch, error
 // batch first retires standby sessions that hash to this primary shard but
 // are absent from the snapshot (they were closed while the follower was
 // behind), then installs the snapshot images.
-func (f *Follower) applyBatch(shard int, b *session.WALBatch) error {
+func (f *Follower) applyBatch(shard int, b *session.WALBatch, dec *session.ReplDecoder) error {
 	if b.Reset {
 		keep := make(map[string]bool, len(b.Snapshot))
 		for _, raw := range b.Snapshot {
@@ -308,11 +311,27 @@ func (f *Follower) applyBatch(shard int, b *session.WALBatch) error {
 		f.st.Pos[shard].Applied = b.Base
 		f.st.Pos[shard].Committed = b.Committed
 		f.mu.Unlock()
+		// A bootstrap is a stream discontinuity; start the next WAL batch
+		// from a clean intern table on both ends.
+		dec.Reset()
 		f.logf("replica: shard %d reset to base %d (%d sessions)", shard, b.Base, len(b.Snapshot))
 		return nil
 	}
+	if b.Codec == "binary" && b.ITab != dec.TableLen() {
+		// The primary's stream encoder and this decoder disagree (competing
+		// follower, primary restart). Skip the batch unapplied and re-poll:
+		// our reset table length tells the primary to restart its stream,
+		// and the next batch arrives decodable from a clean table.
+		f.logf("replica: shard %d stream table mismatch (batch %d, have %d) — resetting", shard, b.ITab, dec.TableLen())
+		dec.Reset()
+		return nil
+	}
 	for _, rec := range b.Records {
-		if err := f.eng.ApplyReplicated(rec.Payload); err != nil {
+		payload := rec.Payload
+		if len(rec.Bin) > 0 {
+			payload = rec.Bin
+		}
+		if err := f.eng.ApplyReplicatedRecord(dec, payload); err != nil {
 			return err
 		}
 		f.mu.Lock()

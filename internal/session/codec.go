@@ -1,0 +1,559 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/compose"
+	"repro/internal/storage"
+)
+
+// Binary record schemas for everything the session layer makes durable:
+// WAL records, snapshot streams (header + images), and ship images. The
+// framing, interning, and relational value encodings live in internal/codec;
+// this file maps the session types onto them. Every record body starts with
+// a kind byte, so a record is identifiable wherever it is met (recovery,
+// the replication stream, waldump, a fuzzer).
+//
+// JSON remains a first-class read format forever: every decode path
+// auto-detects per record (codec.IsBinary), so WAL segments and snapshots
+// written by older JSON-only servers — and segments holding a mix of both —
+// replay unchanged under the binary-default engine.
+
+// Codec selects the encoding for records this engine writes.
+type Codec int
+
+const (
+	// CodecBinary is the compact interned encoding (the default).
+	CodecBinary Codec = iota
+	// CodecJSON is the legacy textual encoding.
+	CodecJSON
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	case CodecJSON:
+		return "json"
+	}
+	return "unknown"
+}
+
+// ParseCodec parses a codec name as produced by String. The empty string
+// parses as CodecBinary, the default.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "json":
+		return CodecJSON, nil
+	}
+	return CodecBinary, fmt.Errorf("unknown wal codec %q", s)
+}
+
+// Record kinds (the first body byte of every binary record).
+const (
+	kindWAL         = 1 // a walRecord
+	kindSnapHeader  = 2 // a snapshot stream's header
+	kindImage       = 3 // one session image in a snapshot stream
+	kindStateExport = 4 // a ship image (StateExport), canonical encoding
+)
+
+// walRecord presence bits.
+const (
+	walHasDB = 1 << iota
+	walHasNetwork
+	walHasInput
+	walHasNetIn
+	walHasImage
+)
+
+func encodeWALRecord(e *codec.Encoder, rec *walRecord) ([]byte, error) {
+	e.Uvarint(kindWAL)
+	e.Str(rec.T)
+	e.Str(rec.SID)
+	e.Str(rec.Model)
+	e.Str(rec.Src)
+	e.Str(rec.Mode)
+	e.Str(rec.Key)
+	e.Uvarint(uint64(rec.Seq))
+	var flags uint64
+	if rec.DB != nil {
+		flags |= walHasDB
+	}
+	if rec.Network != nil {
+		flags |= walHasNetwork
+	}
+	if rec.Input != nil {
+		flags |= walHasInput
+	}
+	if rec.NetIn != nil {
+		flags |= walHasNetIn
+	}
+	if rec.Image != nil {
+		flags |= walHasImage
+	}
+	e.Uvarint(flags)
+	if rec.DB != nil {
+		e.Instance(rec.DB)
+	}
+	if rec.Network != nil {
+		spec, err := json.Marshal(rec.Network)
+		if err != nil {
+			return nil, fmt.Errorf("wal record: network spec: %w", err)
+		}
+		e.Bytes(spec)
+	}
+	if rec.Input != nil {
+		e.Instance(rec.Input)
+	}
+	if rec.NetIn != nil {
+		e.StepInputs(rec.NetIn)
+	}
+	if rec.Image != nil {
+		if err := encodeImageBody(e, rec.Image); err != nil {
+			return nil, err
+		}
+	}
+	return e.Finish(), nil
+}
+
+func decodeWALBody(r *codec.Reader) (*walRecord, error) {
+	rec := &walRecord{}
+	rec.T = r.Str()
+	rec.SID = r.Str()
+	rec.Model = r.Str()
+	rec.Src = r.Str()
+	rec.Mode = r.Str()
+	rec.Key = r.Str()
+	rec.Seq = r.Int()
+	flags := r.Uvarint()
+	if flags&walHasDB != 0 {
+		rec.DB = r.Instance()
+	}
+	if flags&walHasNetwork != 0 {
+		spec := &compose.Spec{}
+		if data := r.Bytes(); r.Err() == nil {
+			if err := json.Unmarshal(data, spec); err != nil {
+				return nil, fmt.Errorf("wal record: network spec: %w", err)
+			}
+			rec.Network = spec
+		}
+	}
+	if flags&walHasInput != 0 {
+		rec.Input = r.Instance()
+	}
+	if flags&walHasNetIn != 0 {
+		rec.NetIn = r.StepInputs()
+	}
+	if flags&walHasImage != 0 {
+		img, err := decodeImageBody(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.Image = img
+	}
+	if err := r.End(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// decodeWALPayload turns one durable payload into a record, auto-detecting
+// the format: binary records go through the stream decoder (which learns
+// their intern definitions), JSON records parse standalone.
+func decodeWALPayload(dec *codec.Decoder, payload []byte) (*walRecord, error) {
+	if !codec.IsBinary(payload) {
+		rec := &walRecord{}
+		if err := json.Unmarshal(payload, rec); err != nil {
+			return nil, fmt.Errorf("wal record: %w", err)
+		}
+		return rec, nil
+	}
+	r, err := dec.Record(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind := r.Uvarint(); kind != kindWAL {
+		return nil, fmt.Errorf("wal record: unexpected kind %d", kind)
+	}
+	return decodeWALBody(r)
+}
+
+// Image presence bits.
+const (
+	imgHasDB = 1 << iota
+	imgHasState
+	imgHasLogs
+	imgHasInputs
+	imgHasKeys
+	imgHasNet
+)
+
+// NetImage presence bits.
+const (
+	netHasSpec = 1 << iota
+	netHasState
+	netHasJoint
+	netHasInputs
+	netHasPast
+)
+
+func encodeImageBody(e *codec.Encoder, img *Image) error {
+	e.Str(img.ID)
+	e.Str(img.Model)
+	e.Str(img.Src)
+	e.Str(img.Mode)
+	e.Uvarint(uint64(img.Steps))
+	e.Bool(img.ErrorFree)
+	e.Bool(img.OkEvery)
+	e.Bool(img.LastAccept)
+	var flags uint64
+	if img.DB != nil {
+		flags |= imgHasDB
+	}
+	if img.State != nil {
+		flags |= imgHasState
+	}
+	if img.Logs != nil {
+		flags |= imgHasLogs
+	}
+	if img.Inputs != nil {
+		flags |= imgHasInputs
+	}
+	if img.Keys != nil {
+		flags |= imgHasKeys
+	}
+	if img.Net != nil {
+		flags |= imgHasNet
+	}
+	e.Uvarint(flags)
+	if img.DB != nil {
+		e.Instance(img.DB)
+	}
+	if img.State != nil {
+		e.Instance(img.State)
+	}
+	if img.Logs != nil {
+		e.Sequence(img.Logs)
+	}
+	if img.Inputs != nil {
+		e.Sequence(img.Inputs)
+	}
+	if img.Keys != nil {
+		encodeKeyTable(e, img.Keys)
+	}
+	if img.Net != nil {
+		return encodeNetImage(e, img.Net)
+	}
+	return nil
+}
+
+func decodeImageBody(r *codec.Reader) (*Image, error) {
+	img := &Image{}
+	img.ID = r.Str()
+	img.Model = r.Str()
+	img.Src = r.Str()
+	img.Mode = r.Str()
+	img.Steps = r.Int()
+	img.ErrorFree = r.Bool()
+	img.OkEvery = r.Bool()
+	img.LastAccept = r.Bool()
+	flags := r.Uvarint()
+	if flags&imgHasDB != 0 {
+		img.DB = r.Instance()
+	}
+	if flags&imgHasState != 0 {
+		img.State = r.Instance()
+	}
+	if flags&imgHasLogs != 0 {
+		img.Logs = r.Sequence()
+	}
+	if flags&imgHasInputs != 0 {
+		img.Inputs = r.Sequence()
+	}
+	if flags&imgHasKeys != 0 {
+		img.Keys = decodeKeyTable(r)
+	}
+	if flags&imgHasNet != 0 {
+		net, err := decodeNetImage(r)
+		if err != nil {
+			return nil, err
+		}
+		img.Net = net
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+func encodeKeyTable(e *codec.Encoder, keys map[string]int) {
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	e.Uvarint(uint64(len(names)))
+	for _, k := range names {
+		e.Str(k)
+		e.Uvarint(uint64(keys[k]))
+	}
+}
+
+func decodeKeyTable(r *codec.Reader) map[string]int {
+	n := r.Int()
+	keys := make(map[string]int, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Str()
+		keys[k] = r.Int()
+	}
+	return keys
+}
+
+func encodeNetImage(e *codec.Encoder, net *NetImage) error {
+	var flags uint64
+	if net.Spec != nil {
+		flags |= netHasSpec
+	}
+	if net.State != nil {
+		flags |= netHasState
+	}
+	if net.Joint != nil {
+		flags |= netHasJoint
+	}
+	if net.Inputs != nil {
+		flags |= netHasInputs
+	}
+	if net.Past != nil {
+		flags |= netHasPast
+	}
+	e.Uvarint(flags)
+	if net.Spec != nil {
+		// Specs are small, rare (once per network session), and carry no
+		// repeated constants worth interning — an embedded JSON blob keeps
+		// the schema out of the hot format.
+		data, err := json.Marshal(net.Spec)
+		if err != nil {
+			return fmt.Errorf("net image: spec: %w", err)
+		}
+		e.Bytes(data)
+	}
+	if net.State != nil {
+		e.Uvarint(uint64(net.State.Steps))
+		var stFlags uint64
+		if net.State.States != nil {
+			stFlags |= 1
+		}
+		if net.State.PrevOut != nil {
+			stFlags |= 2
+		}
+		e.Uvarint(stFlags)
+		if net.State.States != nil {
+			e.InstanceMap(net.State.States)
+		}
+		if net.State.PrevOut != nil {
+			e.InstanceMap(net.State.PrevOut)
+		}
+	}
+	if net.Joint != nil {
+		encodeJoint(e, net.Joint)
+	}
+	if net.Inputs != nil {
+		e.Uvarint(uint64(len(net.Inputs)))
+		for _, in := range net.Inputs {
+			e.StepInputs(in)
+		}
+	}
+	if net.Past != nil {
+		e.InstanceMap(net.Past)
+	}
+	return nil
+}
+
+func decodeNetImage(r *codec.Reader) (*NetImage, error) {
+	net := &NetImage{}
+	flags := r.Uvarint()
+	if flags&netHasSpec != 0 {
+		spec := &compose.Spec{}
+		if data := r.Bytes(); r.Err() == nil {
+			if err := json.Unmarshal(data, spec); err != nil {
+				return nil, fmt.Errorf("net image: spec: %w", err)
+			}
+			net.Spec = spec
+		}
+	}
+	if flags&netHasState != 0 {
+		st := &compose.NetState{Steps: r.Int()}
+		stFlags := r.Uvarint()
+		if stFlags&1 != 0 {
+			st.States = r.InstanceMap()
+		}
+		if stFlags&2 != 0 {
+			st.PrevOut = r.InstanceMap()
+		}
+		net.State = st
+	}
+	if flags&netHasJoint != 0 {
+		net.Joint = decodeJoint(r)
+	}
+	if flags&netHasInputs != 0 {
+		n := r.Int()
+		net.Inputs = make([]compose.StepInputs, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			net.Inputs = append(net.Inputs, r.StepInputs())
+		}
+	}
+	if flags&netHasPast != 0 {
+		net.Past = r.InstanceMap()
+	}
+	return net, r.Err()
+}
+
+// encodeJoint appends a network session's joint log — the canonical form
+// JointLogDigest hashes, so its encoding must stay deterministic.
+func encodeJoint(e *codec.Encoder, joint []JointLogEntry) {
+	e.Uvarint(uint64(len(joint)))
+	for _, je := range joint {
+		e.StepInputs(je.Logs)
+		e.Uvarint(uint64(len(je.Wire)))
+		for _, wd := range je.Wire {
+			e.Str(wd.From)
+			e.Str(wd.Output)
+			e.Str(wd.To)
+			e.Str(wd.Input)
+			e.Uvarint(uint64(len(wd.Facts)))
+			for _, t := range wd.Facts {
+				e.Tuple(t)
+			}
+		}
+	}
+}
+
+func decodeJoint(r *codec.Reader) []JointLogEntry {
+	n := r.Int()
+	joint := make([]JointLogEntry, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		je := JointLogEntry{Logs: r.StepInputs()}
+		nw := r.Int()
+		for j := 0; j < nw && r.Err() == nil; j++ {
+			wd := compose.WireDelta{From: r.Str(), Output: r.Str(), To: r.Str(), Input: r.Str()}
+			nf := r.Int()
+			for k := 0; k < nf && r.Err() == nil; k++ {
+				wd.Facts = append(wd.Facts, r.Tuple())
+			}
+			je.Wire = append(je.Wire, wd)
+		}
+		joint = append(joint, je)
+	}
+	return joint
+}
+
+func encodeImageRecord(e *codec.Encoder, img *Image) ([]byte, error) {
+	e.Uvarint(kindImage)
+	if err := encodeImageBody(e, img); err != nil {
+		return nil, err
+	}
+	return e.Finish(), nil
+}
+
+func encodeSnapHeaderRecord(e *codec.Encoder, h snapHeader) []byte {
+	e.Uvarint(kindSnapHeader)
+	e.Uvarint(uint64(h.Version))
+	e.Uvarint(uint64(h.Shard))
+	return e.Finish()
+}
+
+// decodeSnapPayload parses one snapshot stream record in either format.
+// first distinguishes the JSON header from JSON images (JSON records are
+// positional); binary records carry their kind.
+func decodeSnapPayload(dec *codec.Decoder, payload []byte, first bool) (*snapHeader, *Image, error) {
+	if !codec.IsBinary(payload) {
+		if first {
+			h := &snapHeader{}
+			if err := json.Unmarshal(payload, h); err != nil {
+				return nil, nil, fmt.Errorf("snapshot header: %w", err)
+			}
+			return h, nil, nil
+		}
+		img := &Image{}
+		if err := json.Unmarshal(payload, img); err != nil {
+			return nil, nil, fmt.Errorf("snapshot session: %w", err)
+		}
+		return nil, img, nil
+	}
+	r, err := dec.Record(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind := r.Uvarint(); kind {
+	case kindSnapHeader:
+		h := &snapHeader{Version: r.Int(), Shard: r.Int()}
+		if err := r.End(); err != nil {
+			return nil, nil, err
+		}
+		return h, nil, nil
+	case kindImage:
+		img, err := decodeImageBody(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, img, nil
+	default:
+		return nil, nil, fmt.Errorf("snapshot record: unexpected kind %d", kind)
+	}
+}
+
+// EncodeStateExport renders a ship image in its canonical binary form: a
+// fresh intern table, so the bytes are a deterministic function of the
+// value and safe to move between engines on their own.
+func EncodeStateExport(se *StateExport) ([]byte, error) {
+	e := codec.NewEncoder()
+	e.Uvarint(kindStateExport)
+	e.Bytes([]byte(se.Digest))
+	if err := encodeImageBody(e, se.Image); err != nil {
+		return nil, err
+	}
+	return e.Finish(), nil
+}
+
+// DecodeStateExport parses a canonical binary ship image.
+func DecodeStateExport(data []byte) (*StateExport, error) {
+	dec := codec.NewDecoder()
+	r, err := dec.Record(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind := r.Uvarint(); kind != kindStateExport {
+		return nil, fmt.Errorf("state export: unexpected kind %d", kind)
+	}
+	digest := string(r.Bytes())
+	img, err := decodeImageBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.End(); err != nil {
+		return nil, err
+	}
+	return &StateExport{Image: img, Digest: digest}, nil
+}
+
+// walStreamDecoder adapts the session decode to storage's replication-scan
+// hook: ReadCommitted feeds it every scanned payload in segment order, so
+// binary records resolve their intern references even when the scan serves
+// only a suffix of the segment.
+type walStreamDecoder struct{ dec *codec.Decoder }
+
+func newWALStreamDecoder() storage.StreamDecoder {
+	return &walStreamDecoder{dec: codec.NewDecoder()}
+}
+
+func (d *walStreamDecoder) Decode(payload []byte) (any, error) {
+	return decodeWALPayload(d.dec, payload)
+}

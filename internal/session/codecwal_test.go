@@ -1,0 +1,277 @@
+package session
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/models"
+	"repro/internal/storage"
+)
+
+// Durability tests for the binary WAL codec: recovery across JSON and
+// binary segments, mixed-format segments, torn binary tails, and a fuzz
+// seeded from payloads a real engine wrote.
+
+func lastSegment(t *testing.T, shardDir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(shardDir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", shardDir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+// frameFor renders a payload in the storage frame format (4-byte BE length,
+// 4-byte CRC-32, payload) so tests can hand-append records to a segment.
+func frameFor(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf
+}
+
+// TestMixedCodecRecovery runs the same session through a JSON-codec engine,
+// a crash, a binary-codec engine, and another crash. Recovery replays
+// segments of both formats into one history — the per-record auto-detection
+// that makes codec switching safe in either direction.
+func TestMixedCodecRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, wantLogs := fig1Reference(t)
+	inputs := models.Fig1Inputs()
+
+	e1, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways, Codec: CodecJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Open(&OpenRequest{ID: "crashy", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Input("crashy", inputs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Crash; reopen under the binary default and keep stepping.
+	e2, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr, err := e2.Log("crashy"); err != nil || !lr.Log.Equal(wantLogs[:1]) {
+		t.Fatalf("after JSON replay: log=%v err=%v", lr, err)
+	}
+	if _, err := e2.Input("crashy", inputs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again; the WAL now holds JSON and binary segments.
+	e3, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Shutdown()
+	lr, err := e3.Log("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Log.Equal(wantLogs[:2]) {
+		t.Fatalf("mixed replay log:\n got %s\nwant %s", lr.Log, wantLogs[:2])
+	}
+	res, err := e3.Input("crashy", inputs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 3 {
+		t.Fatalf("step after mixed recovery: seq=%d", res.Seq)
+	}
+	lr, _ = e3.Log("crashy")
+	if !lr.Log.Equal(wantLogs[:3]) {
+		t.Errorf("final log differs:\n got %s\nwant %s", lr.Log, wantLogs[:3])
+	}
+}
+
+// TestMixedSegmentTornTailRecovery builds a single segment holding JSON
+// records followed by binary records followed by a torn frame — the layout
+// a mid-run codec upgrade plus a crash would leave — and recovers through
+// it. The binary records carry the reset flag (fresh encoder), which is
+// exactly how a decoder resynchronizes mid-segment.
+func TestMixedSegmentTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, wantLogs := fig1Reference(t)
+	inputs := models.Fig1Inputs()
+
+	e1, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways, Codec: CodecJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Open(&OpenRequest{ID: "crashy", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs[:2] {
+		if _, err := e1.Input("crashy", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash. Hand-append a binary step record to the same segment the JSON
+	// engine was writing, then a torn half-frame after it.
+	enc := codec.NewEncoder()
+	payload, err := encodeWALRecord(enc, &walRecord{T: recStep, SID: "crashy", Seq: 3, Input: inputs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := encodeWALRecord(enc, &walRecord{T: recStep, SID: "crashy", Seq: 4, Input: inputs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, filepath.Join(dir, "shard-000"))
+	fh, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh.Write(frameFor(payload))
+	fh.Write(frameFor(torn)[:8+len(torn)/2]) // torn mid-payload
+	fh.Close()
+
+	e2, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Shutdown()
+	lr, err := e2.Log("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Log.Equal(wantLogs[:3]) {
+		t.Fatalf("mixed-segment replay log:\n got %s\nwant %s", lr.Log, wantLogs[:3])
+	}
+}
+
+// TestTornBinaryTailRecovery chops bytes off a binary segment's tail and
+// recovers: the torn record is truncated away (exactly the JSON-era
+// behavior) and the session continues from the last whole record.
+func TestTornBinaryTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, wantLogs := fig1Reference(t)
+	inputs := models.Fig1Inputs()
+
+	e1, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Open(&OpenRequest{ID: "crashy", Model: "short"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs[:3] {
+		if _, err := e1.Input("crashy", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash, then tear the last record.
+	seg := lastSegment(t, filepath.Join(dir, "shard-000"))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Shutdown()
+	lr, err := e2.Log("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Log.Equal(wantLogs[:2]) {
+		t.Fatalf("torn-tail replay log:\n got %s\nwant %s", lr.Log, wantLogs[:2])
+	}
+	// Re-apply the lost step; the session continues cleanly.
+	res, err := e2.Input("crashy", inputs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 3 {
+		t.Fatalf("step after torn-tail recovery: seq=%d", res.Seq)
+	}
+	lr, _ = e2.Log("crashy")
+	if !lr.Log.Equal(wantLogs[:3]) {
+		t.Errorf("final log differs:\n got %s\nwant %s", lr.Log, wantLogs[:3])
+	}
+}
+
+// FuzzCodecRoundTrip fuzzes the WAL payload decoder over real payloads: a
+// throwaway engine writes WAL segments and a snapshot, and every framed
+// payload on disk becomes a seed. The properties: decoding never panics,
+// and any payload that decodes re-encodes canonically to an equivalent
+// record.
+func FuzzCodecRoundTrip(f *testing.F) {
+	dir := f.TempDir()
+	e, err := NewEngine(Config{Dir: dir, Shards: 1, Fsync: FsyncAlways, SnapshotEvery: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	inputs := models.Fig1Inputs()
+	if _, err := e.Open(&OpenRequest{ID: "fz", Model: "short"}); err != nil {
+		f.Fatal(err)
+	}
+	for _, in := range inputs {
+		if _, err := e.Input("fz", in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := e.Open(&OpenRequest{ID: "fz2", Model: "subscription"}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := e.Close("fz2"); err != nil {
+		f.Fatal(err)
+	}
+	// Abandon without Shutdown so both WAL records and the mid-run snapshot
+	// stay on disk, then seed from every framed payload.
+	seeds := 0
+	if _, err := storage.ScanDir(filepath.Join(dir, "shard-000"), func(r *storage.DumpRecord) error {
+		f.Add(append([]byte(nil), r.Payload...))
+		seeds++
+		return nil
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if seeds == 0 {
+		f.Fatal("no seed payloads found on disk")
+	}
+	f.Add([]byte{0xC5})             // bare magic byte
+	f.Add([]byte{0xC5, 0x01, 0x01}) // empty reset record
+	f.Add([]byte(`{"t":"step","sid":"x","seq":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeWALPayload(codec.NewDecoder(), data)
+		if err == nil && rec != nil {
+			enc := codec.NewEncoder()
+			bin, err := encodeWALRecord(enc, rec)
+			if err != nil {
+				t.Fatalf("re-encode of decoded record failed: %v", err)
+			}
+			rec2, err := decodeWALPayload(codec.NewDecoder(), bin)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			j1, _ := json.Marshal(rec)
+			j2, _ := json.Marshal(rec2)
+			if !bytes.Equal(j1, j2) {
+				t.Fatalf("round trip drift:\n got %s\nwant %s", j2, j1)
+			}
+		}
+		// Snapshot-stream decoding must be panic-free on the same corpus,
+		// in both header and image positions.
+		sdec := codec.NewDecoder()
+		_, _, _ = decodeSnapPayload(sdec, data, true)
+		_, _, _ = decodeSnapPayload(sdec, data, false)
+	})
+}

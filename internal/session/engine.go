@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// SessionBurst is the bucket capacity: how many steps a fresh or idle
 	// session may issue back-to-back (default max(1, ⌈SessionRate⌉)).
 	SessionBurst int
+	// Codec selects the encoding of the WAL and snapshot records this
+	// engine writes (default CodecBinary, the compact interned format).
+	// Reads always auto-detect the format per record, so switching codecs
+	// over an existing Dir is safe in both directions: old records replay
+	// unchanged, new records land in the configured encoding.
+	Codec Codec
 	// ReplSyncWait, when positive, upgrades replication to semi-synchronous:
 	// each group commit's acknowledgements are additionally held until the
 	// shard's follower has acked the batch's last LSN, or the wait elapses
@@ -150,6 +157,30 @@ type shard struct {
 	pending  []pendingReply
 	segGauge int // last value pushed to the walSegments metric
 
+	// enc is the WAL record encoder under CodecBinary. Its intern table is
+	// scoped to one segment (encSeg): AlignAppend surfaces rotations before
+	// each encode, and a segment change resets the table, so every segment
+	// is self-describing from its first record — which is what lets
+	// recovery and replication scans start at any segment boundary with a
+	// fresh decoder.
+	enc    *codec.Encoder
+	encSeg int
+
+	// streamEnc is the replication wire's encoder: StreamWAL transcodes
+	// segment-scoped records into this stream for binary-wire followers.
+	// Guarded by streamMu — stream requests arrive on HTTP goroutines, not
+	// the shard loop.
+	streamMu  sync.Mutex
+	streamEnc *codec.Encoder
+
+	// Byte meters for the durability surfaces, monotonic over the process
+	// (walBytes in metricsSet resets on snapshot; these never do). Written
+	// by the shard goroutine, read by Stats and the spocus_storage expvar.
+	walBytesTotal  atomic.Int64
+	snapBytesTotal atomic.Int64
+	shipBytesTotal atomic.Int64
+	internEntries  atomic.Int64
+
 	// acked is the highest LSN a replication follower has confirmed
 	// applying for this shard's WAL stream. Written by HTTP goroutines
 	// (AckWAL), read by Stats — atomic, not shard-owned.
@@ -187,6 +218,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 			ch:       make(chan request, cfg.MailboxDepth),
 			sessions: make(map[string]*Session),
 			ackWake:  make(chan struct{}, 1),
+			enc:      codec.NewEncoder(),
+			encSeg:   -1,
 		}
 		if cfg.Dir != "" {
 			if err := sh.recover(filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))); err != nil {
@@ -214,30 +247,38 @@ func NewEngine(cfg Config) (*Engine, error) {
 // durable" and "segments retired" is harmless.
 func (sh *shard) recover(dir string) error {
 	st, err := storage.Open(dir, storage.Options{
-		Fsync:         sh.cfg.Fsync,
-		FsyncInterval: sh.cfg.FsyncInterval,
-		SegmentBytes:  sh.cfg.SegmentBytes,
+		Fsync:            sh.cfg.Fsync,
+		FsyncInterval:    sh.cfg.FsyncInterval,
+		SegmentBytes:     sh.cfg.SegmentBytes,
+		NewStreamDecoder: newWALStreamDecoder,
 	})
 	if err != nil {
 		return err
 	}
+	// Both decode paths auto-detect the format per record, so recovery reads
+	// JSON-era files, binary files, and segments holding a mix (a server
+	// restarted under a different -wal-codec keeps appending to fresh
+	// segments, but replication can interleave formats) identically.
+	snapDec, walDec := codec.NewDecoder(), codec.NewDecoder()
 	first := true
 	n, err := st.Recover(
 		func(payload []byte) error {
+			h, img, err := decodeSnapPayload(snapDec, payload, first)
+			if err != nil {
+				return err
+			}
 			if first {
 				first = false
-				var h snapHeader
-				if err := json.Unmarshal(payload, &h); err != nil {
-					return fmt.Errorf("snapshot header: %w", err)
+				if h == nil {
+					return fmt.Errorf("snapshot stream does not start with a header")
 				}
 				if h.Version != snapVersion {
 					return fmt.Errorf("snapshot version %d, want %d", h.Version, snapVersion)
 				}
 				return nil
 			}
-			var img Image
-			if err := json.Unmarshal(payload, &img); err != nil {
-				return fmt.Errorf("snapshot session: %w", err)
+			if img == nil {
+				return fmt.Errorf("snapshot stream holds a second header")
 			}
 			s, err := img.restore()
 			if err != nil {
@@ -247,11 +288,11 @@ func (sh *shard) recover(dir string) error {
 			return nil
 		},
 		func(payload []byte) error {
-			var rec walRecord
-			if err := json.Unmarshal(payload, &rec); err != nil {
-				return fmt.Errorf("wal record: %w", err)
+			rec, err := decodeWALPayload(walDec, payload)
+			if err != nil {
+				return err
 			}
-			return sh.applyRecord(&rec)
+			return sh.applyRecord(rec)
 		})
 	if err != nil {
 		return err
@@ -511,7 +552,7 @@ func (sh *shard) appendWAL(rec *walRecord) error {
 	if sh.broken != nil {
 		return fmt.Errorf("shard %d wal failed: %w", sh.idx, sh.broken)
 	}
-	payload, err := json.Marshal(rec)
+	payload, err := sh.encodeWAL(rec)
 	if err != nil {
 		return err
 	}
@@ -521,8 +562,38 @@ func (sh *shard) appendWAL(rec *walRecord) error {
 		return fmt.Errorf("shard %d wal failed: %w", sh.idx, err)
 	}
 	sh.m.walBytes.Add(int64(n))
+	sh.walBytesTotal.Add(int64(n))
 	sh.m.walAppends.Add(1)
 	return nil
+}
+
+// encodeWAL renders one record in the shard's configured codec, keeping the
+// binary encoder's intern table aligned with the segment the record will
+// land in (see the enc field).
+func (sh *shard) encodeWAL(rec *walRecord) ([]byte, error) {
+	if sh.cfg.Codec == CodecJSON {
+		return json.Marshal(rec)
+	}
+	seg, err := sh.store.AlignAppend()
+	if err != nil {
+		sh.broken = err
+		return nil, fmt.Errorf("shard %d wal failed: %w", sh.idx, err)
+	}
+	if seg != sh.encSeg {
+		sh.enc.Reset()
+		sh.encSeg = seg
+	}
+	payload, err := encodeWALRecord(sh.enc, rec)
+	if err != nil {
+		// The encoder holds the failed record's pending definitions; reset
+		// so the table stays honest, at the cost of re-defining constants
+		// in the next record.
+		sh.enc.Reset()
+		sh.encSeg = -1
+		return nil, err
+	}
+	sh.internEntries.Store(int64(sh.enc.TableLen()))
+	return payload, nil
 }
 
 // maybeSnapshot compacts the WAL into a snapshot once enough steps
@@ -540,13 +611,27 @@ func (sh *shard) maybeSnapshot(force bool) error {
 	if err != nil {
 		return err
 	}
-	hdr, err := json.Marshal(snapHeader{Version: snapVersion, Shard: sh.idx})
-	if err != nil {
-		sw.Abort()
-		return err
+	var wrote int64
+	put := func(payload []byte, err error) error {
+		if err == nil {
+			err = sw.Append(payload)
+		}
+		if err != nil {
+			sw.Abort()
+			return err
+		}
+		wrote += int64(len(payload))
+		return nil
 	}
-	if err := sw.Append(hdr); err != nil {
-		sw.Abort()
+	// A snapshot is its own stream: the fresh encoder's first record carries
+	// the reset flag, so a decoder pointed at the file needs no context.
+	senc := codec.NewEncoder()
+	if sh.cfg.Codec == CodecJSON {
+		hdr, err := json.Marshal(snapHeader{Version: snapVersion, Shard: sh.idx})
+		if err = put(hdr, err); err != nil {
+			return err
+		}
+	} else if err := put(encodeSnapHeaderRecord(senc, snapHeader{Version: snapVersion, Shard: sh.idx}), nil); err != nil {
 		return err
 	}
 	ids := make([]string, 0, len(sh.sessions))
@@ -556,13 +641,14 @@ func (sh *shard) maybeSnapshot(force bool) error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		img := snapOf(sh.sessions[id])
-		payload, err := json.Marshal(&img)
-		if err != nil {
-			sw.Abort()
-			return err
+		var payload []byte
+		var err error
+		if sh.cfg.Codec == CodecJSON {
+			payload, err = json.Marshal(&img)
+		} else {
+			payload, err = encodeImageRecord(senc, &img)
 		}
-		if err := sw.Append(payload); err != nil {
-			sw.Abort()
+		if err = put(payload, err); err != nil {
 			return err
 		}
 	}
@@ -570,6 +656,7 @@ func (sh *shard) maybeSnapshot(force bool) error {
 		sh.broken = err
 		return err
 	}
+	sh.snapBytesTotal.Add(wrote)
 	sh.m.walBytes.Store(0)
 	sh.m.snapshots.Add(1)
 	sh.sinceSnap = 0
@@ -845,6 +932,10 @@ func (e *Engine) Snapshot() error {
 func (e *Engine) Stats() Stats {
 	st := e.m.stats()
 	for _, sh := range e.shards {
+		st.WALBytesTotal += sh.walBytesTotal.Load()
+		st.SnapshotBytesTotal += sh.snapBytesTotal.Load()
+		st.ShipBytesTotal += sh.shipBytesTotal.Load()
+		st.CodecInternEntries += sh.internEntries.Load()
 		if sh.store == nil {
 			continue
 		}

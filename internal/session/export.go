@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/compose"
 	"repro/internal/relation"
 )
@@ -96,17 +97,12 @@ type StateExport struct {
 }
 
 // LogDigest is the canonical digest of a session log: sha-256 over the
-// log sequence's JSON form, which is deterministic (relation instances
-// marshal with sorted names and tuples). Two engines hold byte-identical
-// logs iff their digests match.
+// log sequence's canonical binary encoding, which is deterministic (fresh
+// intern table, sorted names and tuples). Two engines hold identical logs
+// iff their digests match; both ship ends compute it over the same
+// canonical bytes regardless of which wire carried the image.
 func LogDigest(logs relation.Sequence) string {
-	data, err := json.Marshal(logs)
-	if err != nil {
-		// A session log is always marshalable (it round-trips through the
-		// WAL); reaching here means memory corruption, not bad input.
-		panic("session: log digest: " + err.Error())
-	}
-	sum := sha256.Sum256(data)
+	sum := sha256.Sum256(codec.Canonical(func(enc *codec.Encoder) { enc.Sequence(logs) }))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -139,6 +135,37 @@ func (e *Engine) ExportState(id string) (*StateExport, error) {
 		return nil, err
 	}
 	return v.(*StateExport), nil
+}
+
+// ExportStateBinary is ExportState rendered as one canonical binary codec
+// record: digest plus image, self-contained (fresh intern table), ready to
+// POST as an octet-stream body. The interning pays off hardest here —
+// a ship image is one record full of repeated constants.
+func (e *Engine) ExportStateBinary(id string) ([]byte, error) {
+	se, err := e.ExportState(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := EncodeStateExport(se)
+	if err != nil {
+		return nil, err
+	}
+	e.shardFor(id).shipBytesTotal.Add(int64(len(data)))
+	return data, nil
+}
+
+// InstallBinary is Install for a canonical binary ship image (the bytes
+// ExportStateBinary produced on the source).
+func (e *Engine) InstallBinary(data []byte) (*Info, error) {
+	se, err := DecodeStateExport(data)
+	if err != nil {
+		return nil, &BadInputError{Err: fmt.Errorf("install: %w", err)}
+	}
+	info, err := e.Install(se)
+	if err == nil {
+		e.shardFor(se.Image.ID).shipBytesTotal.Add(int64(len(data)))
+	}
+	return info, err
 }
 
 // Install materializes a shipped session on this engine: the image is

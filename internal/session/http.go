@@ -5,9 +5,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/compose"
@@ -178,6 +180,19 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 		writeJSON(w, http.StatusOK, exp)
 	})
 	mux.HandleFunc("POST /admin/sessions/{id}/export-state", func(w http.ResponseWriter, r *http.Request) {
+		// A client that accepts application/octet-stream gets the canonical
+		// binary ship image; everyone else gets the JSON StateExport.
+		if strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
+			data, err := e.ExportStateBinary(r.PathValue("id"))
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+			return
+		}
 		se, err := e.ExportState(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, err)
@@ -188,8 +203,23 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 	mux.HandleFunc("POST /admin/install", func(w http.ResponseWriter, r *http.Request) {
 		// State images scale with session history; allow far more than the
 		// 1 MiB data-plane cap (this is a cluster-internal endpoint).
+		body := http.MaxBytesReader(w, r.Body, 256<<20)
+		if strings.Contains(r.Header.Get("Content-Type"), "application/octet-stream") {
+			data, err := io.ReadAll(body)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+				return
+			}
+			info, err := e.InstallBinary(data)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, info)
+			return
+		}
 		var se StateExport
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+		dec := json.NewDecoder(body)
 		if err := dec.Decode(&se); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 			return
@@ -253,7 +283,16 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 			}
 			wait = d
 		}
-		b, err := e.StreamWAL(r.Context(), shard, from, wait)
+		// itab opts into the binary wire (the follower's stream-decoder
+		// table length). Absent: legacy standalone-JSON records.
+		itab := -1
+		if v := q.Get("itab"); v != "" {
+			if itab, err = strconv.Atoi(v); err != nil || itab < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad itab"})
+				return
+			}
+		}
+		b, err := e.StreamWAL(r.Context(), shard, from, wait, itab)
 		if err != nil {
 			writeErr(w, err)
 			return

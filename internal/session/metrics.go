@@ -65,6 +65,13 @@ type Stats struct {
 	ReplCommitted int64   `json:"repl_committed_lsn"`
 	ReplAcked     int64   `json:"repl_acked_lsn"`
 	ReplLag       int64   `json:"repl_lag_records"`
+	// Durability-surface byte meters, summed across shards and monotonic
+	// over the engine's life (wal_bytes resets at each snapshot; these
+	// never do). Per-shard breakdowns live under the spocus_storage expvar.
+	WALBytesTotal      int64   `json:"wal_bytes_total"`
+	SnapshotBytesTotal int64   `json:"snapshot_bytes_total"`
+	ShipBytesTotal     int64   `json:"ship_bytes_total"`
+	CodecInternEntries int64   `json:"codec_intern_entries"`
 	StepP50Micros float64 `json:"step_latency_p50_us"`
 	StepP90Micros float64 `json:"step_latency_p90_us"`
 	StepP99Micros float64 `json:"step_latency_p99_us"`
@@ -172,6 +179,32 @@ func registerEngine(e *Engine) {
 			agg := make([]Stats, 0, len(engines))
 			for e := range engines {
 				agg = append(agg, e.Stats())
+			}
+			return agg
+		}))
+		expvar.Publish("spocus_storage", expvar.Func(func() any {
+			enginesMu.Lock()
+			defer enginesMu.Unlock()
+			type shardStorage struct {
+				Shard              int    `json:"shard"`
+				Codec              string `json:"codec"`
+				WALBytesTotal      int64  `json:"wal_bytes_total"`
+				SnapshotBytesTotal int64  `json:"snapshot_bytes_total"`
+				ShipBytesTotal     int64  `json:"ship_bytes_total"`
+				CodecInternEntries int64  `json:"codec_intern_entries"`
+			}
+			var agg []shardStorage
+			for e := range engines {
+				for _, sh := range e.shards {
+					agg = append(agg, shardStorage{
+						Shard:              sh.idx,
+						Codec:              e.cfg.Codec.String(),
+						WALBytesTotal:      sh.walBytesTotal.Load(),
+						SnapshotBytesTotal: sh.snapBytesTotal.Load(),
+						ShipBytesTotal:     sh.shipBytesTotal.Load(),
+						CodecInternEntries: sh.internEntries.Load(),
+					})
+				}
 			}
 			return agg
 		}))

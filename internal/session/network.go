@@ -3,10 +3,10 @@ package session
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/models"
@@ -223,15 +223,11 @@ func (e *Engine) NetInputKey(id, key string, ext compose.StepInputs) (*StepResul
 }
 
 // JointLogDigest is the canonical digest of a network session's joint log:
-// sha-256 over the entries' JSON form, which is deterministic (maps marshal
-// with sorted keys, instances with sorted names and tuples). The network
+// sha-256 over its canonical binary encoding, which is deterministic
+// (fresh intern table, sorted keys, sorted names and tuples). The network
 // counterpart of LogDigest, used by WAL-shipping handoff.
 func JointLogDigest(joint []JointLogEntry) string {
-	data, err := json.Marshal(joint)
-	if err != nil {
-		panic("session: joint log digest: " + err.Error())
-	}
-	sum := sha256.Sum256(data)
+	sum := sha256.Sum256(codec.Canonical(func(enc *codec.Encoder) { encodeJoint(enc, joint) }))
 	return hex.EncodeToString(sum[:])
 }
 

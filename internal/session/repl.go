@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/storage"
 )
 
@@ -40,6 +41,16 @@ var ErrNotDurable = errors.New("session: engine has no durable store to stream")
 type WALBatch struct {
 	Shard  int `json:"shard"`
 	Shards int `json:"shards"` // the primary's shard count (stream topology)
+	// Codec names the encoding of Records ("binary": each record's Bin
+	// holds an interned codec record; empty: each record's Payload holds
+	// standalone JSON). Snapshot images are always JSON.
+	Codec string `json:"codec,omitempty"`
+	// ITab is the intern-table length the follower's stream decoder must
+	// hold BEFORE applying this batch's records. The follower sends its
+	// table length with each poll; a mismatch on either side resets that
+	// side's half of the stream, so the table resynchronizes within one
+	// round trip after any divergence (lost response, follower restart).
+	ITab int `json:"itab,omitempty"`
 	// Reset tells the follower its requested LSN was compacted: discard its
 	// notion of this shard, install the Snapshot images, resume at Base+1.
 	Reset bool `json:"reset,omitempty"`
@@ -128,7 +139,14 @@ func (e *Engine) AckWAL(shard int, lsn int64) {
 // publishes an LSN only at its ack points. A from that has been compacted
 // into a snapshot comes back as a Reset batch carrying the snapshot
 // images.
-func (e *Engine) StreamWAL(ctx context.Context, shard int, from int64, wait time.Duration) (*WALBatch, error) {
+//
+// itab selects the wire encoding: -1 requests standalone JSON records (the
+// legacy wire, always available regardless of the engine's own codec);
+// >= 0 requests binary records and states the length of the follower's
+// stream decoder table, which the shard's stream encoder must match — on
+// mismatch the encoder resets and the batch redefines its constants (see
+// WALBatch.ITab).
+func (e *Engine) StreamWAL(ctx context.Context, shard int, from int64, wait time.Duration, itab int) (*WALBatch, error) {
 	if shard < 0 || shard >= len(e.shards) {
 		return nil, &BadInputError{Err: fmt.Errorf("no shard %d (engine has %d)", shard, len(e.shards))}
 	}
@@ -149,13 +167,26 @@ func (e *Engine) StreamWAL(ctx context.Context, shard int, from int64, wait time
 	recs, st, err := sh.store.ReadCommitted(from, streamMaxRecords, streamMaxBytes)
 	b := &WALBatch{Shard: shard, Shards: len(e.shards), Base: st.Base, Committed: st.Committed}
 	if err == storage.ErrCompacted {
+		// Bootstrap batches re-encode snapshot images as standalone JSON on
+		// every wire: the follower installs them without stream context, and
+		// they mark a stream discontinuity anyway.
 		first := true
+		sdec := codec.NewDecoder()
 		base, serr := sh.store.SnapshotRecords(func(p []byte) error {
-			if first {
-				first = false // the snapHeader record is shard-local, not streamed
-				return nil
+			wasFirst := first
+			first = false
+			h, img, derr := decodeSnapPayload(sdec, p, wasFirst)
+			if derr != nil {
+				return derr
 			}
-			b.Snapshot = append(b.Snapshot, append(json.RawMessage(nil), p...))
+			if h != nil {
+				return nil // the snapHeader record is shard-local, not streamed
+			}
+			raw, derr := json.Marshal(img)
+			if derr != nil {
+				return derr
+			}
+			b.Snapshot = append(b.Snapshot, raw)
 			return nil
 		})
 		if serr != nil {
@@ -171,10 +202,83 @@ func (e *Engine) StreamWAL(ctx context.Context, shard int, from int64, wait time
 	if err != nil {
 		return nil, err
 	}
-	b.Records = recs
+	if err := sh.encodeStream(b, recs, itab); err != nil {
+		return nil, err
+	}
 	e.m.replBatches.Add(1)
 	return b, nil
 }
+
+// encodeStream renders one batch's records for the wire. Segment payloads
+// cannot ship raw when binary: their intern references are segment-scoped,
+// so the shard transcodes each record into the follower's stream — a
+// per-shard encoder whose table the itab handshake keeps aligned with the
+// follower's decoder. JSON-wire followers (itab < 0) get standalone JSON
+// regardless of how the record was stored.
+func (sh *shard) encodeStream(b *WALBatch, recs []storage.ReplRecord, itab int) error {
+	if itab < 0 {
+		for i := range recs {
+			if codec.IsBinary(recs[i].Payload) {
+				rec, ok := recs[i].Rec.(*walRecord)
+				if !ok {
+					return fmt.Errorf("shard %d: record at lsn %d was not decoded for the stream", sh.idx, recs[i].LSN)
+				}
+				raw, err := json.Marshal(rec)
+				if err != nil {
+					return err
+				}
+				recs[i].Payload = raw
+			}
+			recs[i].Rec = nil
+		}
+		b.Records = recs
+		return nil
+	}
+	sh.streamMu.Lock()
+	defer sh.streamMu.Unlock()
+	if sh.streamEnc == nil {
+		sh.streamEnc = codec.NewEncoder()
+	}
+	if itab != sh.streamEnc.TableLen() {
+		// The follower's decoder does not match this encoder (fresh follower,
+		// lost response, competing follower): restart the stream's table.
+		sh.streamEnc.Reset()
+	}
+	b.ITab = sh.streamEnc.TableLen()
+	b.Codec = "binary"
+	for i := range recs {
+		rec, ok := recs[i].Rec.(*walRecord)
+		if !ok {
+			return fmt.Errorf("shard %d: record at lsn %d was not decoded for the stream", sh.idx, recs[i].LSN)
+		}
+		bin, err := encodeWALRecord(sh.streamEnc, rec)
+		if err != nil {
+			sh.streamEnc.Reset()
+			return err
+		}
+		recs[i].Bin, recs[i].Payload, recs[i].Rec = bin, nil, nil
+	}
+	b.Records = recs
+	return nil
+}
+
+// ReplDecoder is the follower's half of one primary shard's binary stream:
+// it holds the intern table the primary's stream encoder builds record by
+// record. One decoder per primary shard, fed every record of that stream in
+// order; TableLen travels back to the primary with each poll (the itab
+// handshake). Not safe for concurrent use — each tail goroutine owns one.
+type ReplDecoder struct {
+	dec *codec.Decoder
+}
+
+// NewReplDecoder returns an empty-table stream decoder.
+func NewReplDecoder() *ReplDecoder { return &ReplDecoder{dec: codec.NewDecoder()} }
+
+// TableLen reports the intern entries learned so far.
+func (d *ReplDecoder) TableLen() int { return d.dec.TableLen() }
+
+// Reset clears the table (after an itab mismatch).
+func (d *ReplDecoder) Reset() { d.dec.Reset() }
 
 // ApplyReplicated applies one streamed WAL record (the raw payload from a
 // WALBatch) to this engine as a standby: idempotent like WAL replay, and
@@ -185,11 +289,28 @@ func (e *Engine) ApplyReplicated(payload []byte) error {
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return &BadInputError{Err: fmt.Errorf("replicated record: %w", err)}
 	}
+	return e.applyReplicatedRecord(&rec)
+}
+
+// ApplyReplicatedRecord is ApplyReplicated for a binary-wire stream: the
+// payload is decoded against d (auto-detecting per record, so JSON records
+// in a binary stream still apply). The caller must feed records in stream
+// order — the decoder learns each record's intern definitions as a side
+// effect.
+func (e *Engine) ApplyReplicatedRecord(d *ReplDecoder, payload []byte) error {
+	rec, err := decodeWALPayload(d.dec, payload)
+	if err != nil {
+		return &BadInputError{Err: fmt.Errorf("replicated record: %w", err)}
+	}
+	return e.applyReplicatedRecord(rec)
+}
+
+func (e *Engine) applyReplicatedRecord(rec *walRecord) error {
 	if rec.SID == "" {
 		return &BadInputError{Err: fmt.Errorf("replicated record has no session id")}
 	}
 	if _, err := e.send(e.shardFor(rec.SID), func(sh *shard) (any, error) {
-		return nil, sh.applyReplicated(&rec)
+		return nil, sh.applyReplicated(rec)
 	}); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -39,10 +40,17 @@ type ReplState struct {
 }
 
 // ReplRecord is one streamed WAL record: its LSN plus the exact payload
-// bytes that were framed into the segment.
+// bytes that were framed into the segment. Rec carries the decoded form
+// when the store has a StreamDecoder (see Options.NewStreamDecoder); it is
+// process-local and never serialized. Bin is filled by wire layers that
+// transcode the record into a stream-scoped binary encoding for the
+// follower (segment-scoped payload bytes cannot be shipped raw: their
+// intern references are meaningless outside their segment).
 type ReplRecord struct {
 	LSN     int64           `json:"lsn"`
-	Payload json.RawMessage `json:"rec"`
+	Payload json.RawMessage `json:"rec,omitempty"`
+	Bin     []byte          `json:"bin,omitempty"`
+	Rec     any             `json:"-"`
 }
 
 type segRange struct {
@@ -62,6 +70,11 @@ type replCursor struct {
 	from   int64 // LSN the next sequential read will ask for
 	seq    int   // segment holding that LSN
 	offset int   // byte offset of that LSN's frame within the segment
+	// dec is the stream decoder positioned exactly at (seq, offset). Reads
+	// steal it under the view lock (leaving nil) and write it back with the
+	// new cursor, so two concurrent reads can never share one decoder — the
+	// loser simply rescans its segment with a fresh one.
+	dec StreamDecoder
 }
 
 type replView struct {
@@ -132,6 +145,7 @@ func (s *Store) ReadCommitted(from int64, maxRecords, maxBytes int) ([]ReplRecor
 	st := ReplState{Base: v.base, Committed: v.committed, Snapshot: v.snapshot != ""}
 	segs := v.segs
 	cur := v.cursor
+	v.cursor.dec = nil // steal the decoder; see replCursor
 	v.mu.Unlock()
 
 	if from > st.Committed {
@@ -146,8 +160,24 @@ func (s *Store) ReadCommitted(from int64, maxRecords, maxBytes int) ([]ReplRecor
 	if i < 0 {
 		return nil, st, ErrCompacted
 	}
+	resume := cur.from == from && cur.seq == segs[i].seq
+	dec := cur.dec
+	if s.opts.NewStreamDecoder != nil {
+		// A decoder is positional: resuming mid-segment is only sound with
+		// the decoder that scanned the prefix. If another read stole it,
+		// rescan the segment so a fresh decoder learns the intern table from
+		// the segment boundary (where the table always restarts).
+		if resume && dec == nil {
+			resume = false
+		}
+		if !resume {
+			dec = s.opts.NewStreamDecoder()
+		}
+	} else {
+		dec = nil
+	}
 	lsn, startOff := segs[i].first-1, 0
-	if cur.from == from && cur.seq == segs[i].seq {
+	if resume {
 		// Sequential poll: resume at the cached frame offset instead of
 		// parsing the segment's whole prefix again.
 		lsn, startOff = from-1, cur.offset
@@ -186,8 +216,17 @@ func (s *Store) ReadCommitted(from int64, maxRecords, maxBytes int) ([]ReplRecor
 				break
 			}
 			lsn++
+			var rec any
+			if dec != nil {
+				// Decode every scanned frame, pre-from ones included: their
+				// intern definitions are what make later frames decodable.
+				var derr error
+				if rec, derr = dec.Decode(p); derr != nil {
+					return nil, st, fmt.Errorf("storage: decode record at lsn %d: %w", lsn, derr)
+				}
+			}
 			if lsn >= from {
-				out = append(out, ReplRecord{LSN: lsn, Payload: append([]byte(nil), p...)})
+				out = append(out, ReplRecord{LSN: lsn, Payload: append([]byte(nil), p...), Rec: rec})
 				bytes += len(p)
 			}
 			off += frameHeader + length
@@ -203,7 +242,7 @@ func (s *Store) ReadCommitted(from int64, maxRecords, maxBytes int) ([]ReplRecor
 	if len(out) > 0 && endSeq >= 0 {
 		next := out[len(out)-1].LSN + 1
 		v.mu.Lock()
-		v.cursor = replCursor{from: next, seq: endSeq, offset: endOff}
+		v.cursor = replCursor{from: next, seq: endSeq, offset: endOff, dec: dec}
 		v.mu.Unlock()
 	}
 	return out, st, nil

@@ -291,6 +291,24 @@ func (s *Store) Append(payload []byte) (int, error) {
 	return len(buf), nil
 }
 
+// AlignAppend surfaces the segment identity of the next Append: it rotates
+// first if the active segment is over the size threshold (exactly as Append
+// itself would) and returns the sequence number of the segment the next
+// record will land in. A caller keeping per-segment encoder state calls
+// this before encoding, so a record is never encoded against one segment's
+// intern table and framed into another.
+func (s *Store) AlignAppend() (int, error) {
+	if s.active == nil {
+		return 0, fmt.Errorf("storage: store is closed")
+	}
+	if s.activeSize >= s.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	return s.activeSeq, nil
+}
+
 // rotate seals the active segment (sync + close, so sealed segments can
 // never tear) and opens the next one.
 func (s *Store) rotate() error {
