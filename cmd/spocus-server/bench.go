@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/relation"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // benchResult is the bench subcommand's JSON report.
@@ -27,6 +27,7 @@ type benchResult struct {
 	URL          string  `json:"url,omitempty"`
 	Sessions     int     `json:"sessions"`
 	StepsPerSess int     `json:"steps_per_session"`
+	Batch        int     `json:"batch,omitempty"` // sessions per pipelined batch (0/1: single-step)
 	StepsTotal   int     `json:"steps_total"`
 	Shards       int     `json:"shards,omitempty"`
 	Fsync        string  `json:"fsync,omitempty"`
@@ -35,12 +36,17 @@ type benchResult struct {
 	ElapsedSec   float64 `json:"elapsed_s"`
 	StepsPerSec  float64 `json:"steps_per_sec"`
 	OpenSec      float64 `json:"open_s"`
-	Latency      struct {
+	// Latency is per step: in a batched run a step's cost is its share of
+	// its envelope's ack (ack / items carried), because the envelope acked
+	// all of them with one round trip. BatchAck keeps the unamortized
+	// whole-envelope distribution alongside.
+	Latency struct {
 		P50Micros float64 `json:"p50_us"`
 		P90Micros float64 `json:"p90_us"`
 		P99Micros float64 `json:"p99_us"`
 		MaxMicros float64 `json:"max_us"`
 	} `json:"step_latency"`
+	BatchAck *batchAckLatency `json:"batch_ack_latency,omitempty"`
 	// Verify* report the live-verification side load when -verify-mix > 0.
 	VerifyMix     float64        `json:"verify_mix,omitempty"`
 	VerifyTotal   int            `json:"verify_total,omitempty"`
@@ -48,6 +54,16 @@ type benchResult struct {
 	VerifyHitRate float64        `json:"verify_cache_hit_rate,omitempty"`
 	VerifyLatency *verifySplits  `json:"verify_latency,omitempty"`
 	Engine        *session.Stats `json:"engine,omitempty"`
+}
+
+// batchAckLatency is the whole-envelope ack distribution of a batched
+// run: how long one pipelined round trip took, before amortizing it over
+// the steps it carried.
+type batchAckLatency struct {
+	P50Micros float64 `json:"p50_us"`
+	P90Micros float64 `json:"p90_us"`
+	P99Micros float64 `json:"p99_us"`
+	MaxMicros float64 `json:"max_us"`
 }
 
 // verifySplits separates cold (solver-computed) from cache-hit verify
@@ -67,10 +83,23 @@ type verifySplits struct {
 type benchTarget interface {
 	open(id, model string, db relation.Instance) error
 	step(id string, in relation.Instance) error
+	// stepBatch advances many sessions in one shot — one group-commit on the
+	// engine, one pipelined /batch request over HTTP.
+	stepBatch(items []session.BatchItem) error
 	// verify asks "is the goal still reachable?" of the session's current
 	// state and reports whether the answer came from the shared cache.
 	verify(id, goal string) (cached bool, err error)
 	finish(res *benchResult)
+}
+
+// batchPreparer is a benchTarget's optional fast path: the driver
+// pre-encodes each round's envelope outside the timed region, so the
+// measured loop sends prebuilt bytes and the bench gauges the server's
+// wire rather than the driver's JSON encoder (load generators pre-build
+// request bodies for the same reason).
+type batchPreparer interface {
+	prepareBatch(items []session.BatchItem) ([]byte, error)
+	stepPrepared(body []byte, items []session.BatchItem) error
 }
 
 type engineTarget struct {
@@ -88,6 +117,15 @@ func (t *engineTarget) open(id, model string, db relation.Instance) error {
 func (t *engineTarget) step(id string, in relation.Instance) error {
 	_, err := t.eng.Input(id, in)
 	return err
+}
+
+func (t *engineTarget) stepBatch(items []session.BatchItem) error {
+	for _, r := range t.eng.InputBatch(items) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 func (t *engineTarget) verify(id, goal string) (bool, error) {
@@ -122,85 +160,144 @@ func (t *engineTarget) finish(res *benchResult) {
 	t.eng.Shutdown()
 }
 
-// httpTarget drives the wire API. 429 backpressure responses are retried
-// with backoff (and counted): under overload the bench measures goodput,
-// not error throughput.
+// httpTarget drives the wire API through a shared wire client. 429
+// backpressure responses are retried with backoff (and counted): under
+// overload the bench measures goodput, not error throughput.
 type httpTarget struct {
 	base    string
-	client  *http.Client
+	client  *wire.Client
 	mu      sync.Mutex
 	retries int64
 }
 
-func (t *httpTarget) post(url string, body, out any) (int, error) {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := t.client.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return resp.StatusCode, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
-	}
-	if out != nil {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
-	}
-	return resp.StatusCode, nil
+func (t *httpTarget) post(url string, body, out any) error {
+	return t.client.PostJSON(context.Background(), url, body, out, nil)
+}
+
+func (t *httpTarget) noteRetry() {
+	t.mu.Lock()
+	t.retries++
+	t.mu.Unlock()
 }
 
 // withRetry retries 429 (mailbox full) and 503 (handoff freeze) with
 // backoff; other failures are final.
-func (t *httpTarget) withRetry(f func() (int, error)) error {
+func (t *httpTarget) withRetry(f func() error) error {
 	var err error
-	var status int
 	for attempt := 0; attempt < 8; attempt++ {
-		if status, err = f(); err == nil {
+		if err = f(); err == nil {
 			return nil
 		}
-		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		if !wire.Retryable(err) {
 			return err
 		}
-		t.mu.Lock()
-		t.retries++
-		t.mu.Unlock()
+		t.noteRetry()
 		time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
 	}
 	return err
 }
 
 func (t *httpTarget) open(id, model string, db relation.Instance) error {
-	return t.withRetry(func() (int, error) {
+	return t.withRetry(func() error {
 		return t.post(t.base+"/sessions", &session.OpenRequest{ID: id, Model: model, DB: db}, nil)
 	})
 }
 
 func (t *httpTarget) step(id string, in relation.Instance) error {
-	return t.withRetry(func() (int, error) {
+	return t.withRetry(func() error {
 		return t.post(t.base+"/sessions/"+id+"/input", map[string]any{"input": in}, nil)
 	})
+}
+
+// stepBatch drives one multi-session batch through POST /batch. The
+// envelope travels under withRetry like any other post; shedding inside it
+// stays per item — only the 429/503 items are resent.
+func (t *httpTarget) stepBatch(items []session.BatchItem) error {
+	pending := items
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			t.noteRetry()
+			time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
+		}
+		var resp session.BatchResponse
+		if err := t.withRetry(func() error {
+			resp = session.BatchResponse{}
+			// results=errors: the driver needs acks, not outputs — an all-OK
+			// envelope answers with a constant-size body, so the wire measures
+			// batching, not response encoding.
+			return t.post(t.base+"/batch", session.BatchRequest{Steps: pending, Results: "errors"}, &resp)
+		}); err != nil {
+			return err
+		}
+		t.client.ObserveBatch(len(pending))
+		again, err := shedItems(&resp, pending)
+		if err != nil {
+			return err
+		}
+		if len(again) == 0 {
+			return nil
+		}
+		pending = again
+	}
+	return fmt.Errorf("batch: %d items still shedding after retries", len(pending))
+}
+
+// shedItems folds a sparse (results=errors) batch response into the items
+// to resend: 429/503 failures are shed load, anything else is final.
+func shedItems(resp *session.BatchResponse, items []session.BatchItem) ([]session.BatchItem, error) {
+	if resp.N != len(items) {
+		return nil, fmt.Errorf("batch: %d items acked for %d steps", resp.N, len(items))
+	}
+	var again []session.BatchItem
+	for _, f := range resp.Failed {
+		if f.Pos < 0 || f.Pos >= len(items) {
+			return nil, fmt.Errorf("batch: failed position %d outside %d steps", f.Pos, len(items))
+		}
+		switch f.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			again = append(again, items[f.Pos])
+		default:
+			return nil, fmt.Errorf("batch item %s: status %d: %s", items[f.Pos].Session, f.Status, f.Error)
+		}
+	}
+	return again, nil
+}
+
+// prepareBatch pre-encodes one round's /batch envelope in the same sparse
+// results=errors shape stepBatch asks for.
+func (t *httpTarget) prepareBatch(items []session.BatchItem) ([]byte, error) {
+	return json.Marshal(session.BatchRequest{Steps: items, Results: "errors"})
+}
+
+// stepPrepared sends a pre-encoded envelope. Shed items (429/503) go back
+// through the typed stepBatch path — re-encoding the rare remainder beats
+// pre-building every retry permutation.
+func (t *httpTarget) stepPrepared(body []byte, items []session.BatchItem) error {
+	var resp session.BatchResponse
+	if err := t.withRetry(func() error {
+		resp = session.BatchResponse{}
+		return t.client.PostBytes(context.Background(), t.base+"/batch", "application/json", body, &resp, nil)
+	}); err != nil {
+		return err
+	}
+	t.client.ObserveBatch(len(items))
+	again, err := shedItems(&resp, items)
+	if err != nil {
+		return err
+	}
+	if len(again) == 0 {
+		return nil
+	}
+	return t.stepBatch(again)
 }
 
 func (t *httpTarget) verify(id, goal string) (bool, error) {
 	var out struct {
 		Cached bool `json:"cached"`
 	}
-	err := t.withRetry(func() (int, error) {
-		resp, err := t.client.Get(t.base + "/sessions/" + id + "/verify?goal=" + neturl.QueryEscape(goal))
-		if err != nil {
-			return 0, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
-			return resp.StatusCode, fmt.Errorf("verify %s: status %d", id, resp.StatusCode)
-		}
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(&out)
+	err := t.withRetry(func() error {
+		return t.client.GetJSON(context.Background(),
+			t.base+"/sessions/"+id+"/verify?goal="+neturl.QueryEscape(goal), &out)
 	})
 	return out.Cached, err
 }
@@ -209,6 +306,7 @@ func (t *httpTarget) finish(res *benchResult) {
 	res.Mode = "http"
 	res.URL = t.base
 	res.Retried429 = t.retries
+	t.client.Close()
 }
 
 func bench(args []string) {
@@ -218,6 +316,7 @@ func bench(args []string) {
 		nSteps    = fs.Int("steps", 30, "steps per session")
 		model     = fs.String("model", "short", "scripted run: short | friendly")
 		url       = fs.String("url", "", "drive load over HTTP against this base URL (a spocus-server or spocus-router) instead of in-process")
+		batch     = fs.Int("batch", 1, "sessions per pipelined batch request: groups of this many sessions advance in lockstep through POST /batch (1: the single-step path)")
 		verifyMix = fs.Float64("verify-mix", 0, "fraction of steps followed by a live verify query (e.g. 0.1: one query per 10 steps)")
 
 		scenarios        = fs.String("scenarios", "", "run a scenario fleet instead of the single-model bench: 'builtin' or a JSON fleet file; each scenario runs in-process AND through an in-process router over loopback TCP (see internal/scenario)")
@@ -241,7 +340,7 @@ func bench(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		benchScenarios(cfg, *scenarios, *scenarioBackends, *scenarioRepl)
+		benchScenarios(cfg, *scenarios, *scenarioBackends, *scenarioRepl, *batch)
 		return
 	}
 
@@ -286,17 +385,14 @@ func bench(args []string) {
 	if *url != "" {
 		target = &httpTarget{
 			base: strings.TrimRight(*url, "/"),
-			// One keep-alive connection per concurrent session: the
-			// default transport's 2-per-host idle cap would serialize
-			// the load through constant reconnects.
-			client: &http.Client{
-				Timeout: 30 * time.Second,
-				Transport: &http.Transport{
-					MaxIdleConns:        *nSessions + 16,
-					MaxIdleConnsPerHost: *nSessions + 16,
-					IdleConnTimeout:     90 * time.Second,
-				},
-			},
+			// One keep-alive connection per concurrent driver: the default
+			// transport's 2-per-host idle cap would serialize the load
+			// through constant reconnects.
+			client: wire.New(wire.Config{
+				Name:                "bench",
+				MaxIdleConns:        *nSessions + 16,
+				MaxIdleConnsPerHost: *nSessions + 16,
+			}),
 		}
 	} else {
 		cfg, err := build()
@@ -313,7 +409,7 @@ func bench(args []string) {
 		target = &engineTarget{eng: eng, lv: live.New(live.Config{Queue: *nSessions})}
 	}
 
-	res := runLoad(target, script, db, *model, *nSessions, *nSteps, *verifyMix)
+	res := runLoadBatched(target, script, db, *model, *nSessions, *nSteps, *verifyMix, *batch)
 	if *url == "" {
 		res.Fsync = fs.Lookup("fsync").Value.String()
 		res.Durable = fs.Lookup("dir").Value.String() != ""
@@ -321,11 +417,9 @@ func bench(args []string) {
 	emit(res)
 }
 
-// runLoad opens nSessions sessions on target and drives each through
-// nSteps scripted steps concurrently, returning the throughput/latency
-// report (target.finish folds in target-side stats and shuts it down).
-func runLoad(target benchTarget, script func(int, int) relation.Instance, db relation.Instance, model string, nSessions, nSteps int, verifyMix float64) benchResult {
-	// Open all sessions first so the timed region measures pure stepping.
+// openAll opens the bench's session fleet so the timed region measures
+// pure stepping, returning the IDs and the open-phase duration.
+func openAll(target benchTarget, model string, db relation.Instance, nSessions int) ([]string, time.Duration) {
 	openStart := time.Now()
 	ids := make([]string, nSessions)
 	for i := range ids {
@@ -334,7 +428,160 @@ func runLoad(target benchTarget, script func(int, int) relation.Instance, db rel
 			fatal(err)
 		}
 	}
-	openElapsed := time.Since(openStart)
+	return ids, time.Since(openStart)
+}
+
+// finishLoad folds the collected latencies into the report shape shared by
+// the single-step and batched drivers (target.finish also shuts the target
+// down, so call it exactly once).
+func finishLoad(target benchTarget, model string, nSessions, nSteps int, all []time.Duration, elapsed, openElapsed time.Duration) benchResult {
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(q*float64(len(all)-1))]) / 1e3
+	}
+	res := benchResult{
+		Model:        model,
+		Sessions:     nSessions,
+		StepsPerSess: nSteps,
+		StepsTotal:   len(all),
+		ElapsedSec:   elapsed.Seconds(),
+		StepsPerSec:  float64(len(all)) / elapsed.Seconds(),
+		OpenSec:      openElapsed.Seconds(),
+	}
+	target.finish(&res)
+	res.Latency.P50Micros = pct(0.50)
+	res.Latency.P90Micros = pct(0.90)
+	res.Latency.P99Micros = pct(0.99)
+	res.Latency.MaxMicros = pct(1.0)
+	return res
+}
+
+// runLoadBatched is runLoad with pipelined batching: groups of batch
+// sessions advance in lockstep, one stepBatch call carrying one step of
+// each per round, so a single group-commit fsync (in-process) or one
+// routed /batch round trip (HTTP) acks batch steps at once. batch <= 1
+// falls through to the single-step driver.
+func runLoadBatched(target benchTarget, script func(int, int) relation.Instance, db relation.Instance, model string, nSessions, nSteps int, verifyMix float64, batch int) benchResult {
+	if batch <= 1 {
+		return runLoad(target, script, db, model, nSessions, nSteps, verifyMix)
+	}
+	if verifyMix > 0 {
+		fatal(fmt.Errorf("bench: -batch and -verify-mix are mutually exclusive"))
+	}
+	ids, openElapsed := openAll(target, model, db, nSessions)
+
+	nGroups := (nSessions + batch - 1) / batch
+
+	// Over HTTP, pre-build every round's items and encoded envelope before
+	// the clock starts: the timed region then measures the wire and the
+	// engine, not the driver's input generation. In-process there is no
+	// envelope, so rounds are built inline as before.
+	prep, _ := target.(batchPreparer)
+	var rounds [][][]session.BatchItem // [group][round] pre-built items
+	var bodies [][][]byte              // [group][round] pre-encoded envelopes
+	if prep != nil {
+		rounds = make([][][]session.BatchItem, nGroups)
+		bodies = make([][][]byte, nGroups)
+		for g := 0; g < nGroups; g++ {
+			lo, hi := g*batch, min((g+1)*batch, nSessions)
+			rounds[g] = make([][]session.BatchItem, nSteps)
+			bodies[g] = make([][]byte, nSteps)
+			for j := 0; j < nSteps; j++ {
+				items := make([]session.BatchItem, hi-lo)
+				for i := lo; i < hi; i++ {
+					items[i-lo] = session.BatchItem{Session: ids[i], Input: script(i, j)}
+				}
+				body, err := prep.prepareBatch(items)
+				if err != nil {
+					fatal(err)
+				}
+				rounds[g][j], bodies[g][j] = items, body
+			}
+		}
+	}
+
+	lats := make([][]time.Duration, nGroups)
+	ackLats := make([][]time.Duration, nGroups)
+	errs := make(chan error, nGroups)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < nGroups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo, hi := g*batch, min((g+1)*batch, nSessions)
+			lat := make([]time.Duration, 0, nSteps*(hi-lo))
+			acks := make([]time.Duration, 0, nSteps)
+			items := make([]session.BatchItem, hi-lo)
+			for j := 0; j < nSteps; j++ {
+				var err error
+				t0 := time.Now()
+				if prep != nil {
+					err = prep.stepPrepared(bodies[g][j], rounds[g][j])
+				} else {
+					for i := lo; i < hi; i++ {
+						items[i-lo] = session.BatchItem{Session: ids[i], Input: script(i, j)}
+					}
+					err = target.stepBatch(items)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("batch group %d step %d: %w", g, j+1, err)
+					return
+				}
+				d := time.Since(t0)
+				acks = append(acks, d)
+				// One ack covered hi-lo steps: each step's share of the round
+				// trip is the amortized cost the pipelined wire charges it.
+				per := d / time.Duration(hi-lo)
+				for i := lo; i < hi; i++ {
+					lat = append(lat, per)
+				}
+			}
+			lats[g] = lat
+			ackLats[g] = acks
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+
+	var all, allAcks []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	for _, l := range ackLats {
+		allAcks = append(allAcks, l...)
+	}
+	res := finishLoad(target, model, nSessions, nSteps, all, elapsed, openElapsed)
+	res.Batch = batch
+	sort.Slice(allAcks, func(i, j int) bool { return allAcks[i] < allAcks[j] })
+	ackPct := func(q float64) float64 {
+		if len(allAcks) == 0 {
+			return 0
+		}
+		return float64(allAcks[int(q*float64(len(allAcks)-1))]) / 1e3
+	}
+	res.BatchAck = &batchAckLatency{
+		P50Micros: ackPct(0.50),
+		P90Micros: ackPct(0.90),
+		P99Micros: ackPct(0.99),
+		MaxMicros: ackPct(1.0),
+	}
+	return res
+}
+
+// runLoad opens nSessions sessions on target and drives each through
+// nSteps scripted steps concurrently, returning the throughput/latency
+// report (target.finish folds in target-side stats and shuts it down).
+func runLoad(target benchTarget, script func(int, int) relation.Instance, db relation.Instance, model string, nSessions, nSteps int, verifyMix float64) benchResult {
+	// Open all sessions first so the timed region measures pure stepping.
+	ids, openElapsed := openAll(target, model, db, nSessions)
 
 	// One goroutine per session: M concurrent customers, each stepping its
 	// own session sequentially — the paper's exchange loop at scale. With
@@ -417,29 +664,7 @@ func runLoad(target benchTarget, script func(int, int) relation.Instance, db rel
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(q float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(q * float64(len(all)-1))
-		return float64(all[i]) / 1e3
-	}
-
-	res := benchResult{
-		Model:        model,
-		Sessions:     nSessions,
-		StepsPerSess: nSteps,
-		StepsTotal:   len(all),
-		ElapsedSec:   elapsed.Seconds(),
-		StepsPerSec:  float64(len(all)) / elapsed.Seconds(),
-		OpenSec:      openElapsed.Seconds(),
-	}
-	target.finish(&res)
-	res.Latency.P50Micros = pct(0.50)
-	res.Latency.P90Micros = pct(0.90)
-	res.Latency.P99Micros = pct(0.99)
-	res.Latency.MaxMicros = float64(all[len(all)-1]) / 1e3
+	res := finishLoad(target, model, nSessions, nSteps, all, elapsed, openElapsed)
 
 	if verifyEvery > 0 {
 		var vall, cold, hit []time.Duration
@@ -545,7 +770,8 @@ type handoffTiming struct {
 // history (cost grows with steps), shipping moves the state image and
 // verifies a log digest (cost tracks state size, not step count).
 func benchHandoff(router, model string, db relation.Instance, script func(int, int) relation.Instance, steps, rounds int) {
-	target := &httpTarget{base: router, client: &http.Client{Timeout: 5 * time.Minute}}
+	target := &httpTarget{base: router, client: wire.New(wire.Config{Name: "bench-handoff", Timeout: 5 * time.Minute})}
+	defer target.client.Close()
 	const id = "handoff-bench"
 	if err := target.open(id, model, db); err != nil {
 		fatal(err)
@@ -563,13 +789,7 @@ func benchHandoff(router, model string, db relation.Instance, script func(int, i
 			Up   bool   `json:"up"`
 		} `json:"members"`
 	}
-	resp, err := target.client.Get(router + "/debug/shards")
-	if err != nil {
-		fatal(err)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&shards)
-	resp.Body.Close()
-	if err != nil {
+	if err := target.client.GetJSON(context.Background(), router+"/debug/shards", &shards); err != nil {
 		fatal(err)
 	}
 	var backends []string
@@ -583,10 +803,8 @@ func benchHandoff(router, model string, db relation.Instance, script func(int, i
 	}
 	owner := -1
 	for b, u := range backends {
-		if r, err := target.client.Get(u + "/sessions/" + id); err == nil {
-			if r.Body.Close(); r.StatusCode == http.StatusOK {
-				owner = b
-			}
+		if err := target.client.GetJSON(context.Background(), u+"/sessions/"+id, nil); err == nil {
+			owner = b
 		}
 	}
 	if owner < 0 {
@@ -612,7 +830,7 @@ func benchHandoff(router, model string, db relation.Instance, script func(int, i
 			}
 			t0 := time.Now()
 			hurl := fmt.Sprintf("%s/admin/handoff?session=%s&to=%s&mode=%s", router, id, neturl.QueryEscape(to), mode)
-			if _, err := target.post(hurl, nil, &hres); err != nil {
+			if err := target.post(hurl, nil, &hres); err != nil {
 				fatal(err)
 			}
 			ms := float64(time.Since(t0)) / 1e6

@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 	"net"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/replica"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // bench -replication measures the replication plane's two prices, both of
@@ -95,7 +95,7 @@ func drainStream(base string, shards int) (stop func() int64) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	var n atomic.Int64
-	client := &http.Client{Timeout: 15 * time.Second}
+	client := wire.New(wire.Config{Name: "bench-repl-drain", Timeout: 15 * time.Second})
 	for s := 0; s < shards; s++ {
 		wg.Add(1)
 		go func(shard int) {
@@ -104,16 +104,8 @@ func drainStream(base string, shards int) (stop func() int64) {
 			for ctx.Err() == nil {
 				u := fmt.Sprintf("%s/admin/wal/stream?shard=%d&from=%d&acked=%d&wait=1s",
 					base, shard, from, acked)
-				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-				resp, err := client.Do(req)
-				if err != nil {
-					sleepCtx(ctx, 50*time.Millisecond)
-					continue
-				}
 				var b session.WALBatch
-				err = json.NewDecoder(resp.Body).Decode(&b)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode/100 != 2 {
+				if err := client.GetJSON(ctx, u, &b); err != nil {
 					sleepCtx(ctx, 50*time.Millisecond)
 					continue
 				}
@@ -133,6 +125,7 @@ func drainStream(base string, shards int) (stop func() int64) {
 	return func() int64 {
 		cancel()
 		wg.Wait()
+		client.Close()
 		return n.Load()
 	}
 }

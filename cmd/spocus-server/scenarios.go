@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/scenario"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // bench -scenarios: run a scenario fleet (the builtin one or a JSON file)
@@ -35,6 +36,7 @@ type latQuantiles struct {
 type pathReport struct {
 	Path        string       `json:"path"` // "inproc" | "router"
 	Backends    int          `json:"backends,omitempty"`
+	Batch       int          `json:"batch,omitempty"` // sessions per pipelined batch (0: single-step)
 	StepsTotal  int          `json:"steps_total"`
 	ElapsedSec  float64      `json:"elapsed_s"`
 	StepsPerSec float64      `json:"steps_per_sec"`
@@ -73,6 +75,8 @@ type scenarioReport struct {
 type scenarioTarget interface {
 	open(p *scenario.SessionPlan) error
 	step(p *scenario.SessionPlan, j int) error
+	// stepBatch advances many (non-network) sessions in one shot.
+	stepBatch(items []session.BatchItem) error
 	retried() int64
 }
 
@@ -123,6 +127,38 @@ func (t *scenarioEngineTarget) step(p *scenario.SessionPlan, j int) error {
 	})
 }
 
+// stepBatch injects the whole group in one engine send (one group-commit
+// acks it); shed items — mailbox overflow or rate limiting — are retried
+// item-wise with backoff, mirroring withRetry.
+func (t *scenarioEngineTarget) stepBatch(items []session.BatchItem) error {
+	pending := items
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			t.mu.Lock()
+			t.n++
+			t.mu.Unlock()
+			time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
+		}
+		var again []session.BatchItem
+		for i, r := range t.eng.InputBatch(pending) {
+			if r.Err == nil {
+				continue
+			}
+			var over *session.OverloadedError
+			var limited *session.RateLimitedError
+			if !errors.As(r.Err, &over) && !errors.As(r.Err, &limited) {
+				return r.Err
+			}
+			again = append(again, pending[i])
+		}
+		if len(again) == 0 {
+			return nil
+		}
+		pending = again
+	}
+	return fmt.Errorf("batch: %d items still shedding after retries", len(pending))
+}
+
 func (t *scenarioEngineTarget) retried() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -143,7 +179,7 @@ func (t *scenarioHTTPTarget) open(p *scenario.SessionPlan) error {
 		body["model"] = p.Model
 		body["db"] = p.DB
 	}
-	return t.withRetry(func() (int, error) {
+	return t.withRetry(func() error {
 		return t.post(t.base+"/sessions", body, nil)
 	})
 }
@@ -155,7 +191,7 @@ func (t *scenarioHTTPTarget) step(p *scenario.SessionPlan, j int) error {
 	} else {
 		body = map[string]any{"input": p.Input(j)}
 	}
-	return t.withRetry(func() (int, error) {
+	return t.withRetry(func() error {
 		return t.post(t.base+"/sessions/"+p.ID+"/input", body, nil)
 	})
 }
@@ -164,6 +200,128 @@ func (t *scenarioHTTPTarget) retried() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.retries
+}
+
+// latPercentiles folds sorted-or-not samples into the shared report shape.
+func latPercentiles(all []time.Duration) latQuantiles {
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(q*float64(len(all)-1))]) / 1e3
+	}
+	return latQuantiles{
+		P50Micros: pct(0.50),
+		P90Micros: pct(0.90),
+		P99Micros: pct(0.99),
+		MaxMicros: pct(1.0),
+	}
+}
+
+// runScenarioPathBatched drives the scenario with multi-session batching
+// where the arrival model allows it: under closed arrival, groups of
+// batch non-network sessions advance in lockstep, one stepBatch call per
+// round (network sessions keep their per-session loop — joint inputs
+// have no batch form). Open arrival schedules each session individually,
+// so it and batch <= 1 fall back to the per-session driver.
+func runScenarioPathBatched(sp *scenario.Spec, plans []*scenario.SessionPlan, target scenarioTarget, path string, batch int) pathReport {
+	if batch <= 1 || (sp.Arrival != "" && sp.Arrival != scenario.Closed) {
+		return runScenarioPath(sp, plans, target, path)
+	}
+	openStart := time.Now()
+	for _, p := range plans {
+		if err := target.open(p); err != nil {
+			fatal(fmt.Errorf("scenario %s: open %s: %w", sp.Name, p.ID, err))
+		}
+	}
+	openElapsed := time.Since(openStart)
+
+	var solo, flat []*scenario.SessionPlan
+	for _, p := range plans {
+		if p.IsNetwork() {
+			solo = append(solo, p)
+		} else {
+			flat = append(flat, p)
+		}
+	}
+	var groups [][]*scenario.SessionPlan
+	for lo := 0; lo < len(flat); lo += batch {
+		groups = append(groups, flat[lo:min(lo+batch, len(flat))])
+	}
+
+	var mu sync.Mutex
+	var all []time.Duration
+	collect := func(lat []time.Duration) {
+		mu.Lock()
+		all = append(all, lat...)
+		mu.Unlock()
+	}
+	errs := make(chan error, len(groups)+len(solo))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, grp := range groups {
+		wg.Add(1)
+		go func(grp []*scenario.SessionPlan) {
+			defer wg.Done()
+			var lat []time.Duration
+			items := make([]session.BatchItem, 0, len(grp))
+			for j := 0; ; j++ {
+				items = items[:0]
+				for _, p := range grp {
+					if j < p.Steps {
+						items = append(items, session.BatchItem{Session: p.ID, Input: p.Input(j)})
+					}
+				}
+				if len(items) == 0 {
+					break
+				}
+				t0 := time.Now()
+				if err := target.stepBatch(items); err != nil {
+					errs <- fmt.Errorf("scenario %s: batch step %d: %w", sp.Name, j+1, err)
+					return
+				}
+				d := time.Since(t0)
+				for range items {
+					lat = append(lat, d)
+				}
+			}
+			collect(lat)
+		}(grp)
+	}
+	for _, p := range solo {
+		wg.Add(1)
+		go func(p *scenario.SessionPlan) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, p.Steps)
+			for j := 0; j < p.Steps; j++ {
+				t0 := time.Now()
+				if err := target.step(p, j); err != nil {
+					errs <- fmt.Errorf("scenario %s: %s step %d: %w", sp.Name, p.ID, j+1, err)
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			collect(lat)
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+
+	return pathReport{
+		Path:        path,
+		Batch:       batch,
+		StepsTotal:  len(all),
+		ElapsedSec:  elapsed.Seconds(),
+		StepsPerSec: float64(len(all)) / elapsed.Seconds(),
+		OpenSec:     openElapsed.Seconds(),
+		Retried429:  target.retried(),
+		Latency:     latPercentiles(all),
+	}
 }
 
 // runScenarioPath opens every planned session on target, then drives them
@@ -212,13 +370,6 @@ func runScenarioPath(sp *scenario.Spec, plans []*scenario.SessionPlan, target sc
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(q float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		return float64(all[int(q*float64(len(all)-1))]) / 1e3
-	}
 	return pathReport{
 		Path:        path,
 		StepsTotal:  len(all),
@@ -226,12 +377,7 @@ func runScenarioPath(sp *scenario.Spec, plans []*scenario.SessionPlan, target sc
 		StepsPerSec: float64(len(all)) / elapsed.Seconds(),
 		OpenSec:     openElapsed.Seconds(),
 		Retried429:  target.retried(),
-		Latency: latQuantiles{
-			P50Micros: pct(0.50),
-			P90Micros: pct(0.90),
-			P99Micros: pct(0.99),
-			MaxMicros: pct(1.0),
-		},
+		Latency:     latPercentiles(all),
 	}
 }
 
@@ -310,7 +456,7 @@ func sampleReplLag(backends []*backendServer) func() *replLagQuantiles {
 // time so no scenario warms another's caches or WAL. With replicate set,
 // every router-path backend also feeds a warm follower, and the report
 // carries percentiles of the lag sampled while the scenario ran.
-func benchScenarios(cfg session.Config, src string, nBackends int, replicate bool) {
+func benchScenarios(cfg session.Config, src string, nBackends int, replicate bool, batch int) {
 	var fleet []*scenario.Spec
 	if src == "builtin" {
 		fleet = scenario.Fleet()
@@ -373,7 +519,7 @@ func benchScenarios(cfg session.Config, src string, nBackends int, replicate boo
 		if err != nil {
 			fatal(err)
 		}
-		rep.Paths = append(rep.Paths, runScenarioPath(sp, plans, &scenarioEngineTarget{eng: eng}, "inproc"))
+		rep.Paths = append(rep.Paths, runScenarioPathBatched(sp, plans, &scenarioEngineTarget{eng: eng}, "inproc", batch))
 		eng.Shutdown()
 
 		// Router path: fresh backends, fresh router, fresh plans (the
@@ -418,16 +564,15 @@ func benchScenarios(cfg session.Config, src string, nBackends int, replicate boo
 
 		ht := &scenarioHTTPTarget{httpTarget: &httpTarget{
 			base: "http://" + rln.Addr().String(),
-			client: &http.Client{
-				Timeout: 60 * time.Second,
-				Transport: &http.Transport{
-					MaxIdleConns:        len(plans) + 16,
-					MaxIdleConnsPerHost: len(plans) + 16,
-					IdleConnTimeout:     90 * time.Second,
-				},
-			},
+			client: wire.New(wire.Config{
+				Name:                "scenario-client",
+				Timeout:             60 * time.Second,
+				MaxIdleConns:        len(plans) + 16,
+				MaxIdleConnsPerHost: len(plans) + 16,
+			}),
 		}}
-		pr := runScenarioPath(sp, plans, ht, "router")
+		pr := runScenarioPathBatched(sp, plans, ht, "router", batch)
+		ht.client.Close()
 		pr.Backends = nBackends
 		if stopSampler != nil {
 			pr.ReplLag = stopSampler()

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+)
+
+// The router side of the batched data plane. POST /batch arrives as one
+// multi-session envelope; the router splits it by ring owner, fans out one
+// pipelined sub-batch per backend over the shared wire client, and merges
+// the per-item statuses back into request order. Failure stays per item:
+// an unroutable session is its item's 503, a dead backend is its
+// sub-batch's 502 — neighbors on healthy backends still commit.
+//
+// The split is zero-copy on the payload: only the routing fields (session,
+// key) are decoded, and each item's input plus each backend's per-item
+// answers travel through as raw JSON — the router never materializes a
+// relation instance or a step result.
+
+// rawBatchItem is one batch step with the input left undecoded. Session
+// routes it; Key gates the transparent-retry rule; Input passes through.
+type rawBatchItem struct {
+	Session string          `json:"session"`
+	Key     string          `json:"key,omitempty"`
+	Input   json.RawMessage `json:"input,omitempty"`
+}
+
+type rawBatchRequest struct {
+	Steps   []rawBatchItem `json:"steps"`
+	Results string         `json:"results,omitempty"`
+}
+
+type rawBatchResponse struct {
+	Results []json.RawMessage      `json:"results,omitempty"`
+	N       int                    `json:"n,omitempty"`
+	Failed  []session.BatchFailure `json:"failed,omitempty"`
+}
+
+// subBatch is the slice of one incoming batch owned by a single backend:
+// the items, and their positions in the client's envelope so the merged
+// response stays positional. In errors mode the sub-batch accumulates its
+// remapped failures in failed instead of scattering into the positional
+// results (each goroutine owns its own subBatch, so no lock).
+type subBatch struct {
+	addr      string
+	steps     []rawBatchItem
+	positions []int
+	allKeyed  bool
+	failed    []session.BatchFailure
+}
+
+// rawStatus renders a router-side per-item failure in the backend's
+// BatchItemStatus shape.
+func rawStatus(status int, msg string) json.RawMessage {
+	b, _ := json.Marshal(session.BatchItemStatus{Status: status, Error: msg})
+	return b
+}
+
+// handleBatch serves POST /batch on the router.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req rawBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Steps) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch needs at least one step"})
+		return
+	}
+	switch req.Results {
+	case "", "full", "status", "errors":
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "results must be \"full\", \"status\" or \"errors\""})
+		return
+	}
+	rt.m.batchRequests.Add(1)
+	rt.m.batchSteps.Add(int64(len(req.Steps)))
+	rt.client.ObserveBatch(len(req.Steps))
+
+	sparse := req.Results == "errors"
+	var results []json.RawMessage
+	if !sparse {
+		results = make([]json.RawMessage, len(req.Steps))
+	}
+	var preFailed []session.BatchFailure
+
+	// Split by owner, preserving first-occurrence backend order and the
+	// client's item order within each sub-batch (one session's items stay
+	// in order, so its WAL group is the client's order).
+	groups := make(map[string]*subBatch)
+	var order []string
+	for i, st := range req.Steps {
+		addr, err := rt.ring.Lookup(st.Session)
+		if err != nil {
+			rt.m.unroutable.Add(1)
+			if sparse {
+				preFailed = append(preFailed, session.BatchFailure{Pos: i, Status: http.StatusServiceUnavailable, Error: err.Error()})
+			} else {
+				results[i] = rawStatus(http.StatusServiceUnavailable, err.Error())
+			}
+			continue
+		}
+		g, ok := groups[addr]
+		if !ok {
+			g = &subBatch{addr: addr, allKeyed: true}
+			groups[addr] = g
+			order = append(order, addr)
+		}
+		g.steps = append(g.steps, st)
+		g.positions = append(g.positions, i)
+		if st.Key == "" {
+			g.allKeyed = false
+		}
+	}
+
+	// Fan out: one pipelined upstream request per backend, all in flight
+	// at once. Each sub-batch fills only its own positions.
+	var wg sync.WaitGroup
+	for _, addr := range order {
+		g := groups[addr]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.forwardSubBatch(r, g, req.Results, results)
+		}()
+	}
+	wg.Wait()
+	// Compact: the merged envelope is hot-path payload, not debug output.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if sparse {
+		failed := preFailed
+		for _, addr := range order {
+			failed = append(failed, groups[addr].failed...)
+		}
+		json.NewEncoder(w).Encode(rawBatchResponse{N: len(req.Steps), Failed: failed})
+		return
+	}
+	json.NewEncoder(w).Encode(rawBatchResponse{Results: results})
+}
+
+// forwardSubBatch sends one backend's slice of the batch and scatters the
+// per-item statuses into results. A transport failure marks the backend
+// down; like single-step forward, it is retried transparently only when
+// re-sending is safe — here, when EVERY item carries an idempotency key
+// (the backend answers duplicates from its key table). Between attempts
+// the owner is re-resolved, so a promotion inside the retry window catches
+// the whole sub-batch. A sub-batch that cannot be delivered fails all its
+// items with 502; the rest of the client's batch is unaffected.
+func (rt *Router) forwardSubBatch(r *http.Request, g *subBatch, mode string, results []json.RawMessage) {
+	addr := g.addr
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if rt.ring.Up(addr) {
+			var resp rawBatchResponse
+			done := rt.trackInflight(addr)
+			rt.m.batchFanouts.Add(1)
+			err := rt.client.PostJSON(r.Context(), addr+"/batch",
+				rawBatchRequest{Steps: g.steps, Results: mode}, &resp, nil)
+			done()
+			if err == nil {
+				rt.m.proxied.Add(1)
+				if mode == "errors" {
+					// Sparse shape: the backend acked the count and listed only
+					// failures; remap their positions into the client's envelope.
+					if resp.N != len(g.steps) {
+						lastErr = fmt.Errorf("backend %s acked %d items for %d steps", addr, resp.N, len(g.steps))
+						rt.m.backendErrors.Add(1)
+						break
+					}
+					bad := false
+					for _, f := range resp.Failed {
+						if f.Pos < 0 || f.Pos >= len(g.positions) {
+							lastErr = fmt.Errorf("backend %s failed position %d outside %d steps", addr, f.Pos, len(g.steps))
+							rt.m.backendErrors.Add(1)
+							bad = true
+							break
+						}
+						if f.Status == http.StatusTooManyRequests {
+							rt.m.rejected.Add(1)
+						}
+						g.failed = append(g.failed, session.BatchFailure{Pos: g.positions[f.Pos], Status: f.Status, Error: f.Error})
+					}
+					if bad {
+						g.failed = nil
+						break
+					}
+					return
+				}
+				if len(resp.Results) != len(g.steps) {
+					lastErr = fmt.Errorf("backend %s answered %d results for %d steps", addr, len(resp.Results), len(g.steps))
+					rt.m.backendErrors.Add(1)
+					break
+				}
+				for j, pos := range g.positions {
+					results[pos] = resp.Results[j]
+					// Probe only the status field; the payload stays raw.
+					var st struct {
+						Status int `json:"status"`
+					}
+					if json.Unmarshal(resp.Results[j], &st) == nil && st.Status == http.StatusTooManyRequests {
+						rt.m.rejected.Add(1)
+					}
+				}
+				return
+			}
+			if isStatusError(err) {
+				// The backend is alive and refused the envelope (4xx).
+				// Surface its verdict per item rather than marking down.
+				lastErr = err
+				rt.m.backendErrors.Add(1)
+				break
+			}
+			lastErr = err
+			rt.m.backendErrors.Add(1)
+			rt.checker.markDown(addr)
+		} else {
+			lastErr = &BackendDownError{Addr: addr}
+		}
+		if !g.allKeyed || attempt >= keyedRetryAttempts {
+			break
+		}
+		rt.m.keyedRetries.Add(1)
+		rt.client.NoteRetry("transport")
+		stop := false
+		select {
+		case <-r.Context().Done(): // the client hung up: stop retrying
+			lastErr = r.Context().Err()
+			stop = true
+		case <-time.After(time.Duration(100<<attempt) * time.Millisecond):
+		}
+		if stop {
+			break
+		}
+		// Re-resolve: a mark-down plus promotion re-homes every session the
+		// dead backend owned onto one follower, so the first session's new
+		// owner is the sub-batch's new owner.
+		if newAddr, err := rt.ring.Lookup(g.steps[0].Session); err == nil {
+			addr = newAddr
+		}
+	}
+	status := http.StatusBadGateway
+	msg := fmt.Sprintf("backend %s: %v", addr, lastErr)
+	var down *BackendDownError
+	if errors.As(lastErr, &down) {
+		status = http.StatusServiceUnavailable
+	}
+	if mode == "errors" {
+		for _, pos := range g.positions {
+			g.failed = append(g.failed, session.BatchFailure{Pos: pos, Status: status, Error: msg})
+		}
+		return
+	}
+	for _, pos := range g.positions {
+		results[pos] = rawStatus(status, msg)
+	}
+}

@@ -1,17 +1,14 @@
 package cluster
 
 import (
-	"bytes"
-	"encoding/json"
-	"errors"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
 	"time"
 
 	"repro/internal/compose"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // Handoff moves one session between backends. Two transports share one
@@ -193,8 +190,7 @@ func (rt *Router) HandoffWith(id, to, mode string) (*HandoffResult, error) {
 
 	// Retire the source copy and flip the ring.
 	if err := rt.postJSON(from+"/admin/sessions/"+id+"/forget", nil, nil); err != nil {
-		var nf *notFoundError
-		if errors.As(err, &nf) {
+		if wire.IsStatus(err, http.StatusNotFound) {
 			// The session vanished from the source under our freeze —
 			// someone else retired it. Our moved copy would be a second
 			// live replica, so delete it and leave the ring alone.
@@ -254,25 +250,13 @@ func (rt *Router) ship(from, to, id string) (int, error) {
 // same bytes the source encoded and verifies the log digest before the
 // session goes live.
 func (rt *Router) shipBinary(from, to, id string) (int, error) {
-	req, err := http.NewRequest(http.MethodPost, from+"/admin/sessions/"+id+"/export-state", bytes.NewReader(nil))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Accept", "application/octet-stream")
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return 0, fmt.Errorf("export-state from %s: status %d", from, resp.StatusCode)
-	}
-	if !strings.Contains(resp.Header.Get("Content-Type"), "application/octet-stream") {
-		return 0, fmt.Errorf("export-state from %s: no binary transport", from)
-	}
-	data, err := io.ReadAll(resp.Body)
+	data, binary, err := rt.client.PostBinaryNegotiate(context.Background(),
+		from+"/admin/sessions/"+id+"/export-state", nil)
 	if err != nil {
 		return 0, fmt.Errorf("export-state from %s: %w", from, err)
+	}
+	if !binary {
+		return 0, fmt.Errorf("export-state from %s: no binary transport", from)
 	}
 	// Install can hit the same bounded mailbox as any open, so retry 429s.
 	var info session.Info
@@ -345,82 +329,31 @@ func (rt *Router) deleteSession(addr, id string) {
 	}
 }
 
-// retryableError marks a transient backend refusal (429) worth retrying.
-type retryableError struct{ status int }
-
-func (err *retryableError) Error() string { return fmt.Sprintf("backend status %d", err.status) }
-
-// notFoundError marks a 404: the resource is gone at the backend, not a
-// transport or server failure. Forget branches on it.
-type notFoundError struct{ url string }
-
-func (err *notFoundError) Error() string { return fmt.Sprintf("%s: not found", err.url) }
-
-// postJSONRetry is postJSON with exponential backoff while the backend
-// answers 429 backpressure.
-func (rt *Router) postJSONRetry(url string, body any, out any) error {
-	data, err := marshalBody(body)
-	if err != nil {
-		return err
-	}
-	return rt.postRetry(url, "application/json", data, out)
+// postJSON posts body (nil for empty) to url and decodes the 2xx response
+// into out (when non-nil). Non-2xx → *wire.StatusError carrying the
+// backend's error message.
+func (rt *Router) postJSON(url string, body any, out any) error {
+	return rt.client.PostJSON(context.Background(), url, body, out, nil)
 }
 
-// postRetry is post with exponential backoff while the backend answers 429
-// backpressure.
+// postJSONRetry is postJSON under the wire client's retry policy: 429/503
+// refusals back off and retry, honoring any Retry-After hint.
+func (rt *Router) postJSONRetry(url string, body any, out any) error {
+	return rt.client.PostJSONRetry(context.Background(), url, body, out, nil)
+}
+
+// postRetry posts pre-encoded bytes with the same backoff for 429/503
+// refusals — the binary install leg of ship.
 func (rt *Router) postRetry(url, contentType string, body []byte, out any) error {
 	var err error
 	for attempt := 0; attempt < 5; attempt++ {
-		err = rt.post(url, contentType, body, out)
-		var retry *retryableError
-		if err == nil || !errors.As(err, &retry) {
+		if attempt > 0 {
+			time.Sleep(time.Duration(50<<(attempt-1)) * time.Millisecond)
+		}
+		err = rt.client.PostBytes(context.Background(), url, contentType, body, out, nil)
+		if err == nil || !wire.Retryable(err) {
 			return err
 		}
-		time.Sleep(time.Duration(50<<attempt) * time.Millisecond)
 	}
 	return err
-}
-
-func marshalBody(body any) ([]byte, error) {
-	if body == nil {
-		return nil, nil
-	}
-	return json.Marshal(body)
-}
-
-// postJSON posts body (nil for empty) to url and decodes the 2xx response
-// into out (when non-nil). Non-2xx responses become errors carrying the
-// backend's error message; 429 is marked retryable, 404 not-found.
-func (rt *Router) postJSON(url string, body any, out any) error {
-	data, err := marshalBody(body)
-	if err != nil {
-		return err
-	}
-	return rt.post(url, "application/json", data, out)
-}
-
-// post sends raw bytes under contentType; responses are always JSON.
-func (rt *Router) post(url, contentType string, body []byte, out any) error {
-	resp, err := rt.client.Post(url, contentType, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		switch resp.StatusCode {
-		case http.StatusTooManyRequests:
-			return fmt.Errorf("%s: %w", e.Error, &retryableError{status: resp.StatusCode})
-		case http.StatusNotFound:
-			return fmt.Errorf("%s: %w", e.Error, &notFoundError{url: url})
-		}
-		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // HealthConfig tunes the backend health checker.
@@ -43,7 +45,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 type checker struct {
 	ring   *Ring
 	cfg    HealthConfig
-	client *http.Client
+	client *wire.Client
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -53,7 +55,7 @@ type checker struct {
 	onFlip func(addr string, up bool)
 }
 
-func startChecker(ring *Ring, cfg HealthConfig, client *http.Client, onFlip func(string, bool)) *checker {
+func startChecker(ring *Ring, cfg HealthConfig, client *wire.Client, onFlip func(string, bool)) *checker {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &checker{

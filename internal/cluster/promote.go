@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -206,13 +206,5 @@ func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
 
 // getJSON GETs url and decodes the 2xx response into out.
 func (rt *Router) getJSON(url string, out any) error {
-	resp, err := rt.client.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return rt.client.GetJSON(context.Background(), url, out)
 }

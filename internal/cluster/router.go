@@ -2,18 +2,21 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // RouterConfig tunes a Router.
@@ -24,9 +27,10 @@ type RouterConfig struct {
 	Vnodes int
 	// Health tunes backend probing.
 	Health HealthConfig
-	// Client is the HTTP client used for proxying, probing, and handoff
-	// (default: dedicated client with a 30s timeout).
-	Client *http.Client
+	// Client is the wire client used for proxying, probing, and handoff
+	// (default: a pooled internal/wire client named "router" with a 30s
+	// per-attempt timeout).
+	Client *wire.Client
 	// HandoffMode selects the default session transport for /admin/handoff:
 	// "ship" (default) moves the source's state image + log digest in one
 	// round trip, falling back to replay on any ship failure; "replay"
@@ -53,7 +57,8 @@ type RouterConfig struct {
 // backends, and serves handoff. See Handler for the HTTP surface.
 type Router struct {
 	ring           *Ring
-	client         *http.Client
+	client         *wire.Client
+	ownsClient     bool // close the client with the router iff we built it
 	checker        *checker
 	handoffMode    string
 	followerReads  bool
@@ -67,6 +72,12 @@ type Router struct {
 	// followerCache maps primary → discovered follower (see promote.go).
 	followersMu   sync.Mutex
 	followerCache map[string]followerInfo
+
+	// inflight gauges the upstream requests currently outstanding per
+	// backend — the router's own view of backend pressure, exported with
+	// the rest of the router metrics.
+	inflightMu sync.Mutex
+	inflight   map[string]*atomic.Int64
 }
 
 // routerMetrics counts the router's data plane, exported under the expvar
@@ -84,6 +95,9 @@ type routerMetrics struct {
 	followerReads    atomic.Int64 // reads served by a follower
 	followerFallback atomic.Int64 // follower reads that fell back to the primary
 	keyedRetries     atomic.Int64 // idempotent POSTs retried after a transport error
+	batchRequests    atomic.Int64 // client-facing POST /batch requests
+	batchSteps       atomic.Int64 // steps carried by those requests
+	batchFanouts     atomic.Int64 // upstream sub-batch requests sent
 }
 
 func (m *routerMetrics) snapshot() map[string]int64 {
@@ -100,7 +114,35 @@ func (m *routerMetrics) snapshot() map[string]int64 {
 		"follower_reads_total":    m.followerReads.Load(),
 		"follower_fallback_total": m.followerFallback.Load(),
 		"keyed_retries_total":     m.keyedRetries.Load(),
+		"batch_requests_total":    m.batchRequests.Load(),
+		"batch_steps_total":       m.batchSteps.Load(),
+		"batch_fanouts_total":     m.batchFanouts.Load(),
 	}
+}
+
+// statsSnapshot is the expvar view: the counter set plus one in-flight
+// gauge per backend ("inflight:<addr>").
+func (rt *Router) statsSnapshot() map[string]int64 {
+	out := rt.m.snapshot()
+	rt.inflightMu.Lock()
+	for addr, g := range rt.inflight {
+		out["inflight:"+addr] = g.Load()
+	}
+	rt.inflightMu.Unlock()
+	return out
+}
+
+// trackInflight bumps addr's in-flight gauge; the returned func drops it.
+func (rt *Router) trackInflight(addr string) func() {
+	rt.inflightMu.Lock()
+	g, ok := rt.inflight[addr]
+	if !ok {
+		g = &atomic.Int64{}
+		rt.inflight[addr] = g
+	}
+	rt.inflightMu.Unlock()
+	g.Add(1)
+	return func() { g.Add(-1) }
 }
 
 // NewRouter builds the ring from cfg.Backends (all initially up) and
@@ -110,18 +152,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("cluster: no backends configured")
 	}
 	client := cfg.Client
+	ownsClient := false
 	if client == nil {
-		// The default transport keeps only 2 idle connections per host —
-		// a router funnelling hundreds of concurrent sessions into a few
-		// backends would open and tear down connections constantly.
-		client = &http.Client{
-			Timeout: 30 * time.Second,
-			Transport: &http.Transport{
-				MaxIdleConns:        1024,
-				MaxIdleConnsPerHost: 256,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		}
+		// The shared wire client: pooled keep-alive transport (the default
+		// transport keeps only 2 idle connections per host — a router
+		// funnelling hundreds of concurrent sessions into a few backends
+		// would open and tear down connections constantly), counted dials
+		// vs. reuse, and the data-plane retry policy for handoff.
+		client = wire.New(wire.Config{Name: "router"})
+		ownsClient = true
 	}
 	mode := cfg.HandoffMode
 	if mode == "" {
@@ -133,11 +172,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt := &Router{
 		ring:           NewRing(cfg.Vnodes),
 		client:         client,
+		ownsClient:     ownsClient,
 		handoffMode:    mode,
 		followerReads:  cfg.FollowerReads,
 		followerMaxLag: cfg.FollowerMaxLag,
 		handoffBusy:    make(map[string]chan struct{}),
 		followerCache:  make(map[string]followerInfo),
+		inflight:       make(map[string]*atomic.Int64),
 	}
 	for _, b := range cfg.Backends {
 		rt.ring.Add(b)
@@ -167,16 +208,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // the same 503 the pin itself would answer while it is down.
 func (rt *Router) recoverPins() {
 	for _, addr := range rt.ring.Members() {
-		resp, err := rt.client.Get(addr + "/sessions")
-		if err != nil {
-			continue
-		}
 		var page struct {
 			Sessions []*session.Info `json:"sessions"`
 		}
-		err = json.NewDecoder(resp.Body).Decode(&page)
-		resp.Body.Close()
-		if err != nil || resp.StatusCode/100 != 2 {
+		if err := rt.client.GetJSON(context.Background(), addr+"/sessions", &page); err != nil {
 			continue
 		}
 		for _, s := range page.Sessions {
@@ -191,8 +226,14 @@ func (rt *Router) recoverPins() {
 // Ring exposes the router's ring (for tests and for serving /debug/shards).
 func (rt *Router) Ring() *Ring { return rt.ring }
 
-// Close stops health checking. In-flight proxied requests are unaffected.
-func (rt *Router) Close() { rt.checker.stop() }
+// Close stops health checking and releases the router-owned wire client.
+// In-flight proxied requests are unaffected.
+func (rt *Router) Close() {
+	rt.checker.stop()
+	if rt.ownsClient {
+		rt.client.Close()
+	}
+}
 
 // Handler serves the router's HTTP surface — the session API of
 // internal/session's Handler, proxied per-session to the owning backend,
@@ -210,11 +251,13 @@ func (rt *Router) Close() { rt.checker.stop() }
 // GET /sessions fans out to all up backends and merges. GET /models and
 // GET /networks are answered by any up backend. A network session routes
 // like any other — one session ID, one owning backend for the whole
-// network.
+// network. POST /batch splits a multi-session batch by ring owner and
+// fans one sub-batch per backend (see batch.go).
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", rt.handleOpen)
 	mux.HandleFunc("GET /sessions", rt.handleList)
+	mux.HandleFunc("POST /batch", rt.handleBatch)
 	mux.HandleFunc("/sessions/{id}", rt.handleSession)
 	mux.HandleFunc("/sessions/{id}/{rest...}", rt.handleSession)
 	for _, route := range []string{"GET /models", "GET /networks"} {
@@ -241,6 +284,9 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "backends_up": len(rt.ring.UpMembers())})
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	registerRouterExpvar(rt)
 	return mux
 }
@@ -352,8 +398,23 @@ func (rt *Router) tryFollowerRead(w http.ResponseWriter, r *http.Request, owner 
 	}
 	w.Header().Set("X-Spocus-Served-By", fol)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	copyPooled(w, resp.Body)
 	return true
+}
+
+// copyBufs pools proxy copy buffers so the hot forwarding path does not
+// allocate 32KiB per response.
+var copyBufs = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+
+func copyPooled(dst io.Writer, src io.Reader) {
+	bp := copyBufs.Get().(*[]byte)
+	io.CopyBuffer(dst, src, *bp)
+	copyBufs.Put(bp)
+}
+
+func isStatusError(err error) bool {
+	var se *wire.StatusError
+	return errors.As(err, &se)
 }
 
 // handleList fans GET /sessions out to every up backend and merges the
@@ -373,26 +434,14 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 			partial = true
 			continue
 		}
-		resp, err := rt.client.Get(addr + "/sessions")
-		if err != nil {
-			rt.m.backendErrors.Add(1)
-			rt.checker.markDown(addr)
-			partial = true
-			continue
-		}
 		var page struct {
 			Sessions []*session.Info `json:"sessions"`
 		}
-		if resp.StatusCode/100 != 2 {
-			resp.Body.Close()
+		if err := rt.client.GetJSON(r.Context(), addr+"/sessions", &page); err != nil {
 			rt.m.backendErrors.Add(1)
-			partial = true
-			continue
-		}
-		err = json.NewDecoder(resp.Body).Decode(&page)
-		resp.Body.Close()
-		if err != nil {
-			rt.m.backendErrors.Add(1)
+			if !isStatusError(err) {
+				rt.checker.markDown(addr)
+			}
 			partial = true
 			continue
 		}
@@ -434,6 +483,9 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, b
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if rt.ring.Up(addr) {
+			// Zero-copy proxy: the body streams through untouched (routing
+			// needed only the path), and the response streams back through a
+			// pooled buffer — the router never decodes the data plane.
 			var rd io.Reader = r.Body
 			if body != nil {
 				rd = bytes.NewReader(body)
@@ -452,8 +504,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, b
 					req.Header.Set(k, v)
 				}
 			}
+			done := rt.trackInflight(addr)
 			resp, err := rt.client.Do(req)
 			if err == nil {
+				defer done()
 				defer resp.Body.Close()
 				rt.m.proxied.Add(1)
 				if resp.StatusCode == http.StatusTooManyRequests {
@@ -465,9 +519,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, b
 					}
 				}
 				w.WriteHeader(resp.StatusCode)
-				io.Copy(w, resp.Body)
+				copyPooled(w, resp.Body)
 				return
 			}
+			done()
 			lastErr = err
 			rt.m.backendErrors.Add(1)
 			rt.checker.markDown(addr)
@@ -476,6 +531,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, addr string, b
 			break
 		}
 		rt.m.keyedRetries.Add(1)
+		rt.client.NoteRetry("transport")
 		stop := false
 		select {
 		case <-r.Context().Done(): // the client hung up: stop retrying
@@ -540,7 +596,7 @@ func registerRouterExpvar(rt *Router) {
 			defer routersMu.Unlock()
 			agg := make([]map[string]int64, 0, len(routers))
 			for rt := range routers {
-				agg = append(agg, rt.m.snapshot())
+				agg = append(agg, rt.statsSnapshot())
 			}
 			return agg
 		}))

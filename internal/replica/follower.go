@@ -20,7 +20,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -29,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // Config configures a Follower.
@@ -44,9 +44,9 @@ type Config struct {
 	Fsync session.FsyncPolicy
 	// Poll is the long-poll wait per stream request (default 20s).
 	Poll time.Duration
-	// Client is the HTTP client for stream requests (default: one with a
+	// Client is the wire client for stream requests (default: one with a
 	// timeout comfortably above Poll).
-	Client *http.Client
+	Client *wire.Client
 	// Logf receives progress lines (default: drop them).
 	Logf func(format string, args ...any)
 }
@@ -67,14 +67,15 @@ type replState struct {
 
 // Follower tails one primary into a hot standby engine.
 type Follower struct {
-	cfg     Config
-	eng     *session.Engine // the standby
-	client  *http.Client
-	logf    func(string, ...any)
-	ctx     context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	started atomic.Bool
+	cfg        Config
+	eng        *session.Engine // the standby
+	client     *wire.Client
+	ownsClient bool
+	logf       func(string, ...any)
+	ctx        context.Context
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
+	started    atomic.Bool
 
 	mu       sync.Mutex // guards st and the REPLSTATE file
 	st       replState
@@ -99,7 +100,10 @@ func New(cfg Config) (*Follower, error) {
 	}
 	f := &Follower{cfg: cfg, eng: eng, client: cfg.Client, logf: cfg.Logf}
 	if f.client == nil {
-		f.client = &http.Client{Timeout: cfg.Poll + 15*time.Second}
+		// Long-polls hold one connection per primary shard for up to Poll;
+		// the client timeout must sit comfortably above that.
+		f.client = wire.New(wire.Config{Name: "follower", Timeout: cfg.Poll + 15*time.Second})
+		f.ownsClient = true
 	}
 	if f.logf == nil {
 		f.logf = func(string, ...any) {}
@@ -383,25 +387,12 @@ func (f *Follower) Promoted() bool { return f.promoted.Load() }
 func (f *Follower) Stop() error {
 	f.cancel()
 	f.wg.Wait()
+	if f.ownsClient {
+		f.client.Close()
+	}
 	return f.eng.Shutdown()
 }
 
 func (f *Follower) getJSON(u string, v any) error {
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := f.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return f.client.GetJSON(f.ctx, u, v)
 }

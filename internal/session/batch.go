@@ -1,0 +1,234 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// The batched input path. A client hands the engine a group of
+// (session, input, key) steps spanning any number of sessions; the engine
+// splits the group by owning shard and injects each shard's share in ONE
+// mailbox send, so the whole share executes inside one group-commit batch —
+// one shared fsync acknowledges every step in it. Per item the semantics
+// are exactly InputKey's: the same admission checks in the same order, the
+// same idempotency-key dedupe (including keys repeated WITHIN the group),
+// per-item errors that never fail their neighbors, and a WAL that is never
+// torn mid-group (a session's applied steps land in one CRC-framed record).
+
+// BatchItem is one step of a batched input request.
+type BatchItem struct {
+	Session string            `json:"session"`
+	Key     string            `json:"key,omitempty"`
+	Input   relation.Instance `json:"input"`
+}
+
+// BatchResult is the outcome of one batch item: exactly one of Result and
+// Err is set. Errors are the same typed errors the single-step path
+// returns (NotFoundError, BadInputError, RateLimitedError, ...), so the
+// HTTP layer maps them to the same per-item status codes.
+type BatchResult struct {
+	Result *StepResult
+	Err    error
+}
+
+// InputBatch applies a group of steps across any number of sessions and
+// returns one result per item, positionally. Items of one session apply
+// in the order given; items of different sessions owned by one shard share
+// a single WAL commit; shards proceed concurrently. A shard-level failure
+// (overloaded mailbox, engine shutdown, WAL write error) fails every item
+// routed to that shard — partial failure is otherwise strictly per-item.
+func (e *Engine) InputBatch(items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	start := time.Now()
+	// Group item indexes by owning shard, preserving arrival order.
+	byShard := make(map[*shard][]int)
+	var order []*shard
+	for i := range items {
+		sh := e.shardFor(items[i].Session)
+		if _, ok := byShard[sh]; !ok {
+			order = append(order, sh)
+		}
+		byShard[sh] = append(byShard[sh], i)
+	}
+	run := func(sh *shard, idxs []int) {
+		// One send per shard: the whole share executes under one exec() and
+		// its appends commit under one shared fsync before this reply.
+		_, err := e.trySend(sh, func(sh *shard) (any, error) {
+			return nil, sh.inputBatch(idxs, items, out)
+		})
+		if err != nil {
+			for _, i := range idxs {
+				out[i] = BatchResult{Err: err}
+			}
+		}
+	}
+	if len(order) == 1 {
+		run(order[0], byShard[order[0]])
+	} else {
+		var wg sync.WaitGroup
+		for _, sh := range order {
+			wg.Add(1)
+			go func(sh *shard, idxs []int) {
+				defer wg.Done()
+				run(sh, idxs)
+			}(sh, byShard[sh])
+		}
+		wg.Wait()
+	}
+	e.m.stepLatency.observe(time.Since(start))
+	return out
+}
+
+// inputBatch runs inside the shard goroutine: it partitions the shard's
+// share of the batch by session (preserving item order) and applies each
+// session group under one WAL record. The returned error is shard-fatal
+// (snapshot failure under the fail-stop discipline); per-item outcomes
+// land in out.
+func (sh *shard) inputBatch(idxs []int, items []BatchItem, out []BatchResult) error {
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range idxs {
+		id := items[i].Session
+		if _, ok := groups[id]; !ok {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], i)
+	}
+	applied := 0
+	for _, id := range order {
+		applied += sh.applyGroup(id, groups[id], items, out)
+	}
+	if applied > 0 {
+		sh.sinceSnap += applied
+		if err := sh.maybeSnapshot(false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyGroup admits, logs, and applies one session's items. Admission
+// mirrors InputKey check for check: dedupe (against the persisted table
+// AND keys earlier in this group), frozen, rate limit, input validation.
+// The admitted steps form one record — recStep for a single step (so a
+// batch of one is byte-identical to the unbatched path), recBatch
+// otherwise — appended before application, exactly like the single-step
+// path. Returns the number of steps applied.
+func (sh *shard) applyGroup(id string, idxs []int, items []BatchItem, out []BatchResult) int {
+	s, ok := sh.sessions[id]
+	if !ok {
+		err := &NotFoundError{ID: id}
+		for _, i := range idxs {
+			out[i] = BatchResult{Err: err}
+		}
+		return 0
+	}
+	if s.net != nil {
+		err := &BadInputError{Err: fmt.Errorf("session %s is a network session; address inputs per node", id)}
+		for _, i := range idxs {
+			out[i] = BatchResult{Err: err}
+		}
+		return 0
+	}
+	// pendingDup marks an item whose key repeats an EARLIER item of this
+	// group: its duplicate answer can only be built after that step applies.
+	type pendingDup struct{ idx, seq int }
+	var admitted []int
+	var dups []pendingDup
+	var groupKeys map[string]int // key → seq assigned earlier in this group
+	nextSeq := s.steps + 1
+	for _, i := range idxs {
+		it := &items[i]
+		if it.Key != "" {
+			if seq, ok := s.keys[it.Key]; ok {
+				sh.m.dedupedSteps.Add(1)
+				out[i] = BatchResult{Result: s.dupResult(seq)}
+				continue
+			}
+			if seq, ok := groupKeys[it.Key]; ok {
+				sh.m.dedupedSteps.Add(1)
+				dups = append(dups, pendingDup{idx: i, seq: seq})
+				continue
+			}
+		}
+		if s.frozen {
+			out[i] = BatchResult{Err: &FrozenError{ID: id}}
+			continue
+		}
+		if sh.cfg.SessionRate > 0 {
+			if ok, wait := s.rate.take(sh.cfg.SessionRate, float64(sh.cfg.SessionBurst), time.Now()); !ok {
+				sh.m.rateLimited.Add(1)
+				out[i] = BatchResult{Err: &RateLimitedError{ID: id, RetryAfter: wait}}
+				continue
+			}
+		}
+		if err := s.validateInput(it.Input); err != nil {
+			out[i] = BatchResult{Err: &BadInputError{Err: err}}
+			continue
+		}
+		if it.Key != "" {
+			if groupKeys == nil {
+				groupKeys = make(map[string]int)
+			}
+			groupKeys[it.Key] = nextSeq
+		}
+		admitted = append(admitted, i)
+		nextSeq++
+	}
+	if len(admitted) == 0 {
+		return 0
+	}
+	var rec *walRecord
+	if len(admitted) == 1 {
+		i := admitted[0]
+		rec = &walRecord{T: recStep, SID: id, Seq: s.steps + 1, Input: items[i].Input, Key: items[i].Key}
+	} else {
+		inputs := make(relation.Sequence, 0, len(admitted))
+		keys := make([]string, 0, len(admitted))
+		for _, i := range admitted {
+			inputs = append(inputs, items[i].Input)
+			keys = append(keys, items[i].Key)
+		}
+		rec = &walRecord{T: recBatch, SID: id, Seq: s.steps + 1, Inputs: inputs, Keys: keys}
+	}
+	if err := sh.appendWAL(rec); err != nil {
+		for _, i := range admitted {
+			out[i] = BatchResult{Err: err}
+		}
+		for _, d := range dups {
+			out[d.idx] = BatchResult{Err: err}
+		}
+		return 0
+	}
+	applied := 0
+	for n, i := range admitted {
+		res, err := s.apply(items[i].Input)
+		if err != nil {
+			// Deterministic evaluation failure (unreachable past validation,
+			// same as the single-step path): the rest of the group cannot
+			// apply without diverging from the record, so fail it wholesale.
+			werr := &BadInputError{Err: err}
+			for _, j := range admitted[n:] {
+				out[j] = BatchResult{Err: werr}
+			}
+			for _, d := range dups {
+				out[d.idx] = BatchResult{Err: werr}
+			}
+			return applied
+		}
+		s.noteKey(items[i].Key, res.Seq)
+		sh.m.stepsTotal.Add(1)
+		out[i] = BatchResult{Result: res}
+		applied++
+	}
+	for _, d := range dups {
+		out[d.idx] = BatchResult{Result: s.dupResult(d.seq)}
+	}
+	return applied
+}

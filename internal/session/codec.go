@@ -69,6 +69,7 @@ const (
 	walHasInput
 	walHasNetIn
 	walHasImage
+	walHasBatch // Inputs + Keys (batch records)
 )
 
 func encodeWALRecord(e *codec.Encoder, rec *walRecord) ([]byte, error) {
@@ -96,6 +97,9 @@ func encodeWALRecord(e *codec.Encoder, rec *walRecord) ([]byte, error) {
 	if rec.Image != nil {
 		flags |= walHasImage
 	}
+	if rec.Inputs != nil {
+		flags |= walHasBatch
+	}
 	e.Uvarint(flags)
 	if rec.DB != nil {
 		e.Instance(rec.DB)
@@ -116,6 +120,13 @@ func encodeWALRecord(e *codec.Encoder, rec *walRecord) ([]byte, error) {
 	if rec.Image != nil {
 		if err := encodeImageBody(e, rec.Image); err != nil {
 			return nil, err
+		}
+	}
+	if rec.Inputs != nil {
+		e.Sequence(rec.Inputs)
+		e.Uvarint(uint64(len(rec.Keys)))
+		for _, k := range rec.Keys {
+			e.Str(k)
 		}
 	}
 	return e.Finish(), nil
@@ -155,6 +166,14 @@ func decodeWALBody(r *codec.Reader) (*walRecord, error) {
 			return nil, err
 		}
 		rec.Image = img
+	}
+	if flags&walHasBatch != 0 {
+		rec.Inputs = r.Sequence()
+		n := r.Int()
+		rec.Keys = make([]string, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			rec.Keys = append(rec.Keys, r.Str())
+		}
 	}
 	if err := r.End(); err != nil {
 		return nil, err

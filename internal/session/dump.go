@@ -76,6 +76,9 @@ func DumpWAL(w io.Writer, dir string) error {
 		if rec.Seq > 0 {
 			detail = fmt.Sprintf(" seq=%d", rec.Seq)
 		}
+		if len(rec.Inputs) > 0 {
+			detail += fmt.Sprintf(" steps=%d", len(rec.Inputs))
+		}
 		if rec.Model != "" {
 			detail += " model=" + rec.Model
 		}

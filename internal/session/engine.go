@@ -339,6 +339,28 @@ func (sh *shard) applyRecord(rec *walRecord) error {
 		}
 		s.noteKey(rec.Key, rec.Seq)
 		return nil
+	case recBatch:
+		s, ok := sh.sessions[rec.SID]
+		if !ok {
+			return fmt.Errorf("batch for unknown session %s", rec.SID)
+		}
+		last := rec.Seq + len(rec.Inputs) - 1
+		if last <= s.steps {
+			return nil // covered by snapshot
+		}
+		if rec.Seq > s.steps+1 {
+			return fmt.Errorf("session %s: batch %d..%d after %d", rec.SID, rec.Seq, last, s.steps)
+		}
+		// A snapshot can cover a prefix of the batch; replay only the rest.
+		for i := s.steps + 1 - rec.Seq; i < len(rec.Inputs); i++ {
+			if _, err := s.apply(rec.Inputs[i]); err != nil {
+				return err
+			}
+			if i < len(rec.Keys) {
+				s.noteKey(rec.Keys[i], rec.Seq+i)
+			}
+		}
+		return nil
 	case recInstall:
 		if rec.Image == nil {
 			return fmt.Errorf("install record for %s has no image", rec.SID)

@@ -29,6 +29,8 @@ import (
 //	POST   /sessions/{id}/input    apply one step        {"input":{"order":[["time"]]}}
 //	                               network joint step    {"node":"customer","facts":{"want":[["widget"]]}}
 //	                               or multi-node         {"inputs":{"customer":{...},"supplier":{...}}}
+//	                               or a step ARRAY       [{"input":{...},"key":"..."}, ...] → per-item statuses
+//	POST   /batch                  multi-session batch   {"steps":[{"session":"...","input":{...},"key":"..."}]}
 //	GET    /sessions/{id}/log      the session's durable log
 //	GET    /sessions/{id}/verify   live verification     ?goal=deliver(X) | ?temporal=cond (repeatable)
 //	GET    /sessions/{id}/progress ranked next inputs    ?goal=deliver(X)&limit=5
@@ -93,6 +95,18 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /sessions/{id}/input", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, batchBodyCap))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		// An array body is the batched form: many steps of this session,
+		// answered with per-item statuses (see http_batch.go).
+		if isJSONArray(body) {
+			handleInputArray(e, w, r, id, body)
+			return
+		}
 		var req struct {
 			Input relation.Instance `json:"input"`
 			// Network joint-step forms: either one node's facts
@@ -108,10 +122,10 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 			// applied again.
 			Key string `json:"key"`
 		}
-		if !readJSON(w, r, &req) {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 			return
 		}
-		id := r.PathValue("id")
 		key := r.Header.Get("Idempotency-Key")
 		if key == "" {
 			key = req.Key
@@ -153,6 +167,7 @@ func HandlerWith(e *Engine, lv *live.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /batch", handleBatch(e))
 	mux.HandleFunc("GET /sessions/{id}/verify", handleVerify(e, lv))
 	mux.HandleFunc("GET /sessions/{id}/progress", handleProgress(e, lv))
 	mux.HandleFunc("GET /sessions/{id}/log", func(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +363,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // per-session rate limit → 429 (with Retry-After), frozen for handoff →
 // 503 (retryable: the ring is about to flip), everything else → 500.
 func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, retryAfter := errStatus(err)
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps an engine error onto its HTTP status plus an optional
+// Retry-After value in seconds ("" = none). Shared by the single-step
+// response path and the per-item statuses of batch responses, so an item
+// fails with exactly the code its unbatched twin would have.
+func errStatus(err error) (status int, retryAfter string) {
+	status = http.StatusInternalServerError
 	var nf *NotFoundError
 	var bad *BadInputError
 	var conflict *ConflictError
@@ -364,15 +391,15 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.As(err, &over):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		retryAfter = "1"
 	case errors.As(err, &limited):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", retryAfterSeconds(limited.RetryAfter))
+		retryAfter = retryAfterSeconds(limited.RetryAfter)
 	case errors.As(err, &frozen):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		retryAfter = "1"
 	case errors.Is(err, ErrNotDurable):
 		status = http.StatusPreconditionFailed
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return status, retryAfter
 }

@@ -395,6 +395,34 @@ func (sh *shard) applyReplicated(rec *walRecord) error {
 		sh.m.stepsTotal.Add(1)
 		sh.sinceSnap++
 		return sh.maybeSnapshot(false)
+	case recBatch:
+		s, ok := sh.sessions[rec.SID]
+		if !ok {
+			return &ReplGapError{SID: rec.SID}
+		}
+		last := rec.Seq + len(rec.Inputs) - 1
+		if last <= s.steps {
+			return nil // already applied (stream overlap after reconnect)
+		}
+		if rec.Seq > s.steps+1 {
+			return &ReplGapError{SID: rec.SID, Seq: rec.Seq, Have: s.steps}
+		}
+		if err := sh.appendWAL(rec); err != nil {
+			return err
+		}
+		// Primaries write batch records atomically, but a reconnect overlap
+		// can cover a prefix; apply only the standby's missing suffix.
+		for i := s.steps + 1 - rec.Seq; i < len(rec.Inputs); i++ {
+			if _, err := s.apply(rec.Inputs[i]); err != nil {
+				return err
+			}
+			if i < len(rec.Keys) {
+				s.noteKey(rec.Keys[i], rec.Seq+i)
+			}
+			sh.m.stepsTotal.Add(1)
+			sh.sinceSnap++
+		}
+		return sh.maybeSnapshot(false)
 	case recClose:
 		if _, ok := sh.sessions[rec.SID]; !ok {
 			return nil

@@ -29,6 +29,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return storage.ParseFsync
 const (
 	recOpen    = "open"
 	recStep    = "step"
+	recBatch   = "batch" // several consecutive steps of one session, one record
 	recClose   = "close"
 	recInstall = "install" // a session installed whole by WAL-shipping handoff
 )
@@ -45,6 +46,14 @@ const (
 // Whether a step record is single or joint is decided by the session it
 // replays into, not by the record shape (an empty joint step marshals with
 // no netin field at all).
+//
+// A batch record (recBatch) is the same idea applied to the batched input
+// API: Inputs holds the inputs of steps Seq..Seq+len(Inputs)-1 of one
+// session, Keys their per-step idempotency keys ("" where absent). The
+// storage layer's CRC framing makes the record all-or-nothing, so a batch
+// is never torn in the log: either every step in the group is durable or
+// none is. A group of exactly one step is written as an ordinary recStep —
+// batch-of-1 and single-step are byte-identical on disk.
 type walRecord struct {
 	T       string             `json:"t"`
 	SID     string             `json:"sid"`
@@ -53,9 +62,11 @@ type walRecord struct {
 	Mode    string             `json:"mode,omitempty"`    // open: acceptance mode
 	DB      relation.Instance  `json:"db,omitempty"`      // open: database instance
 	Network *compose.Spec      `json:"network,omitempty"` // open: network spec (network sessions)
-	Seq     int                `json:"seq,omitempty"`     // step: 1-based step number
+	Seq     int                `json:"seq,omitempty"`     // step/batch: 1-based (first) step number
 	Input   relation.Instance  `json:"input,omitempty"`   // step: the input relation set
 	NetIn   compose.StepInputs `json:"netin,omitempty"`   // step: per-node external inputs (network sessions)
 	Key     string             `json:"key,omitempty"`     // step: client idempotency key, replayed into the dedupe table
+	Inputs  relation.Sequence  `json:"inputs,omitempty"`  // batch: inputs of steps Seq..Seq+len-1
+	Keys    []string           `json:"keys,omitempty"`    // batch: per-step idempotency keys ("" = none)
 	Image   *Image             `json:"image,omitempty"`   // install: full session state
 }
